@@ -1,0 +1,86 @@
+// Ablation A2: Extended Simulator polling resolution.
+//
+// The simulator detects collisions "by continuously polling the robot arm's
+// trajectory" (§III). Coarser polling is cheaper but can step over thin
+// obstacles; this ablation sweeps the step size and reports collision recall
+// plus the real per-check cost.
+#include <benchmark/benchmark.h>
+
+#include <random>
+
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace rabit;
+using namespace rabit::bench;
+using geom::Vec3;
+
+/// Random paths through the deck that all genuinely collide (verified with a
+/// very fine reference step).
+std::vector<std::pair<Vec3, Vec3>> colliding_paths(const sim::WorldModel& world, unsigned seed,
+                                                   int count) {
+  std::mt19937 rng(seed);
+  std::uniform_real_distribution<double> x(-0.6, 0.6);
+  std::uniform_real_distribution<double> y(-0.5, 0.5);
+  std::uniform_real_distribution<double> z(0.03, 0.25);
+  sim::PathCheckOptions reference;
+  reference.step = 0.0005;
+
+  std::vector<std::pair<Vec3, Vec3>> paths;
+  while (paths.size() < static_cast<std::size_t>(count)) {
+    Vec3 a(x(rng), y(rng), z(rng));
+    Vec3 b(x(rng), y(rng), z(rng));
+    if (sim::check_point(world, a, 0.0)) continue;  // start must be free
+    if (sim::check_path(world, a, b, 0.0, reference)) paths.emplace_back(a, b);
+  }
+  return paths;
+}
+
+void print_ablation() {
+  print_header("Ablation A2 — Extended Simulator polling resolution",
+               "RABIT (DSN'24), Section III (trajectory polling)");
+  auto backend = make_testbed();
+  sim::WorldModel world = sim::deck_world_model(*backend);
+  auto paths = colliding_paths(world, 23, 150);
+
+  std::printf("%-12s %10s %12s\n", "step (m)", "recall", "of 150 hits");
+  print_rule();
+  for (double step : {0.002, 0.005, 0.01, 0.02, 0.05, 0.1, 0.2}) {
+    sim::PathCheckOptions opts;
+    opts.step = step;
+    int found = 0;
+    for (const auto& [a, b] : paths) {
+      if (sim::check_path(world, a, b, 0.0, opts)) ++found;
+    }
+    std::printf("%-12.3f %9.1f%% %12d\n", step, 100.0 * found / paths.size(), found);
+  }
+  print_rule();
+  std::printf("shape: recall saturates near the default 0.01 m step; very coarse\n");
+  std::printf("polling steps over station walls and misses real collisions —\n");
+  std::printf("the Extended Simulator's accuracy is bounded by its poll rate.\n");
+}
+
+void BM_PathCheckByStep(benchmark::State& state) {
+  auto backend = make_testbed();
+  sim::WorldModel world = sim::deck_world_model(*backend);
+  double step = static_cast<double>(state.range(0)) / 1000.0;
+  sim::PathCheckOptions opts;
+  opts.step = step;
+  Vec3 a(-0.6, -0.4, 0.25);
+  Vec3 b(0.6, 0.45, 0.05);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim::check_path(world, a, b, 0.0, opts));
+  }
+  state.SetLabel("step " + std::to_string(step) + " m");
+}
+BENCHMARK(BM_PathCheckByStep)->Arg(2)->Arg(10)->Arg(50)->Arg(200);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_ablation();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,102 @@
+// Shared helpers for the reproduction benches. Each bench binary prints the
+// paper table/figure it regenerates (rows first, then google-benchmark
+// microbenchmarks where timing is part of the claim).
+#pragma once
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "bugs/bugs.hpp"
+#include "core/engine.hpp"
+#include "script/workflows.hpp"
+#include "sim/deck.hpp"
+#include "sim/extended_sim.hpp"
+#include "trace/trace.hpp"
+
+namespace rabit::bench {
+
+inline std::unique_ptr<sim::LabBackend> make_testbed(
+    sim::StageProfile profile = sim::testbed_profile()) {
+  auto backend = std::make_unique<sim::LabBackend>(std::move(profile));
+  sim::build_hein_testbed_deck(*backend);
+  return backend;
+}
+
+inline std::unique_ptr<sim::LabBackend> make_production() {
+  auto backend = std::make_unique<sim::LabBackend>(sim::production_profile());
+  sim::build_hein_production_deck(*backend);
+  return backend;
+}
+
+/// Engine + (for V3) an Extended Simulator wired to the backend.
+struct EngineBundle {
+  std::unique_ptr<core::RabitEngine> engine;
+  std::unique_ptr<sim::ExtendedSimulator> simulator;
+};
+
+inline EngineBundle make_engine(sim::LabBackend& backend, core::Variant variant,
+                                bool gui_enabled = true) {
+  EngineBundle bundle;
+  core::EngineConfig config = core::config_from_backend(backend, variant);
+  if (variant == core::Variant::ModifiedWithSim) {
+    sim::WorldModel world = sim::deck_world_model(backend);
+    for (const core::DeviceMeta& m : config.devices) {
+      if (m.is_arm && m.sleep_box) {
+        world.add_box(m.id, *m.sleep_box, sim::ObstacleKind::ParkedArm);
+      }
+    }
+    sim::ExtendedSimulator::Options options;
+    options.gui_enabled = gui_enabled;
+    bundle.simulator = std::make_unique<sim::ExtendedSimulator>(std::move(world), options);
+    bundle.simulator->set_arm_state_provider(
+        [&backend](std::string_view arm_id) -> std::optional<geom::Vec3> {
+          const auto* arm =
+              dynamic_cast<const dev::RobotArmDevice*>(backend.registry().find(arm_id));
+          if (arm == nullptr) return std::nullopt;
+          return arm->position_lab();
+        });
+  }
+  bundle.engine = std::make_unique<core::RabitEngine>(std::move(config));
+  if (bundle.simulator) bundle.engine->attach_simulator(bundle.simulator.get());
+  return bundle;
+}
+
+inline void print_header(const char* title, const char* paper_ref) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title);
+  std::printf("reproduces: %s\n", paper_ref);
+  std::printf("================================================================\n");
+}
+
+inline void print_rule(char c = '-') {
+  for (int i = 0; i < 64; ++i) std::putchar(c);
+  std::putchar('\n');
+}
+
+inline dev::Command make_cmd(std::string device, std::string action, json::Object args = {}) {
+  dev::Command c;
+  c.device = std::move(device);
+  c.action = std::move(action);
+  c.args = json::Value(std::move(args));
+  return c;
+}
+
+inline dev::Command move_cmd(std::string arm, const geom::Vec3& local) {
+  json::Object args;
+  args["position"] = json::Array{local.x, local.y, local.z};
+  return make_cmd(std::move(arm), "move_to", std::move(args));
+}
+
+inline json::Object door_arg(const char* state) {
+  json::Object o;
+  o["state"] = std::string(state);
+  return o;
+}
+
+inline geom::Vec3 site_local(const sim::LabBackend& backend, const char* arm, const char* site) {
+  const auto& a = dynamic_cast<const dev::RobotArmDevice&>(*backend.registry().find(arm));
+  return a.to_local(backend.find_site(site)->lab_position);
+}
+
+}  // namespace rabit::bench

@@ -1,0 +1,130 @@
+// Section II-C latency reproduction: "Without the Extended Simulator, RABIT
+// incurs approximately 0.03 s overhead (1.5%)... with the Extended
+// Simulator, RABIT incurs approximately 2 s overhead (112%). ... for
+// deployment, we plan to bypass the GUI entirely."
+//
+// Modeled per-command overhead is reported against the production stage's
+// ~2 s command latency; the google-benchmark section then measures the
+// *actual CPU cost* of RABIT's checks, showing the middleware itself is
+// orders of magnitude below the modeled environment constants.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace rabit;
+using namespace rabit::bench;
+namespace ids = sim::deck_ids;
+
+struct OverheadRow {
+  const char* configuration;
+  double per_command_overhead_s;
+  double relative_percent;
+};
+
+OverheadRow measure(const char* label, bool with_engine, bool with_sim, bool gui) {
+  auto backend = make_production();
+  auto commands = script::record_workflow(*backend, script::solubility_workflow_source());
+
+  EngineBundle bundle;
+  if (with_engine) {
+    bundle = make_engine(*backend,
+                         with_sim ? core::Variant::ModifiedWithSim : core::Variant::Modified,
+                         gui);
+  }
+  trace::Supervisor supervisor(with_engine ? bundle.engine.get() : nullptr, backend.get());
+  trace::RunReport report = supervisor.run(commands);
+
+  double n = static_cast<double>(report.steps.size());
+  double overhead = report.modeled_overhead_s / n;
+  double base = report.modeled_runtime_s / n;
+  return OverheadRow{label, overhead, 100.0 * overhead / base};
+}
+
+void print_latency() {
+  print_header("RABIT latency overhead on the solubility workflow",
+               "RABIT (DSN'24), Section II-C (0.03 s / 1.5% and ~2 s / 112%)");
+
+  OverheadRow rows[] = {
+      measure("no RABIT (baseline)", false, false, false),
+      measure("RABIT, no simulator", true, false, false),
+      measure("RABIT + Extended Simulator (GUI in VM)", true, true, true),
+      measure("RABIT + Extended Simulator (GUI bypassed)", true, true, false),
+  };
+
+  std::printf("%-44s %14s %10s\n", "Configuration", "overhead s/cmd", "relative");
+  print_rule();
+  for (const OverheadRow& r : rows) {
+    std::printf("%-44s %14.3f %9.1f%%\n", r.configuration, r.per_command_overhead_s,
+                r.relative_percent);
+  }
+  // The paper's 112% figure is per *robot* command (the simulator runs once
+  // per collision check); report that view too.
+  double base = sim::production_profile().command_latency_s;
+  double gui = 2.0;
+  std::printf("%-44s %14.3f %9.1f%%\n", "  per robot-motion command, GUI simulator",
+              core::RabitEngine::kBaseCheckCost_s + gui,
+              100.0 * (core::RabitEngine::kBaseCheckCost_s + gui) / base);
+  print_rule();
+  std::printf("paper: 0.03 s (~1.5%%) without the simulator — imperceptible to\n");
+  std::printf("humans; ~2 s (~112%%) with the GUI simulator; the planned GUI bypass\n");
+  std::printf("removes nearly all of it. Simulator latency is charged only on\n");
+  std::printf("robot motion commands (Fig. 2 line 8), so the whole-workflow\n");
+  std::printf("average sits below the ~2 s per-check cost.\n");
+}
+
+// --- real CPU cost of the checks (not modeled) ------------------------------
+
+void BM_RealCheckCost_NoSim(benchmark::State& state) {
+  auto backend = make_production();
+  EngineBundle bundle = make_engine(*backend, core::Variant::Modified);
+  bundle.engine->initialize(backend->registry().fetch_observed_state());
+  dev::Command cmd = move_cmd(ids::kUr3e, geom::Vec3(0.25, 0.1, 0.30));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bundle.engine->check_command(cmd));
+  }
+}
+BENCHMARK(BM_RealCheckCost_NoSim);
+
+void BM_RealCheckCost_WithSimHeadless(benchmark::State& state) {
+  auto backend = make_production();
+  EngineBundle bundle = make_engine(*backend, core::Variant::ModifiedWithSim,
+                                    /*gui_enabled=*/false);
+  bundle.engine->initialize(backend->registry().fetch_observed_state());
+  dev::Command cmd = move_cmd(ids::kUr3e, geom::Vec3(0.25, 0.1, 0.30));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bundle.engine->check_command(cmd));
+  }
+}
+BENCHMARK(BM_RealCheckCost_WithSimHeadless);
+
+void BM_RealPostconditionCheck(benchmark::State& state) {
+  auto backend = make_production();
+  EngineBundle bundle = make_engine(*backend, core::Variant::Modified);
+  bundle.engine->initialize(backend->registry().fetch_observed_state());
+  dev::Command cmd = make_cmd(ids::kDosingDevice, "stop_action");
+  auto observed = backend->registry().fetch_observed_state();
+  for (auto _ : state) {
+    bundle.engine->apply_expected(cmd);
+    benchmark::DoNotOptimize(bundle.engine->verify_postconditions(cmd, observed));
+  }
+}
+BENCHMARK(BM_RealPostconditionCheck);
+
+void BM_FetchState(benchmark::State& state) {
+  auto backend = make_production();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(backend->registry().fetch_observed_state());
+  }
+}
+BENCHMARK(BM_FetchState);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_latency();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,161 @@
+// Table I reproduction: capabilities of RABIT's three stages.
+//
+// The paper qualifies each stage (simulator / testbed / production) by speed
+// of exploration, device precision, accuracy of results, and risk of damage.
+// This bench quantifies all four on the same workflow: modeled wall-clock,
+// mean positioning error, mean solubility-measurement error, and the modeled
+// cost of the damage caused by one injected Bug A run without RABIT.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace rabit;
+using namespace rabit::bench;
+namespace ids = sim::deck_ids;
+
+struct StageRow {
+  std::string name;
+  double workflow_seconds = 0;
+  double mean_position_error_m = 0;
+  double mean_measure_error = 0;
+  double crash_cost = 0;
+};
+
+sim::StageProfile profile_by_name(const std::string& name) {
+  if (name == "simulator") return sim::simulator_profile();
+  if (name == "testbed") return sim::testbed_profile();
+  return sim::production_profile();
+}
+
+StageRow measure_stage(const std::string& name) {
+  StageRow row;
+  row.name = name;
+
+  // Speed of exploration: modeled wall-clock of the standard workflow.
+  {
+    auto backend = make_testbed(profile_by_name(name));
+    auto commands = script::record_workflow(*backend, script::testbed_workflow_source());
+    trace::Supervisor supervisor(nullptr, backend.get());
+    trace::RunReport report = supervisor.run(commands);
+    row.workflow_seconds = report.modeled_runtime_s;
+
+    // Device precision: positioning-error samples gathered during the run.
+    double sum = 0;
+    for (double e : backend->position_error_samples()) sum += e;
+    row.mean_position_error_m =
+        backend->position_error_samples().empty()
+            ? 0.0
+            : sum / static_cast<double>(backend->position_error_samples().size());
+  }
+
+  // Accuracy of results: repeated solubility measurements of a known vial.
+  {
+    auto backend = make_testbed(profile_by_name(name));
+    dev::Vial& vial = backend->vial(ids::kVial1);
+    vial.add_solid(5.0);
+    vial.add_liquid(0.125);  // exactly half the solid dissolves
+    double truth = sim::LabBackend::true_solubility(vial);
+    double err = 0;
+    constexpr int kSamples = 200;
+    for (int i = 0; i < kSamples; ++i) {
+      err += std::abs(backend->measure_solubility(vial) - truth);
+    }
+    row.mean_measure_error = err / kSamples;
+  }
+
+  // Risk of damage: Bug A (closed-door entry), no RABIT in the loop.
+  {
+    const bugs::BugSpec& bug_a = bugs::bug_catalogue()[0];  // H1
+    auto staging = make_testbed();
+    auto buggy = bug_a.build(*staging);
+    auto backend = make_testbed(profile_by_name(name));
+    trace::Supervisor supervisor(nullptr, backend.get());
+    supervisor.run(buggy);
+    row.crash_cost = backend->total_damage_cost();
+  }
+  return row;
+}
+
+const char* band(double value, double low_cut, double high_cut, bool lower_is_better) {
+  const char* kBands[3] = {"Low", "Medium", "High"};
+  int idx = value <= low_cut ? 0 : value <= high_cut ? 1 : 2;
+  if (lower_is_better) idx = 2 - idx;
+  return kBands[idx];
+}
+
+void print_table1() {
+  print_header("Table I — capabilities of RABIT's three stages",
+               "RABIT (DSN'24), Table I");
+  StageRow rows[3] = {measure_stage("simulator"), measure_stage("testbed"),
+                      measure_stage("production")};
+
+  std::printf("%-32s %12s %12s %12s\n", "Capability", "Simulator", "Testbed", "Production");
+  print_rule();
+  std::printf("%-32s %12.1f %12.1f %12.1f\n", "Workflow wall-clock (model s)",
+              rows[0].workflow_seconds, rows[1].workflow_seconds, rows[2].workflow_seconds);
+  std::printf("%-32s %12s %12s %12s\n", "  => speed of exploration",
+              band(rows[0].workflow_seconds, 10, 60, true),
+              band(rows[1].workflow_seconds, 10, 60, true),
+              band(rows[2].workflow_seconds, 10, 60, true));
+  std::printf("%-32s %12.4f %12.4f %12.4f\n", "Positioning error (m)",
+              rows[0].mean_position_error_m, rows[1].mean_position_error_m,
+              rows[2].mean_position_error_m);
+  std::printf("%-32s %12s %12s %12s\n", "  => device precision",
+              band(rows[0].mean_position_error_m, 0.0011, 0.004, true),
+              band(rows[1].mean_position_error_m, 0.0011, 0.004, true),
+              band(rows[2].mean_position_error_m, 0.0011, 0.004, true));
+  std::printf("%-32s %12.4f %12.4f %12.4f\n", "Measurement error (fraction)",
+              rows[0].mean_measure_error, rows[1].mean_measure_error,
+              rows[2].mean_measure_error);
+  std::printf("%-32s %12s %12s %12s\n", "  => accuracy of results",
+              band(rows[0].mean_measure_error, 0.02, 0.06, true),
+              band(rows[1].mean_measure_error, 0.02, 0.06, true),
+              band(rows[2].mean_measure_error, 0.02, 0.06, true));
+  std::printf("%-32s %12.0f %12.0f %12.0f\n", "Bug A crash cost (model $)",
+              rows[0].crash_cost, rows[1].crash_cost, rows[2].crash_cost);
+  std::printf("%-32s %12s %12s %12s\n", "  => risk of damage",
+              band(rows[0].crash_cost, 100, 2000, false),
+              band(rows[1].crash_cost, 100, 2000, false),
+              band(rows[2].crash_cost, 100, 2000, false));
+  print_rule();
+  std::printf("Paper Table I: speed High/Medium/Low; precision Low/Medium/High;\n");
+  std::printf("accuracy Low/Medium/High; risk Low/Medium/High (simulator->production).\n");
+  std::printf("Note: the simulator positions a *virtual* arm exactly, so its\n");
+  std::printf("positioning error is 0; its Low 'precision' in the paper refers to\n");
+  std::printf("how faithfully it reflects the real device, captured here by the\n");
+  std::printf("measurement-error row.\n");
+}
+
+// CPU cost of executing one command per stage profile (all stages share the
+// physics code; modeled latency differs, real cost does not).
+void BM_BackendExecute(benchmark::State& state) {
+  auto backend = make_testbed();
+  dev::Command status = make_cmd(ids::kDosingDevice, "stop_action");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(backend->execute(status));
+  }
+}
+BENCHMARK(BM_BackendExecute);
+
+void BM_BackendArmMove(benchmark::State& state) {
+  auto backend = make_testbed();
+  geom::Vec3 a = site_local(*backend, ids::kViperX, "grid.NW") + geom::Vec3(0, 0, 0.22);
+  geom::Vec3 b = a + geom::Vec3(0.05, -0.1, 0.05);
+  bool flip = false;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(backend->execute(move_cmd(ids::kViperX, flip ? a : b)));
+    flip = !flip;
+  }
+}
+BENCHMARK(BM_BackendArmMove);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_table1();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

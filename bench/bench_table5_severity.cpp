@@ -1,0 +1,78 @@
+// Table V reproduction: the 16 introduced bugs grouped by severity, with the
+// number RABIT (modified, the paper's reported configuration) detects.
+// Paper: Low 3/1, Medium-Low 1/1, Medium-High 6/4, High 6/6.
+#include <benchmark/benchmark.h>
+
+#include <map>
+
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace rabit;
+using namespace rabit::bench;
+using dev::Severity;
+
+const char* severity_label(Severity s) {
+  switch (s) {
+    case Severity::Low: return "Low: wasting chemical materials";
+    case Severity::MediumLow: return "Medium-Low: breakage of glassware";
+    case Severity::MediumHigh: return "Medium-High: harm to platform/walls/grid/cheap arms";
+    case Severity::High: return "High: breaking expensive equipment";
+  }
+  return "?";
+}
+
+void print_table5() {
+  print_header("Table V — bug severity vs. detection under modified RABIT",
+               "RABIT (DSN'24), Table V");
+
+  std::map<Severity, int> totals;
+  std::map<Severity, int> detected;
+  std::map<Severity, std::string> ids_by_class;
+
+  for (const bugs::BugSpec& bug : bugs::bug_catalogue()) {
+    ++totals[bug.severity];
+    bugs::BugOutcome outcome = bugs::evaluate_bug(bug, core::Variant::Modified);
+    if (outcome.detected) ++detected[bug.severity];
+    std::string& list = ids_by_class[bug.severity];
+    if (!list.empty()) list += " ";
+    list += bug.id + (outcome.detected ? "+" : "-");
+  }
+
+  std::printf("%-52s %6s %9s  %s\n", "Severity of bugs", "Total", "Detected", "Bugs (+/-)");
+  print_rule();
+  const Severity order[] = {Severity::Low, Severity::MediumLow, Severity::MediumHigh,
+                            Severity::High};
+  const int paper_totals[] = {3, 1, 6, 6};
+  const int paper_detected[] = {1, 1, 4, 6};
+  int i = 0;
+  bool exact = true;
+  for (Severity s : order) {
+    std::printf("%-52s %6d %9d  %s\n", severity_label(s), totals[s], detected[s],
+                ids_by_class[s].c_str());
+    exact &= totals[s] == paper_totals[i] && detected[s] == paper_detected[i];
+    ++i;
+  }
+  print_rule();
+  std::printf("paper Table V:  3/1  1/1  6/4  6/6   => %s\n",
+              exact ? "EXACT MATCH" : "MISMATCH");
+}
+
+void BM_EvaluateOneBug(benchmark::State& state) {
+  const bugs::BugSpec& bug = bugs::bug_catalogue()[static_cast<std::size_t>(state.range(0))];
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bugs::evaluate_bug(bug, core::Variant::Modified));
+  }
+  state.SetLabel(bug.id);
+}
+BENCHMARK(BM_EvaluateOneBug)->Arg(0)->Arg(6)->Arg(12);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_table5();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,208 @@
+// Generalizing RABIT to the Berlinguette Lab (paper Section V-B): a
+// materials-science platform with a UR5e transfer arm, a dosing device, a
+// decapper, a spin coater, a spray station (hotplate + syringe pump +
+// ultrasonic nozzles) — every station categorized into RABIT's four device
+// types, with the general rulebase carrying over unchanged.
+//
+//   $ ./berlinguette_lab
+#include <cstdio>
+#include <memory>
+
+#include "core/engine.hpp"
+#include "devices/containers.hpp"
+#include "devices/robot_arm.hpp"
+#include "devices/stations.hpp"
+#include "sim/backend.hpp"
+#include "trace/trace.hpp"
+
+using namespace rabit;
+using geom::Aabb;
+using geom::Transform;
+using geom::Vec3;
+
+namespace {
+
+dev::Command make_cmd(std::string device, std::string action, json::Object args = {}) {
+  dev::Command c;
+  c.device = std::move(device);
+  c.action = std::move(action);
+  c.args = json::Value(std::move(args));
+  return c;
+}
+
+json::Object door(const char* state) {
+  json::Object o;
+  o["state"] = std::string(state);
+  return o;
+}
+
+json::Object site(const char* name) {
+  json::Object o;
+  o["site"] = std::string(name);
+  return o;
+}
+
+void build_berlinguette_deck(sim::LabBackend& backend) {
+  backend.add_static_obstacle("platform", Aabb(Vec3(-1.2, -1.2, -0.5), Vec3(1.2, 1.2, 0.02)),
+                              sim::ObstacleKind::Ground);
+  auto& reg = backend.registry();
+
+  // The central UR5e serving the multi-station platform.
+  auto& ur5e = dynamic_cast<dev::RobotArmDevice&>(reg.add(std::make_unique<dev::RobotArmDevice>(
+      "ur5e", kin::make_ur5e(Transform::translation(Vec3(0, 0, 0.02))),
+      dev::MotionPolicy::ThrowOnUnreachable)));
+  {
+    // Deck-safe named poses.
+    kin::IkResult home = ur5e.model().inverse(Vec3(0.3, 0.0, 0.5), ur5e.joints());
+    kin::IkResult sleep = ur5e.model().inverse(Vec3(0.25, 0.0, 0.2), ur5e.joints());
+    ur5e.set_named_pose("home", *home.joints);
+    ur5e.set_named_pose("sleep", *sleep.joints);
+    ur5e.commit_move(ur5e.plan_pose("home"), "home");
+  }
+
+  // Dosing system: a doored dosing device like the Hein Lab's.
+  reg.add(std::make_unique<dev::DosingDeviceModel>(
+      "dosing_device", Aabb::from_center(Vec3(0.0, 0.55, 0.12), Vec3(0.16, 0.16, 0.20))));
+  backend.add_site({"dosing_device", Vec3(0.0, 0.55, 0.10), "", "", "dosing_device"});
+
+  // Action device: the decapper (capping/uncapping actions).
+  reg.add(std::make_unique<dev::GenericActionDevice>(
+      "decapper", std::vector<dev::GenericActionDevice::ValueActionSpec>{},
+      /*has_door=*/false, Aabb::from_center(Vec3(0.45, 0.25, 0.08), Vec3(0.10, 0.10, 0.12))));
+  backend.add_site({"decapper", Vec3(0.45, 0.25, 0.16), "", "", "decapper"});
+
+  // Action device: the precursor-mixing station's spin coater (doored).
+  reg.add(std::make_unique<dev::GenericActionDevice>(
+      "spin_coater",
+      std::vector<dev::GenericActionDevice::ValueActionSpec>{
+          {"set_spin_speed", "spinRpm", "rpm", 8000.0}},
+      /*has_door=*/true, Aabb::from_center(Vec3(-0.45, 0.25, 0.08), Vec3(0.16, 0.16, 0.12))));
+  backend.add_site({"spin_coater", Vec3(-0.45, 0.25, 0.10), "", "", "spin_coater"});
+
+  // Spray-coating station: hotplate + syringe pump + ultrasonic nozzles.
+  reg.add(std::make_unique<dev::HotplateModel>(
+      "spray_hotplate", 340.0, 150.0,
+      Aabb::from_center(Vec3(-0.45, -0.25, 0.06), Vec3(0.12, 0.12, 0.08))));
+  backend.add_site({"spray_hotplate", Vec3(-0.45, -0.25, 0.16), "", "", "spray_hotplate"});
+  reg.add(std::make_unique<dev::SyringePumpModel>(
+      "spray_pump", 250.0, Aabb::from_center(Vec3(-0.2, -0.5, 0.10), Vec3(0.1, 0.1, 0.16))));
+  reg.add(std::make_unique<dev::GenericActionDevice>(
+      "ultrasonic_nozzle",
+      std::vector<dev::GenericActionDevice::ValueActionSpec>{
+          {"set_flow", "flowRate", "ml_per_min", 50.0}},
+      /*has_door=*/false, std::nullopt));
+
+  // The XRF microscope — "a set of multiple action devices" (Section V-B).
+  reg.add(std::make_unique<dev::GenericActionDevice>(
+      "xrf_source",
+      std::vector<dev::GenericActionDevice::ValueActionSpec>{
+          {"set_beam", "beamKv", "kv", 50.0}},
+      /*has_door=*/true, Aabb::from_center(Vec3(0.45, -0.25, 0.14), Vec3(0.18, 0.18, 0.24))));
+  backend.add_site({"xrf_source", Vec3(0.45, -0.25, 0.12), "", "", "xrf_source"});
+
+  // Vials on a staging rack.
+  auto& rack = dynamic_cast<dev::VialGrid&>(reg.add(std::make_unique<dev::VialGrid>(
+      "rack", std::vector<std::string>{"A", "B"},
+      Aabb::from_center(Vec3(0.3, 0.35, 0.04), Vec3(0.16, 0.10, 0.04)))));
+  reg.add(std::make_unique<dev::Vial>("vial_a", 20.0, 25.0, "rack.A"));
+  rack.place("A", "vial_a");
+  backend.add_site({"rack.A", Vec3(0.27, 0.35, 0.11), "rack", "A", ""});
+  backend.add_site({"rack.B", Vec3(0.33, 0.35, 0.11), "rack", "B", ""});
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== adapting RABIT to the Berlinguette Lab (Section V-B) ==\n\n");
+
+  sim::LabBackend backend(sim::production_profile());
+  build_berlinguette_deck(backend);
+
+  // Categorization report: the Section V-B exercise.
+  std::printf("device categorization into RABIT's four types:\n");
+  for (const dev::Device* d : backend.registry().all()) {
+    std::printf("  %-18s -> %s\n", d->id().c_str(),
+                std::string(dev::to_string(d->category())).c_str());
+  }
+
+  core::EngineConfig config = core::config_from_backend(backend, core::Variant::Modified);
+  core::RabitEngine engine(std::move(config));
+  trace::Supervisor supervisor(&engine, &backend);
+  supervisor.start();
+
+  // A thin-film preparation workflow: dose precursor, mix, spin coat.
+  std::printf("\nrunning a spin-coating workflow under the general rulebase...\n");
+  std::vector<dev::Command> workflow = {
+      make_cmd("vial_a", "decap"),
+      make_cmd("dosing_device", "set_door", door("open")),
+      make_cmd("ur5e", "pick_object", site("rack.A")),
+      make_cmd("ur5e", "place_object", site("dosing_device")),
+      make_cmd("ur5e", "go_home"),
+      make_cmd("dosing_device", "set_door", door("closed")),
+      make_cmd("dosing_device", "run_action",
+               [] {
+                 json::Object o;
+                 o["quantity"] = 8.0;
+                 return o;
+               }()),
+      make_cmd("dosing_device", "stop_action"),
+      make_cmd("dosing_device", "set_door", door("open")),
+      make_cmd("ur5e", "pick_object", site("dosing_device")),
+      make_cmd("spin_coater", "set_door", door("open")),
+      make_cmd("ur5e", "place_object", site("spin_coater")),
+      make_cmd("ur5e", "go_home"),
+      make_cmd("dosing_device", "set_door", door("closed")),
+      make_cmd("spin_coater", "set_door", door("closed")),
+      make_cmd("spin_coater", "set_spin_speed",
+               [] {
+                 json::Object o;
+                 o["rpm"] = 3000.0;
+                 return o;
+               }()),
+      make_cmd("spin_coater", "start"),
+      make_cmd("spin_coater", "stop"),
+  };
+  trace::RunReport report = supervisor.run(workflow);
+  std::printf("  commands: %zu, alerts: %zu, damage: %zu\n", report.steps.size(), report.alerts,
+              report.damage.size());
+
+  // The rules transfer: entering the spin coater with a closed door is G1,
+  // spinning with the door open is G9 — no new rules needed for this lab.
+  std::printf("\nunsafe attempts under the unchanged general rulebase:\n");
+  supervisor.start();
+  trace::SupervisedStep s1 = supervisor.step(make_cmd("ur5e", "pick_object", site("xrf_source")));
+  std::printf("  reach into the XRF source (door closed): %s\n",
+              s1.alert ? ("blocked by " + s1.alert->rule).c_str() : "NOT BLOCKED");
+
+  supervisor.start();
+  trace::SupervisedStep s2 = supervisor.step(make_cmd("spin_coater", "set_spin_speed", [] {
+    json::Object o;
+    o["rpm"] = 7000.0;
+    return o;
+  }()));
+  std::printf("  spin coater above the lab threshold   : %s\n",
+              s2.alert ? ("blocked by " + s2.alert->rule).c_str()
+                       : "NOT BLOCKED (add a custom threshold — see below)");
+
+  // The lab adds its own custom rule, exactly as the paper prescribes:
+  // a RABIT-level threshold below the firmware limit.
+  core::EngineConfig custom = core::config_from_backend(backend, core::Variant::Modified);
+  for (core::DeviceMeta& m : custom.devices) {
+    if (m.id == "spin_coater") m.thresholds.push_back({"set_spin_speed", "rpm", 5000.0});
+  }
+  core::RabitEngine engine2(std::move(custom));
+  trace::Supervisor supervisor2(&engine2, &backend);
+  supervisor2.start();
+  trace::SupervisedStep s3 = supervisor2.step(make_cmd("spin_coater", "set_spin_speed", [] {
+    json::Object o;
+    o["rpm"] = 7000.0;
+    return o;
+  }()));
+  std::printf("  same, after adding a custom threshold : %s\n",
+              s3.alert ? ("blocked by " + s3.alert->rule).c_str() : "NOT BLOCKED");
+
+  std::printf("\nconclusion (as in the paper): the four device types cover this lab's\n");
+  std::printf("stations, the general rules carry over, and lab-specific safety\n");
+  std::printf("practices become custom rules layered on top.\n");
+  return 0;
+}

@@ -1,0 +1,79 @@
+// The Fig. 5 / Fig. 6 bugs (A, B, C, D) replayed on the testbed under each
+// RABIT variant — a narrated version of the paper's uncontrolled
+// experiments, showing which middleware capability catches which bug.
+//
+//   $ ./buggy_workflows
+#include <cstdio>
+
+#include "bugs/bugs.hpp"
+#include "sim/deck.hpp"
+
+using namespace rabit;
+
+namespace {
+
+const bugs::BugSpec& by_id(const std::string& id) {
+  for (const bugs::BugSpec& b : bugs::bug_catalogue()) {
+    if (b.id == id) return b;
+  }
+  throw std::out_of_range("no bug " + id);
+}
+
+void show(const std::string& id) {
+  const bugs::BugSpec& bug = by_id(id);
+  std::printf("\n[%s] %s\n", bug.id.c_str(), bug.name.c_str());
+  std::printf("    %s\n", bug.description.c_str());
+  std::printf("    category: %s, severity: %s\n",
+              std::string(bugs::to_string(bug.category)).c_str(),
+              std::string(dev::to_string(bug.severity)).c_str());
+  for (core::Variant v :
+       {core::Variant::Initial, core::Variant::Modified, core::Variant::ModifiedWithSim}) {
+    bugs::BugOutcome outcome = bugs::evaluate_bug(bug, v);
+    std::printf("    %-13s: ", std::string(core::to_string(v)).c_str());
+    if (outcome.detected) {
+      std::printf("BLOCKED by rule %s before any damage\n", outcome.alert_rule.c_str());
+    } else if (outcome.damaged) {
+      std::printf("MISSED — ");
+      bool first = true;
+      for (const sim::DamageEvent& e : outcome.report.damage) {
+        if (!first) std::printf("; ");
+        first = false;
+        std::printf("%s", e.description.c_str());
+      }
+      std::printf("\n");
+    } else {
+      std::printf("no alert, no damage\n");
+    }
+  }
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== the introduced bugs of Section IV, replayed per RABIT variant ==\n");
+  std::printf("(initial = device cuboids only; modified = + platform/walls,\n");
+  std::printf(" held-object dimensions, multiplexing; modified+sim = + Extended\n");
+  std::printf(" Simulator trajectory replay)\n");
+
+  show("H1");   // Bug A
+  show("M1");   // Bug B
+  show("L2");   // Bug C
+  show("L3");   // Bug C variant: reordered gripper commands
+  show("M2");   // Bug D, empty hand
+  show("M3");   // Bug D, holding a vial
+  show("M4");   // footnote 2: silent skip
+  show("M6");   // the frame-misalignment blind spot
+
+  std::printf("\nsummary across the full 16-bug catalogue:\n");
+  for (core::Variant v :
+       {core::Variant::Initial, core::Variant::Modified, core::Variant::ModifiedWithSim}) {
+    int detected = 0;
+    for (const bugs::BugSpec& bug : bugs::bug_catalogue()) {
+      if (bugs::evaluate_bug(bug, v).detected) ++detected;
+    }
+    std::printf("  %-13s: %d/16 detected (%.0f%%)\n", std::string(core::to_string(v)).c_str(),
+                detected, detected * 100.0 / 16);
+  }
+  std::printf("paper: 8/16 (50%%), 12/16 (75%%), 13/16 (81%%)\n");
+  return 0;
+}

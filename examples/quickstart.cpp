@@ -1,0 +1,79 @@
+// Quickstart: configure a lab from JSON, run a safe workflow through RABIT,
+// then watch RABIT block one unsafe command.
+//
+//   $ ./quickstart
+#include <cstdio>
+
+#include "core/engine.hpp"
+#include "devices/robot_arm.hpp"
+#include "script/interp.hpp"
+#include "script/workflows.hpp"
+#include "sim/deck.hpp"
+#include "trace/trace.hpp"
+
+using namespace rabit;
+namespace ids = sim::deck_ids;
+
+int main() {
+  std::printf("== RABIT quickstart ==\n\n");
+
+  // 1. Build a lab. The standard Hein testbed deck has two arms (ViperX,
+  //    Ned2), five stations, a vial grid, and two vials.
+  sim::LabBackend backend(sim::testbed_profile());
+  sim::build_hein_testbed_deck(backend);
+  std::printf("deck: %zu devices, %zu named sites\n", backend.registry().size(),
+              backend.sites().size());
+
+  // 2. Describe the lab to RABIT. In a real deployment a researcher writes
+  //    the JSON configuration by hand (paper Section II-C); here we derive
+  //    it from the deck and round-trip it through the JSON layer to show
+  //    the format.
+  core::EngineConfig config = core::config_from_backend(backend, core::Variant::Modified);
+  json::Value config_doc = core::config_to_json(config);
+  auto issues = core::config_schema().validate(config_doc);
+  std::printf("configuration: %zu devices described, schema issues: %zu\n",
+              config.devices.size(), issues.size());
+  config = core::config_from_json(config_doc);  // what a researcher's file yields
+
+  // 3. Wire the RATracer-style supervisor: every command is checked by
+  //    RABIT before it reaches a device.
+  core::RabitEngine engine(std::move(config));
+  trace::Supervisor supervisor(&engine, &backend);
+  supervisor.start();
+
+  // 4. Run a safe experiment script.
+  script::SupervisorSink sink(&supervisor);
+  script::Interpreter interp(&sink);
+  interp.register_devices(backend.registry());
+  interp.set_global("locations", script::locations_table(backend));
+  try {
+    interp.run(script::testbed_workflow_source());
+    std::printf("\nsafe workflow: completed, %zu commands traced, %zu alerts, "
+                "%zu damage events\n",
+                supervisor.log().size(), engine.stats().precondition_alerts,
+                backend.damage_log().size());
+    std::printf("vial_1 now holds %.1f mg of solid at %s\n",
+                backend.vial(ids::kVial1).solid_mg(),
+                backend.vial(ids::kVial1).location().c_str());
+  } catch (const script::ExperimentHalted& e) {
+    std::printf("unexpected halt: %s\n", e.what());
+    return 1;
+  }
+
+  // 5. Now try something unsafe: drive ViperX into the dosing device while
+  //    its door is closed (the paper's Bug A). RABIT blocks it before the
+  //    device ever sees the command.
+  std::printf("\nissuing an unsafe command (move into a closed dosing device)...\n");
+  try {
+    interp.run(R"(
+      viperx.move_to(position=locations["dosing_device"]["viperx"]["pickup"])
+    )");
+    std::printf("ERROR: the unsafe command was not blocked!\n");
+    return 1;
+  } catch (const script::ExperimentHalted& e) {
+    std::printf("RABIT intervened: %s\n", e.what());
+  }
+  std::printf("damage events after the unsafe attempt: %zu (the crash was prevented)\n",
+              backend.damage_log().size());
+  return 0;
+}

@@ -1,0 +1,32 @@
+// Alerts raised by the RABIT engine (Fig. 2: "Output: Alert, if a safety
+// violation is detected").
+#pragma once
+
+#include <string>
+
+#include "devices/device.hpp"
+
+namespace rabit::core {
+
+/// The three alert paths of the Fig. 2 algorithm.
+enum class AlertKind {
+  InvalidCommand,     ///< precondition failed (lines 6-7)
+  InvalidTrajectory,  ///< simulator flagged the planned motion (lines 8-10)
+  DeviceMalfunction,  ///< S_actual != S_expected after execution (lines 14-15)
+};
+
+[[nodiscard]] std::string_view to_string(AlertKind k);
+
+struct Alert {
+  AlertKind kind = AlertKind::InvalidCommand;
+  /// Which rulebase entry fired: "G1".."G11" (Table III), "C1".."C4"
+  /// (Table IV), "M1"/"M2" (the §IV multiplexing additions), or "POST" for
+  /// malfunction alerts.
+  std::string rule;
+  std::string message;
+  dev::Command command;  ///< the command that triggered the alert
+
+  [[nodiscard]] std::string describe() const;
+};
+
+}  // namespace rabit::core

@@ -1,0 +1,129 @@
+#include "core/engine.hpp"
+
+#include <sstream>
+
+namespace rabit::core {
+
+std::string_view to_string(AlertKind k) {
+  switch (k) {
+    case AlertKind::InvalidCommand: return "Invalid Command!";
+    case AlertKind::InvalidTrajectory: return "Invalid trajectory!";
+    case AlertKind::DeviceMalfunction: return "Device malfunction!";
+  }
+  return "unknown";
+}
+
+std::string Alert::describe() const {
+  std::string out = "[" + std::string(to_string(kind)) + "]";
+  if (!rule.empty()) out += " rule " + rule;
+  out += ": " + message + " (command: " + command.describe() + ")";
+  return out;
+}
+
+RabitEngine::RabitEngine(EngineConfig config)
+    : config_(std::move(config)), tracker_(&config_) {}
+
+void RabitEngine::attach_simulator(sim::ExtendedSimulator* simulator) {
+  simulator_ = simulator;
+}
+
+void RabitEngine::initialize(const dev::LabStateSnapshot& observed) {
+  tracker_.initialize(observed);
+  stats_ = Stats{};
+  base_overhead_s_ = 0.0;
+}
+
+namespace {
+
+/// Rewrites aliased command names to their canonical action (the §V-C
+/// multiple-commands-per-action extension): the rulebase and tracker only
+/// ever reason about canonical names.
+dev::Command canonicalize(const EngineConfig& config, const dev::Command& cmd) {
+  const DeviceMeta* meta = config.find_device(cmd.device);
+  if (meta == nullptr) return cmd;
+  std::string_view canonical = meta->canonical_action(cmd.action);
+  if (canonical == cmd.action) return cmd;
+  dev::Command rewritten = cmd;
+  rewritten.action = std::string(canonical);
+  return rewritten;
+}
+
+}  // namespace
+
+std::optional<Alert> RabitEngine::check_command(const dev::Command& raw) {
+  ++stats_.commands_checked;
+  base_overhead_s_ += kBaseCheckCost_s;
+  dev::Command cmd = canonicalize(config_, raw);
+
+  // Lines 6-7: precondition validation against the tracked state.
+  if (auto hit = check_preconditions(config_, tracker_, cmd)) {
+    ++stats_.precondition_alerts;
+    return Alert{AlertKind::InvalidCommand, hit->rule, hit->message, cmd};
+  }
+
+  // Lines 8-10: trajectory replay when a simulator is available. Without
+  // one, only the target location was checked (already done above via G3).
+  if (simulator_ != nullptr && config_.variant == Variant::ModifiedWithSim &&
+      is_motion_command(cmd)) {
+    if (auto motion = analyze_motion(config_, tracker_, cmd)) {
+      ++stats_.trajectory_checks;
+      sim::PathCheckOptions ignore_opts;  // ignores applied inside the sim call
+      (void)ignore_opts;
+      // Deliberate-entry boxes must not be treated as obstacles here either.
+      std::vector<sim::NamedBox> removed;
+      sim::WorldModel& world = simulator_->world();
+      for (auto it = world.boxes.begin(); it != world.boxes.end();) {
+        bool ignored = std::find(motion->ignores.begin(), motion->ignores.end(), it->name) !=
+                       motion->ignores.end();
+        if (ignored) {
+          removed.push_back(*it);
+          it = world.boxes.erase(it);
+        } else {
+          ++it;
+        }
+      }
+      // The simulator polls the robot's real position when it can (URSim
+      // style); RABIT's tracked position is only the fallback. This is what
+      // catches a preceding silently-skipped move (footnote 2).
+      std::vector<geom::Vec3> waypoints = motion->waypoints;
+      if (auto actual = simulator_->polled_arm_position(motion->arm_id)) {
+        waypoints.front() = *actual;
+      }
+      std::optional<sim::CollisionReport> hit;
+      for (std::size_t i = 1; i < waypoints.size() && !hit; ++i) {
+        hit = simulator_->validate_trajectory(waypoints[i - 1], waypoints[i],
+                                              motion->held_clearance);
+      }
+      for (sim::NamedBox& b : removed) world.boxes.push_back(std::move(b));
+      if (hit) {
+        ++stats_.trajectory_alerts;
+        return Alert{AlertKind::InvalidTrajectory, "SIM",
+                     motion->arm_id + " trajectory unsafe: " + hit->describe(), cmd};
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+void RabitEngine::apply_expected(const dev::Command& cmd) {
+  tracker_.apply_postconditions(canonicalize(config_, cmd));
+}
+
+std::optional<Alert> RabitEngine::verify_postconditions(const dev::Command& cmd,
+                                                        const dev::LabStateSnapshot& observed) {
+  std::vector<std::string> diffs = tracker_.mismatches(observed);
+  tracker_.resync(observed);  // line 16, unconditionally
+  if (diffs.empty()) return std::nullopt;
+
+  ++stats_.malfunction_alerts;
+  std::ostringstream os;
+  os << "state diverged from expectation at:";
+  for (const std::string& d : diffs) os << " " << d;
+  return Alert{AlertKind::DeviceMalfunction, "POST", os.str(), cmd};
+}
+
+double RabitEngine::modeled_overhead_s() const {
+  return base_overhead_s_ + (simulator_ != nullptr ? simulator_->modeled_latency_s() : 0.0);
+}
+
+}  // namespace rabit::core

@@ -1,0 +1,157 @@
+#include "devices/containers.hpp"
+
+#include <algorithm>
+
+namespace rabit::dev {
+
+Vial::Vial(std::string id, double capacity_mg, double capacity_ml, std::string initial_location)
+    : Device(std::move(id), DeviceCategory::Container) {
+  if (capacity_mg <= 0 || capacity_ml <= 0) {
+    throw std::invalid_argument("Vial: capacities must be positive");
+  }
+  set_var("hasStopper", 0);
+  set_var("solidMg", 0.0);
+  set_var("liquidMl", 0.0);
+  set_var("capacityMg", capacity_mg);
+  set_var("capacityMl", capacity_ml);
+  set_var("location", std::move(initial_location));
+  set_var("broken", 0);
+  set_var("spilledMg", 0.0);
+  set_var("spilledMl", 0.0);
+
+  register_action("decap", [this](const json::Value&) { set_stopper(false); });
+  register_action("recap", [this](const json::Value&) { set_stopper(true); });
+  register_action("add_solid",
+                  [this](const json::Value& args) { add_solid(require_number(args, "amount")); });
+  register_action("add_liquid", [this](const json::Value& args) {
+    add_liquid(require_number(args, "volume"));
+  });
+}
+
+void Vial::add_solid(double amount_mg) {
+  if (amount_mg < 0) throw DeviceError(DeviceError::Code::BadArgument, "negative solid amount");
+  if (is_broken() || has_stopper()) {
+    // Material lands on the stopper or the bench: all of it is wasted.
+    var("spilledMg") = var("spilledMg").as_double() + amount_mg;
+    note_hazard("solid spilled (" + std::to_string(amount_mg) + " mg wasted)", Severity::Low);
+    return;
+  }
+  double capacity = var("capacityMg").as_double();
+  double current = solid_mg();
+  double accepted = std::min(amount_mg, capacity - current);
+  double overflow = amount_mg - accepted;
+  var("solidMg") = current + accepted;
+  if (overflow > 0) {
+    var("spilledMg") = var("spilledMg").as_double() + overflow;
+    note_hazard("vial overfilled, solid spilled (" + std::to_string(overflow) + " mg wasted)",
+                Severity::Low);
+  }
+}
+
+void Vial::add_liquid(double volume_ml) {
+  if (volume_ml < 0) throw DeviceError(DeviceError::Code::BadArgument, "negative liquid volume");
+  if (is_broken() || has_stopper()) {
+    var("spilledMl") = var("spilledMl").as_double() + volume_ml;
+    note_hazard("liquid spilled (" + std::to_string(volume_ml) + " mL wasted)", Severity::Low);
+    return;
+  }
+  double capacity = var("capacityMl").as_double();
+  double current = liquid_ml();
+  double accepted = std::min(volume_ml, capacity - current);
+  double overflow = volume_ml - accepted;
+  var("liquidMl") = current + accepted;
+  if (overflow > 0) {
+    var("spilledMl") = var("spilledMl").as_double() + overflow;
+    note_hazard("vial overfilled, liquid spilled (" + std::to_string(overflow) + " mL wasted)",
+                Severity::Low);
+  }
+}
+
+double Vial::draw_liquid(double volume_ml) {
+  if (volume_ml < 0) throw DeviceError(DeviceError::Code::BadArgument, "negative draw volume");
+  if (has_stopper()) return 0.0;  // nothing can come out through a stopper
+  double available = liquid_ml();
+  double drawn = std::min(volume_ml, available);
+  var("liquidMl") = available - drawn;
+  return drawn;
+}
+
+double Vial::draw_solid(double amount_mg) {
+  if (amount_mg < 0) throw DeviceError(DeviceError::Code::BadArgument, "negative draw amount");
+  if (has_stopper()) return 0.0;
+  double available = solid_mg();
+  double drawn = std::min(amount_mg, available);
+  var("solidMg") = available - drawn;
+  return drawn;
+}
+
+void Vial::set_stopper(bool on) { var("hasStopper") = on ? 1 : 0; }
+
+void Vial::set_location(std::string location) { var("location") = std::move(location); }
+
+void Vial::shatter(std::string_view cause) {
+  if (is_broken()) return;
+  var("broken") = 1;
+  var("spilledMg") = var("spilledMg").as_double() + solid_mg();
+  var("spilledMl") = var("spilledMl").as_double() + liquid_ml();
+  var("solidMg") = 0.0;
+  var("liquidMl") = 0.0;
+  note_hazard("vial shattered (" + std::string(cause) + "), contents lost",
+              Severity::MediumLow);
+}
+
+void Vial::spill_contents(std::string_view cause) {
+  if (is_empty()) return;
+  var("spilledMg") = var("spilledMg").as_double() + solid_mg();
+  var("spilledMl") = var("spilledMl").as_double() + liquid_ml();
+  var("solidMg") = 0.0;
+  var("liquidMl") = 0.0;
+  note_hazard("contents spilled (" + std::string(cause) + ")", Severity::Low);
+}
+
+// ---------------------------------------------------------------------------
+// VialGrid
+// ---------------------------------------------------------------------------
+
+VialGrid::VialGrid(std::string id, std::vector<std::string> slot_names,
+                   const geom::Aabb& footprint)
+    : Device(std::move(id), DeviceCategory::Container), footprint_(footprint) {
+  if (slot_names.empty()) throw std::invalid_argument("VialGrid: need at least one slot");
+  json::Object slots;
+  for (std::string& name : slot_names) slots[name] = std::string();
+  set_var("slots", json::Value(std::move(slots)));
+}
+
+std::string VialGrid::occupant(std::string_view slot) const {
+  const json::Value* v = var("slots").as_object().find(slot);
+  if (v == nullptr) {
+    throw DeviceError(DeviceError::Code::BadArgument,
+                      id() + ": unknown slot '" + std::string(slot) + "'");
+  }
+  return v->as_string();
+}
+
+void VialGrid::place(std::string_view slot, std::string vial_id) {
+  if (!occupant(slot).empty()) {
+    // Two vials in one slot: the incoming one smashes into the occupant.
+    note_hazard("vial placed onto occupied slot '" + std::string(slot) + "', glass broken",
+                Severity::MediumLow);
+  }
+  var("slots").as_object()[slot] = std::move(vial_id);
+}
+
+void VialGrid::remove(std::string_view slot) {
+  static_cast<void>(occupant(slot));  // validates the slot name
+  var("slots").as_object()[slot] = std::string();
+}
+
+std::vector<std::string> VialGrid::slots() const {
+  std::vector<std::string> out;
+  for (const auto& [name, value] : var("slots").as_object()) {
+    (void)value;
+    out.push_back(name);
+  }
+  return out;
+}
+
+}  // namespace rabit::dev

@@ -1,0 +1,79 @@
+// Container devices: vials and the grid that holds them (paper §II-A type 1:
+// "any object that can contain a substance and typically has a stopper").
+#pragma once
+
+#include "devices/device.hpp"
+
+namespace rabit::dev {
+
+/// A vial: holds solid (mg) and liquid (mL), may carry a stopper. Overfilling
+/// or transferring through a stopper spills material — a ground-truth hazard
+/// of the paper's "Low" severity class (wasted chemicals).
+///
+/// State variables:
+///   hasStopper   (0/1)
+///   solidMg      (double)
+///   liquidMl     (double)
+///   capacityMg   (double, constant)
+///   capacityMl   (double, constant)
+///   location     (string: a deck location name or "arm:<robot-id>")
+///   broken       (0/1)
+///   spilledMg    (double, cumulative waste)
+///   spilledMl    (double, cumulative waste)
+class Vial : public Device {
+ public:
+  Vial(std::string id, double capacity_mg, double capacity_ml, std::string initial_location);
+
+  /// Adds solid; amount above capacity (or all of it, through a stopper or
+  /// once broken) spills.
+  void add_solid(double amount_mg);
+  void add_liquid(double volume_ml);
+
+  /// Removes up to the requested amount; returns what actually came out.
+  double draw_liquid(double volume_ml);
+  double draw_solid(double amount_mg);
+
+  void set_stopper(bool on);
+  [[nodiscard]] bool has_stopper() const { return var("hasStopper").as_int() == 1; }
+  [[nodiscard]] double solid_mg() const { return var("solidMg").as_double(); }
+  [[nodiscard]] double liquid_ml() const { return var("liquidMl").as_double(); }
+  [[nodiscard]] bool is_empty() const { return solid_mg() <= 0.0 && liquid_ml() <= 0.0; }
+  [[nodiscard]] bool is_broken() const { return var("broken").as_int() == 1; }
+
+  [[nodiscard]] const std::string& location() const { return var("location").as_string(); }
+  void set_location(std::string location);
+
+  /// Shatters the vial (dropped or crushed); contents spill.
+  void shatter(std::string_view cause);
+
+  /// Contents fly out without breaking the glass (e.g. centrifuged or shaken
+  /// without a stopper).
+  void spill_contents(std::string_view cause);
+
+  /// A vial is passive glassware: it has no electronics, so status commands
+  /// report nothing. RABIT must track vial state purely symbolically.
+  [[nodiscard]] StateMap observed_state() const override { return {}; }
+};
+
+/// A vial grid: a passive rack occupying deck space. Slots map slot name to
+/// the id of the vial sitting there ("" when free).
+class VialGrid : public Device {
+ public:
+  VialGrid(std::string id, std::vector<std::string> slot_names, const geom::Aabb& footprint);
+
+  [[nodiscard]] std::optional<geom::Aabb> footprint() const override { return footprint_; }
+
+  /// Id of the vial in `slot`, or empty when free. Throws on unknown slot.
+  [[nodiscard]] std::string occupant(std::string_view slot) const;
+  void place(std::string_view slot, std::string vial_id);
+  void remove(std::string_view slot);
+  [[nodiscard]] std::vector<std::string> slots() const;
+
+  /// A rack has no sensors either.
+  [[nodiscard]] StateMap observed_state() const override { return {}; }
+
+ private:
+  geom::Aabb footprint_;
+};
+
+}  // namespace rabit::dev

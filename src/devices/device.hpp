@@ -1,0 +1,230 @@
+// rabit::dev — simulated lab devices.
+//
+// The paper's production deck (§II) has a lab computer, a six-axis robot arm
+// and five automation devices: a solid dosing device, an automated syringe
+// pump, a centrifuge, a thermoshaker, and a hotplate. RABIT classifies every
+// device into one of four types — Container, Robot Arm, Dosing System, Action
+// Device — each fully described by named state variables that actions mutate.
+//
+// This module provides the device base class (state variables, action
+// dispatch, firmware-style limits, fault injection for the malfunction-
+// detection path of Fig. 2 lines 13-15) and the command/state vocabulary
+// shared by the tracer, the backends, and the RABIT engine.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "geometry/geometry.hpp"
+#include "geometry/solid.hpp"
+#include "json/json.hpp"
+
+namespace rabit::dev {
+
+/// The four device types of paper §II-A.
+enum class DeviceCategory { Container, RobotArm, DosingSystem, ActionDevice };
+
+[[nodiscard]] std::string_view to_string(DeviceCategory c);
+[[nodiscard]] std::optional<DeviceCategory> parse_device_category(std::string_view name);
+
+/// One intercepted device command: the unit RABIT reasons about (Fig. 2's
+/// a_next). Args are a JSON object so heterogeneous devices share one shape.
+struct Command {
+  std::string device;  ///< target device id
+  std::string action;  ///< action label, e.g. "move_to", "set_door"
+  json::Value args;    ///< JSON object of named arguments
+
+  /// 1-based script line that issued the command; 0 when synthetic. Alerts
+  /// carry this so researchers can find the offending statement.
+  int source_line = 0;
+
+  [[nodiscard]] std::string describe() const;
+};
+
+/// Named state variables fully describing a device (paper §II-A), e.g.
+/// deviceDoorStatus, robotArmHolding.
+using StateMap = std::map<std::string, json::Value, std::less<>>;
+
+/// Snapshot of every device's state: RABIT's S_current / S_expected /
+/// S_actual in the Fig. 2 algorithm.
+using LabStateSnapshot = std::map<std::string, StateMap, std::less<>>;
+
+/// Variables differing between two snapshots, as "device.var" strings.
+[[nodiscard]] std::vector<std::string> diff(const LabStateSnapshot& a, const LabStateSnapshot& b);
+
+/// Raised when a device's own firmware refuses a command (paper §I: e.g. the
+/// hotplate's built-in safe temperature limit). These checks exist *below*
+/// RABIT and keep working alongside it.
+class DeviceError : public std::runtime_error {
+ public:
+  enum class Code { UnknownAction, BadArgument, FirmwareRejected, InvalidState };
+
+  DeviceError(Code code, const std::string& message)
+      : std::runtime_error(message), code_(code) {}
+
+  [[nodiscard]] Code code() const { return code_; }
+
+ private:
+  Code code_;
+};
+
+/// Forced divergence between a device's true state and what its status
+/// command reports, plus actions that silently fail — both model the
+/// "device malfunction" cases Fig. 2 lines 13-15 detect.
+struct FaultPlan {
+  /// Status command reports these values regardless of the true state.
+  StateMap reported_overrides;
+  /// These actions are accepted but have no physical effect.
+  std::vector<std::string> dead_actions;
+
+  [[nodiscard]] bool is_dead(std::string_view action) const;
+};
+
+/// Damage severity taxonomy of the paper's Table V.
+enum class Severity {
+  Low,         ///< wasted chemical materials (e.g. spilled solid)
+  MediumLow,   ///< breakage of glassware
+  MediumHigh,  ///< harm to platform, walls, grids, or another cheap arm
+  High,        ///< breaking expensive lab equipment
+};
+
+[[nodiscard]] std::string_view to_string(Severity s);
+
+/// A physically undesirable event that actually happened inside a device
+/// (spilled solid, broken glass door, ...). Hazards are ground truth: the
+/// evaluation scores RABIT by whether an alert fired *before* the hazard.
+struct Hazard {
+  std::string device;
+  std::string description;
+  Severity severity = Severity::Low;
+};
+
+/// Base class for every simulated device.
+class Device {
+ public:
+  Device(std::string id, DeviceCategory category);
+  virtual ~Device() = default;
+
+  Device(const Device&) = delete;
+  Device& operator=(const Device&) = delete;
+
+  [[nodiscard]] const std::string& id() const { return id_; }
+  [[nodiscard]] DeviceCategory category() const { return category_; }
+
+  /// The device's true state (ground truth; tests and the physical scene use
+  /// this).
+  [[nodiscard]] const StateMap& state() const { return state_; }
+
+  /// What the device's status command reports — the paper's FetchState()
+  /// input. Diverges from state() under an active fault plan; devices with
+  /// unsensed variables (e.g. a gripper without a pressure sensor) override
+  /// this to omit them.
+  [[nodiscard]] virtual StateMap observed_state() const;
+
+  /// Executes an action, updating state. Throws DeviceError on firmware
+  /// rejection or unknown actions. Dead actions (fault plan) return silently.
+  void execute(const Command& cmd);
+
+  /// Actions this device accepts.
+  [[nodiscard]] std::vector<std::string> actions() const;
+
+  /// The device's physical footprint as a cuboid in lab coordinates, when it
+  /// occupies space on the deck (containers riding in a grid do not).
+  [[nodiscard]] virtual std::optional<geom::Aabb> footprint() const { return std::nullopt; }
+
+  /// A refined (non-cuboid) shape, when the cuboid is a poor fit (§V-C:
+  /// hemispherical centrifuge, bumped thermoshaker). Its bounding box must
+  /// equal footprint(). Defaults to "the cuboid is exact".
+  [[nodiscard]] virtual std::optional<geom::Solid> shape() const { return std::nullopt; }
+
+  void set_fault_plan(FaultPlan plan) { fault_ = std::move(plan); }
+  void clear_fault_plan() { fault_ = FaultPlan{}; }
+  [[nodiscard]] const FaultPlan& fault_plan() const { return fault_; }
+
+  /// Returns and clears hazards accumulated since the last call. Backends
+  /// drain this after every command.
+  [[nodiscard]] std::vector<Hazard> take_hazards();
+
+ protected:
+  using Handler = std::function<void(const json::Value& args)>;
+
+  /// Registers an action handler; called from derived-class constructors.
+  void register_action(std::string name, Handler handler);
+
+  /// Records a ground-truth hazard (also callable by backends for
+  /// cross-device physics like arm/door collisions).
+ public:
+  void note_hazard(std::string description, Severity severity = Severity::Low);
+
+ protected:
+  /// Direct state access for derived classes.
+  [[nodiscard]] json::Value& var(std::string_view name);
+  [[nodiscard]] const json::Value& var(std::string_view name) const;
+  void set_var(std::string_view name, json::Value value);
+
+  /// Argument helpers (throw DeviceError::BadArgument on absence/mismatch).
+  [[nodiscard]] static double require_number(const json::Value& args, std::string_view key);
+  [[nodiscard]] static std::string require_string(const json::Value& args, std::string_view key);
+
+ private:
+  std::string id_;
+  DeviceCategory category_;
+  StateMap state_;
+  std::map<std::string, Handler, std::less<>> handlers_;
+  FaultPlan fault_;
+  std::vector<Hazard> hazards_;
+};
+
+/// Owns all devices of a lab; the single source a backend and RABIT query.
+class DeviceRegistry {
+ public:
+  /// Adds a device; throws std::invalid_argument on duplicate id. Returns a
+  /// reference to the stored device.
+  Device& add(std::unique_ptr<Device> device);
+
+  [[nodiscard]] Device* find(std::string_view id);
+  [[nodiscard]] const Device* find(std::string_view id) const;
+
+  /// Throws std::out_of_range when absent.
+  [[nodiscard]] Device& at(std::string_view id);
+  [[nodiscard]] const Device& at(std::string_view id) const;
+
+  [[nodiscard]] std::size_t size() const { return devices_.size(); }
+
+  /// Stable iteration in insertion order.
+  [[nodiscard]] std::vector<Device*> all();
+  [[nodiscard]] std::vector<const Device*> all() const;
+
+  /// Full lab snapshot from every device's status command (FetchState()).
+  [[nodiscard]] LabStateSnapshot fetch_observed_state() const;
+
+  /// Full ground-truth snapshot.
+  [[nodiscard]] LabStateSnapshot fetch_true_state() const;
+
+ private:
+  std::vector<std::unique_ptr<Device>> devices_;
+};
+
+/// Named deck locations (the hardcoded coordinate tables of Fig. 6).
+class LocationTable {
+ public:
+  void add(std::string name, const geom::Vec3& position);
+  [[nodiscard]] const geom::Vec3* find(std::string_view name) const;
+  [[nodiscard]] const geom::Vec3& at(std::string_view name) const;
+  [[nodiscard]] bool contains(std::string_view name) const { return find(name) != nullptr; }
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+  [[nodiscard]] const std::vector<std::pair<std::string, geom::Vec3>>& entries() const {
+    return entries_;
+  }
+
+ private:
+  std::vector<std::pair<std::string, geom::Vec3>> entries_;
+};
+
+}  // namespace rabit::dev

@@ -1,0 +1,318 @@
+// The automation stations of the Hein Lab deck (paper §II): solid dosing
+// device, automated syringe pump, hotplate, centrifuge, thermoshaker — plus
+// config-driven generic devices used when adapting RABIT to a new lab
+// (paper §V-B, the Berlinguette Lab).
+//
+// Stations expose their own firmware-level checks (which exist below RABIT
+// and stay enabled during evaluation, §IV) and record ground-truth hazards.
+// Cross-device physics — substance transfer into a vial, a door hitting an
+// arm — is the backend's job; stations only manage their local state.
+#pragma once
+
+#include "devices/device.hpp"
+
+namespace rabit::dev {
+
+/// Common door handling for stations with a software-controlled door.
+/// Door status is "open", "closed", or "broken" (after a collision).
+class DoorMixin {
+ public:
+  virtual ~DoorMixin() = default;
+  [[nodiscard]] virtual std::string door_status() const = 0;
+  virtual void break_door() = 0;
+};
+
+/// Solid dosing device (paper Fig. 1): doses powder into a vial placed
+/// inside; has a fragile software-controlled glass door.
+///
+/// State: doorStatus, running (0/1), containerInside (vial id or ""),
+/// pendingDoseMg (requested by the last run_action, consumed by the backend
+/// when it performs the physical transfer).
+class DosingDeviceModel : public Device, public DoorMixin {
+ public:
+  DosingDeviceModel(std::string id, const geom::Aabb& footprint);
+
+  [[nodiscard]] std::optional<geom::Aabb> footprint() const override { return footprint_; }
+
+  [[nodiscard]] std::string door_status() const override {
+    return var("doorStatus").as_string();
+  }
+  void break_door() override;
+
+  [[nodiscard]] bool running() const { return var("running").as_int() == 1; }
+  [[nodiscard]] const std::string& container_inside() const {
+    return var("containerInside").as_string();
+  }
+  void set_container_inside(std::string vial_id);
+
+  /// Dose requested by the most recent run_action; reading resets it to 0.
+  [[nodiscard]] double take_pending_dose_mg();
+
+  /// No sensor detects a vial in the chamber, and the pending dose is an
+  /// internal bookkeeping variable, so neither is reported by status.
+  [[nodiscard]] StateMap observed_state() const override {
+    StateMap out = Device::observed_state();
+    out.erase("containerInside");
+    out.erase("pendingDoseMg");
+    return out;
+  }
+
+ private:
+  geom::Aabb footprint_;
+};
+
+/// Automated syringe pump: draws solvent from its reservoir, then dispenses
+/// into a target container (the transfer itself is backend physics).
+///
+/// State: reservoirMl, heldMl, pendingDispenseMl, pendingTarget.
+class SyringePumpModel : public Device {
+ public:
+  SyringePumpModel(std::string id, double reservoir_ml, const geom::Aabb& footprint);
+
+  [[nodiscard]] std::optional<geom::Aabb> footprint() const override { return footprint_; }
+
+  [[nodiscard]] double reservoir_ml() const { return var("reservoirMl").as_double(); }
+  [[nodiscard]] double held_ml() const { return var("heldMl").as_double(); }
+
+  /// Volume and target of the most recent dose_solvent; reading resets them.
+  struct PendingDispense {
+    double volume_ml = 0.0;
+    std::string target;
+  };
+  [[nodiscard]] PendingDispense take_pending_dispense();
+
+  /// Removes up to `volume` from the held syringe content; returns the
+  /// amount actually available (backend calls this during the transfer).
+  double drain_held(double volume_ml);
+
+  /// Pending-dispense bookkeeping is internal, not reported by status.
+  [[nodiscard]] StateMap observed_state() const override {
+    StateMap out = Device::observed_state();
+    out.erase("pendingDispenseMl");
+    out.erase("pendingTarget");
+    return out;
+  }
+
+ private:
+  geom::Aabb footprint_;
+};
+
+/// Hotplate with magnetic stirrer. Firmware enforces an absolute temperature
+/// limit (paper §I: "the hotplate allows setting a safe temperature limit");
+/// RABIT's rule 11 threshold is typically configured *below* it.
+///
+/// State: targetC, stirRpm, active, containerOn.
+class HotplateModel : public Device {
+ public:
+  HotplateModel(std::string id, double firmware_limit_c, double hazard_threshold_c,
+                const geom::Aabb& footprint);
+
+  [[nodiscard]] std::optional<geom::Aabb> footprint() const override { return footprint_; }
+
+  [[nodiscard]] double target_c() const { return var("targetC").as_double(); }
+  [[nodiscard]] bool active() const { return var("active").as_int() == 1; }
+  [[nodiscard]] const std::string& container_on() const { return var("containerOn").as_string(); }
+  void set_container_on(std::string vial_id);
+  [[nodiscard]] double firmware_limit_c() const { return firmware_limit_c_; }
+
+  /// The plate cannot sense whether a vial stands on it.
+  [[nodiscard]] StateMap observed_state() const override {
+    StateMap out = Device::observed_state();
+    out.erase("containerOn");
+    return out;
+  }
+
+ private:
+  double firmware_limit_c_;
+  double hazard_threshold_c_;
+  geom::Aabb footprint_;
+};
+
+/// Centrifuge with a door and a rotor platter whose loading port is marked
+/// by a red dot; loading is only safe with the red dot facing North (the
+/// Hein Lab's custom rule 3, Table IV).
+///
+/// State: doorStatus, spinning, redDot ("N"/"E"/"S"/"W"), containerInside.
+class CentrifugeModel : public Device, public DoorMixin {
+ public:
+  CentrifugeModel(std::string id, const geom::Aabb& footprint);
+
+  [[nodiscard]] std::optional<geom::Aabb> footprint() const override { return footprint_; }
+
+  /// "A centrifuge resembles a hemisphere more than a cuboid" (§V-A): a
+  /// cylindrical base topped by a dome, fitted inside the cuboid footprint.
+  [[nodiscard]] std::optional<geom::Solid> shape() const override;
+
+  [[nodiscard]] std::string door_status() const override {
+    return var("doorStatus").as_string();
+  }
+  void break_door() override;
+
+  [[nodiscard]] bool spinning() const { return var("spinning").as_int() == 1; }
+  [[nodiscard]] const std::string& red_dot() const { return var("redDot").as_string(); }
+  [[nodiscard]] const std::string& container_inside() const {
+    return var("containerInside").as_string();
+  }
+  void set_container_inside(std::string vial_id);
+
+  /// No sensor detects the container.
+  [[nodiscard]] StateMap observed_state() const override {
+    StateMap out = Device::observed_state();
+    out.erase("containerInside");
+    return out;
+  }
+
+ private:
+  geom::Aabb footprint_;
+};
+
+/// Thermoshaker: heats and shakes a vial seated in its block.
+///
+/// State: targetC, shakeRpm, active, containerInside.
+class ThermoshakerModel : public Device {
+ public:
+  ThermoshakerModel(std::string id, double firmware_limit_c, const geom::Aabb& footprint);
+
+  [[nodiscard]] std::optional<geom::Aabb> footprint() const override { return footprint_; }
+
+  /// "The thermoshaker has a bump at the top" (§V-A): a low body with a
+  /// narrower block on top, fitted inside the cuboid footprint.
+  [[nodiscard]] std::optional<geom::Solid> shape() const override;
+
+  [[nodiscard]] bool active() const { return var("active").as_int() == 1; }
+  [[nodiscard]] double shake_rpm() const { return var("shakeRpm").as_double(); }
+  [[nodiscard]] const std::string& container_inside() const {
+    return var("containerInside").as_string();
+  }
+  void set_container_inside(std::string vial_id);
+
+  /// No sensor detects the container.
+  [[nodiscard]] StateMap observed_state() const override {
+    StateMap out = Device::observed_state();
+    out.erase("containerInside");
+    return out;
+  }
+
+ private:
+  double firmware_limit_c_;
+  geom::Aabb footprint_;
+};
+
+/// Config-driven action device for new labs (paper §V-B): named value
+/// actions with optional firmware thresholds, optional door, start/stop.
+/// Covers the Berlinguette decapper, spin coater, spray nozzles, and XRF
+/// stations without writing a new C++ class per device.
+class GenericActionDevice : public Device, public DoorMixin {
+ public:
+  struct ValueActionSpec {
+    std::string action;                     ///< e.g. "set_spin_speed"
+    std::string variable;                   ///< state variable it sets
+    std::string argument;                   ///< argument name, e.g. "rpm"
+    std::optional<double> firmware_max;     ///< firmware rejection threshold
+  };
+
+  GenericActionDevice(std::string id, std::vector<ValueActionSpec> value_actions, bool has_door,
+                      std::optional<geom::Aabb> footprint);
+
+  /// The configured value actions (so RABIT's config can mirror them).
+  [[nodiscard]] const std::vector<ValueActionSpec>& value_actions() const {
+    return value_actions_;
+  }
+
+  [[nodiscard]] std::optional<geom::Aabb> footprint() const override { return footprint_; }
+
+  [[nodiscard]] bool has_door() const { return has_door_; }
+  [[nodiscard]] std::string door_status() const override;
+  void break_door() override;
+
+  [[nodiscard]] bool active() const { return var("active").as_int() == 1; }
+  [[nodiscard]] const std::string& container_inside() const {
+    return var("containerInside").as_string();
+  }
+  void set_container_inside(std::string vial_id);
+
+  /// No sensor detects the container.
+  [[nodiscard]] StateMap observed_state() const override {
+    StateMap out = Device::observed_state();
+    out.erase("containerInside");
+    return out;
+  }
+
+ private:
+  bool has_door_;
+  std::optional<geom::Aabb> footprint_;
+  std::vector<ValueActionSpec> value_actions_;
+};
+
+/// A station with several independently actuated doors (§V-C: "Devices
+/// might have multiple doors, for instance, for two robot arms to approach
+/// the device simultaneously. In its current state, RABIT does not handle
+/// this."). Each door guards one approach side, given as a horizontal unit
+/// direction from the station's center; an arm entering from a side needs
+/// *that* side's door open.
+///
+/// State: door_<name> ("open"/"closed"/"broken") per door, active,
+/// containerInside.
+class MultiDoorStation : public Device {
+ public:
+  struct DoorSpec {
+    std::string name;                ///< e.g. "north"
+    geom::Vec3 approach_direction;   ///< horizontal unit vector, center -> side
+  };
+
+  MultiDoorStation(std::string id, std::vector<DoorSpec> doors, const geom::Aabb& footprint);
+
+  [[nodiscard]] std::optional<geom::Aabb> footprint() const override { return footprint_; }
+
+  [[nodiscard]] const std::vector<DoorSpec>& doors() const { return doors_; }
+  [[nodiscard]] std::string door_status(std::string_view door) const;
+  void break_door(std::string_view door);
+
+  /// The door guarding an approach from `from_lab` (largest dot product of
+  /// the horizontal offset with the doors' directions).
+  [[nodiscard]] const DoorSpec& door_facing(const geom::Vec3& from_lab) const;
+
+  [[nodiscard]] bool active() const { return var("active").as_int() == 1; }
+  [[nodiscard]] const std::string& container_inside() const {
+    return var("containerInside").as_string();
+  }
+  void set_container_inside(std::string vial_id);
+
+  /// No sensor detects the container.
+  [[nodiscard]] StateMap observed_state() const override {
+    StateMap out = Device::observed_state();
+    out.erase("containerInside");
+    return out;
+  }
+
+ private:
+  [[nodiscard]] static std::string door_var(std::string_view door) {
+    return "door_" + std::string(door);
+  }
+
+  std::vector<DoorSpec> doors_;
+  geom::Aabb footprint_;
+};
+
+/// A human-proximity sensor (§V-B: the Berlinguette Lab used safety sensors
+/// before abandoning them over false alarms; the paper suggests treating
+/// "sensors as a new device class" so RABIT can respond to them). The sensor
+/// watches a zone; while it reports occupied, RABIT's S1 rule forbids arm
+/// targets inside that zone. Unlike grippers, the sensor IS observable —
+/// that is its entire purpose.
+///
+/// State: occupied (0/1).
+class ProximitySensor : public Device {
+ public:
+  ProximitySensor(std::string id, const geom::Aabb& zone);
+
+  [[nodiscard]] const geom::Aabb& zone() const { return zone_; }
+  [[nodiscard]] bool occupied() const { return var("occupied").as_int() == 1; }
+  /// Ground-truth input: a person stepping into / out of the zone.
+  void set_occupied(bool occupied);
+
+ private:
+  geom::Aabb zone_;
+};
+
+}  // namespace rabit::dev

@@ -1,0 +1,122 @@
+#include "geometry/solid.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace rabit::geom {
+
+Solid Solid::box(const Aabb& b) { return Solid(Data(b), b); }
+
+Solid Solid::vertical_cylinder(const Vec3& base_center, double radius, double height) {
+  if (radius <= 0 || height <= 0) {
+    throw std::invalid_argument("Solid::vertical_cylinder: radius and height must be positive");
+  }
+  Aabb bounds(base_center - Vec3(radius, radius, 0),
+              base_center + Vec3(radius, radius, height));
+  return Solid(Data(CylinderData{base_center, radius, height}), bounds);
+}
+
+Solid Solid::hemisphere(const Vec3& dome_base_center, double radius) {
+  if (radius <= 0) throw std::invalid_argument("Solid::hemisphere: radius must be positive");
+  Aabb bounds(dome_base_center - Vec3(radius, radius, 0),
+              dome_base_center + Vec3(radius, radius, radius));
+  return Solid(Data(HemisphereData{dome_base_center, radius}), bounds);
+}
+
+Solid Solid::compound(std::vector<Solid> parts) {
+  if (parts.empty()) throw std::invalid_argument("Solid::compound: needs at least one part");
+  Aabb bounds = parts.front().bounding_box();
+  for (const Solid& s : parts) bounds = bounds.united(s.bounding_box());
+  return Solid(Data(std::make_shared<const std::vector<Solid>>(std::move(parts))), bounds);
+}
+
+Solid::Kind Solid::kind() const {
+  switch (data_.index()) {
+    case 0: return Kind::Box;
+    case 1: return Kind::Cylinder;
+    case 2: return Kind::Hemisphere;
+    default: return Kind::Compound;
+  }
+}
+
+const Aabb& Solid::as_box() const {
+  if (const Aabb* b = std::get_if<Aabb>(&data_)) return *b;
+  throw std::logic_error("Solid::as_box on a non-box solid");
+}
+
+const Solid::CylinderData& Solid::as_cylinder() const {
+  if (const auto* c = std::get_if<CylinderData>(&data_)) return *c;
+  throw std::logic_error("Solid::as_cylinder on a non-cylinder solid");
+}
+
+const Solid::HemisphereData& Solid::as_hemisphere() const {
+  if (const auto* h = std::get_if<HemisphereData>(&data_)) return *h;
+  throw std::logic_error("Solid::as_hemisphere on a non-hemisphere solid");
+}
+
+const std::vector<Solid>& Solid::as_compound() const {
+  if (const auto* p = std::get_if<Parts>(&data_)) return **p;
+  throw std::logic_error("Solid::as_compound on a non-compound solid");
+}
+
+bool Solid::contains(const Vec3& p) const {
+  return std::visit(
+      [&](const auto& data) -> bool {
+        using T = std::decay_t<decltype(data)>;
+        if constexpr (std::is_same_v<T, Aabb>) {
+          return data.contains(p);
+        } else if constexpr (std::is_same_v<T, CylinderData>) {
+          if (p.z < data.base_center.z || p.z > data.base_center.z + data.height) return false;
+          double dx = p.x - data.base_center.x;
+          double dy = p.y - data.base_center.y;
+          return dx * dx + dy * dy <= data.radius * data.radius;
+        } else if constexpr (std::is_same_v<T, HemisphereData>) {
+          if (p.z < data.dome_base_center.z) return false;
+          return p.distance_to(data.dome_base_center) <= data.radius;
+        } else {  // compound
+          for (const Solid& part : *data) {
+            if (part.contains(p)) return true;
+          }
+          return false;
+        }
+      },
+      data_);
+}
+
+bool Solid::intersects_box(const Aabb& box) const {
+  return std::visit(
+      [&](const auto& data) -> bool {
+        using T = std::decay_t<decltype(data)>;
+        if constexpr (std::is_same_v<T, Aabb>) {
+          return data.intersects(box);
+        } else if constexpr (std::is_same_v<T, CylinderData>) {
+          // z slabs must overlap; then the closest point of the box's xy
+          // rectangle to the axis must lie within the radius.
+          if (box.max.z < data.base_center.z || box.min.z > data.base_center.z + data.height) {
+            return false;
+          }
+          double qx = std::clamp(data.base_center.x, box.min.x, box.max.x);
+          double qy = std::clamp(data.base_center.y, box.min.y, box.max.y);
+          double dx = qx - data.base_center.x;
+          double dy = qy - data.base_center.y;
+          return dx * dx + dy * dy <= data.radius * data.radius;
+        } else if constexpr (std::is_same_v<T, HemisphereData>) {
+          // Exact: the closest point of (box ∩ half-space z >= base) to the
+          // dome center must lie within the radius.
+          if (box.max.z < data.dome_base_center.z) return false;
+          Vec3 clipped_min(box.min.x, box.min.y,
+                           std::max(box.min.z, data.dome_base_center.z));
+          Aabb clipped(clipped_min, box.max);
+          return clipped.distance_to(data.dome_base_center) <= data.radius;
+        } else {  // compound
+          for (const Solid& part : *data) {
+            if (part.intersects_box(box)) return true;
+          }
+          return false;
+        }
+      },
+      data_);
+}
+
+}  // namespace rabit::geom

@@ -1,0 +1,73 @@
+// Non-cuboid solids — the paper's §V-C open challenge.
+//
+// Pilot-study participant P: "the shape of many devices do not comply with
+// RABIT's cuboid specification. For example, a centrifuge resembles a
+// hemisphere more than a cuboid and the thermoshaker has a bump at the top.
+// They suggested that incorporating more detailed shape descriptions would
+// enhance RABIT's flexibility." This module adds exactly that: boxes,
+// vertical cylinders, hemispherical domes, and compounds of them, with the
+// point-containment and box-intersection queries the collision checker needs.
+#pragma once
+
+#include <memory>
+#include <variant>
+#include <vector>
+
+#include "geometry/geometry.hpp"
+
+namespace rabit::geom {
+
+/// A closed solid region of space. Value type; compounds share their parts.
+class Solid {
+ public:
+  /// An axis-aligned box (the paper's default cuboid description).
+  [[nodiscard]] static Solid box(const Aabb& b);
+
+  /// A vertical (z-axis) cylinder standing on `base_center`.
+  [[nodiscard]] static Solid vertical_cylinder(const Vec3& base_center, double radius,
+                                               double height);
+
+  /// The upper half-ball of radius `radius` sitting on the horizontal plane
+  /// through `dome_base_center` (a centrifuge dome).
+  [[nodiscard]] static Solid hemisphere(const Vec3& dome_base_center, double radius);
+
+  /// The union of several solids (a body with a bump).
+  [[nodiscard]] static Solid compound(std::vector<Solid> parts);
+
+  [[nodiscard]] bool contains(const Vec3& p) const;
+
+  /// Exact intersection test against an axis-aligned box.
+  [[nodiscard]] bool intersects_box(const Aabb& box) const;
+
+  /// Tightest axis-aligned bound (what the cuboid approximation would use).
+  [[nodiscard]] const Aabb& bounding_box() const { return bounds_; }
+
+  enum class Kind { Box, Cylinder, Hemisphere, Compound };
+  [[nodiscard]] Kind kind() const;
+
+  /// Introspection for serialization. Only valid for the matching kind.
+  struct CylinderData {
+    Vec3 base_center;
+    double radius;
+    double height;
+  };
+  struct HemisphereData {
+    Vec3 dome_base_center;
+    double radius;
+  };
+  [[nodiscard]] const Aabb& as_box() const;
+  [[nodiscard]] const CylinderData& as_cylinder() const;
+  [[nodiscard]] const HemisphereData& as_hemisphere() const;
+  [[nodiscard]] const std::vector<Solid>& as_compound() const;
+
+ private:
+  using Parts = std::shared_ptr<const std::vector<Solid>>;
+  using Data = std::variant<Aabb, CylinderData, HemisphereData, Parts>;
+
+  explicit Solid(Data data, Aabb bounds) : data_(std::move(data)), bounds_(bounds) {}
+
+  Data data_;
+  Aabb bounds_;
+};
+
+}  // namespace rabit::geom

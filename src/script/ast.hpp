@@ -1,0 +1,114 @@
+// AST for the lab-script DSL.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace rabit::script {
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+/// One call argument. Device commands require named arguments (mirroring the
+/// keyword-argument style of the paper's Python wrappers); user functions
+/// take positional ones.
+struct CallArg {
+  std::string name;  ///< empty for positional
+  ExprPtr value;
+};
+
+struct NumberLit {
+  double value;
+};
+struct StringLit {
+  std::string value;
+};
+struct BoolLit {
+  bool value;
+};
+struct NullLit {};
+struct Ident {
+  std::string name;
+};
+struct ListLit {
+  std::vector<ExprPtr> items;
+};
+struct Unary {
+  std::string op;  ///< "-" or "not"
+  ExprPtr operand;
+};
+struct Binary {
+  std::string op;  ///< + - * / % == != < <= > >= and or
+  ExprPtr lhs;
+  ExprPtr rhs;
+};
+/// f(args) — user-defined or builtin function.
+struct Call {
+  std::string callee;
+  std::vector<CallArg> args;
+};
+/// base.method(args) — a device command when base names a device.
+struct MethodCall {
+  ExprPtr base;
+  std::string method;
+  std::vector<CallArg> args;
+};
+/// base[index] — list indexing (number) or object lookup (string).
+struct Index {
+  ExprPtr base;
+  ExprPtr index;
+};
+
+struct Expr {
+  int line = 0;
+  std::variant<NumberLit, StringLit, BoolLit, NullLit, Ident, ListLit, Unary, Binary, Call,
+               MethodCall, Index>
+      node;
+};
+
+struct Stmt;
+using StmtPtr = std::unique_ptr<Stmt>;
+using Block = std::vector<StmtPtr>;
+
+struct LetStmt {
+  std::string name;
+  ExprPtr value;
+};
+struct AssignStmt {
+  std::string name;
+  ExprPtr value;
+};
+struct ExprStmt {
+  ExprPtr expr;
+};
+struct DefStmt {
+  std::string name;
+  std::vector<std::string> params;
+  std::shared_ptr<Block> body;  ///< shared so closures can outlive the AST
+};
+struct IfStmt {
+  ExprPtr condition;
+  Block then_branch;
+  Block else_branch;
+};
+struct WhileStmt {
+  ExprPtr condition;
+  Block body;
+};
+struct ReturnStmt {
+  ExprPtr value;  ///< may be null for bare `return`
+};
+
+struct Stmt {
+  int line = 0;
+  std::variant<LetStmt, AssignStmt, ExprStmt, DefStmt, IfStmt, WhileStmt, ReturnStmt> node;
+};
+
+struct Program {
+  Block statements;
+};
+
+}  // namespace rabit::script

@@ -1,0 +1,125 @@
+#include "script/lexer.hpp"
+
+#include <cctype>
+
+namespace rabit::script {
+
+namespace {
+
+bool is_keyword(const std::string& word) {
+  static const char* kKeywords[] = {"let",    "def",  "if",  "else", "while", "return",
+                                    "true",   "false", "null", "and",  "or",    "not"};
+  for (const char* k : kKeywords) {
+    if (word == k) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::vector<Token> tokenize(std::string_view source) {
+  std::vector<Token> tokens;
+  std::size_t i = 0;
+  int line = 1;
+
+  auto peek = [&](std::size_t offset = 0) -> char {
+    return i + offset < source.size() ? source[i + offset] : '\0';
+  };
+
+  while (i < source.size()) {
+    char c = source[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (c == ' ' || c == '\t' || c == '\r') {
+      ++i;
+      continue;
+    }
+    if (c == '#') {  // comment to end of line
+      while (i < source.size() && source[i] != '\n') ++i;
+      continue;
+    }
+
+    if (std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_') {
+      std::size_t start = i;
+      while (i < source.size() && (std::isalnum(static_cast<unsigned char>(source[i])) != 0 ||
+                                   source[i] == '_')) {
+        ++i;
+      }
+      std::string word(source.substr(start, i - start));
+      tokens.push_back(Token{is_keyword(word) ? TokenKind::Keyword : TokenKind::Identifier,
+                             std::move(word), 0.0, line});
+      continue;
+    }
+
+    if (std::isdigit(static_cast<unsigned char>(c)) != 0 ||
+        (c == '.' && std::isdigit(static_cast<unsigned char>(peek(1))) != 0)) {
+      std::size_t start = i;
+      while (i < source.size() && (std::isdigit(static_cast<unsigned char>(source[i])) != 0 ||
+                                   source[i] == '.' || source[i] == 'e' || source[i] == 'E' ||
+                                   ((source[i] == '+' || source[i] == '-') && i > start &&
+                                    (source[i - 1] == 'e' || source[i - 1] == 'E')))) {
+        ++i;
+      }
+      std::string text(source.substr(start, i - start));
+      Token t{TokenKind::Number, text, 0.0, line};
+      try {
+        t.number = std::stod(text);
+      } catch (const std::exception&) {
+        throw ScriptError("malformed number '" + text + "'", line);
+      }
+      tokens.push_back(std::move(t));
+      continue;
+    }
+
+    if (c == '"' || c == '\'') {
+      char quote = c;
+      ++i;
+      std::string value;
+      while (i < source.size() && source[i] != quote) {
+        if (source[i] == '\n') throw ScriptError("unterminated string", line);
+        if (source[i] == '\\' && i + 1 < source.size()) {
+          ++i;
+          switch (source[i]) {
+            case 'n': value.push_back('\n'); break;
+            case 't': value.push_back('\t'); break;
+            case '\\': value.push_back('\\'); break;
+            case '"': value.push_back('"'); break;
+            case '\'': value.push_back('\''); break;
+            default: throw ScriptError("bad escape in string", line);
+          }
+          ++i;
+          continue;
+        }
+        value.push_back(source[i]);
+        ++i;
+      }
+      if (i >= source.size()) throw ScriptError("unterminated string", line);
+      ++i;  // closing quote
+      tokens.push_back(Token{TokenKind::String, std::move(value), 0.0, line});
+      continue;
+    }
+
+    // Two-character operators first.
+    if ((c == '=' || c == '!' || c == '<' || c == '>') && peek(1) == '=') {
+      tokens.push_back(Token{TokenKind::Punct, std::string{c, '='}, 0.0, line});
+      i += 2;
+      continue;
+    }
+    static const std::string kSingles = "(){}[],.=<>+-*/%";
+    if (kSingles.find(c) != std::string::npos) {
+      tokens.push_back(Token{TokenKind::Punct, std::string(1, c), 0.0, line});
+      ++i;
+      continue;
+    }
+
+    throw ScriptError(std::string("unexpected character '") + c + "'", line);
+  }
+
+  tokens.push_back(Token{TokenKind::EndOfFile, "", 0.0, line});
+  return tokens;
+}
+
+}  // namespace rabit::script

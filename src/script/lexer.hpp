@@ -1,0 +1,49 @@
+// Lexer for the lab-script DSL.
+//
+// The paper's experiment scripts are Python programs over thin device
+// wrappers (Fig. 1b, Fig. 5). This repository substitutes a small imperative
+// scripting language with the same shape: device method calls with named
+// arguments, helper function definitions, conditionals and loops. RABIT only
+// ever sees the resulting command stream, so any front end with these
+// constructs exercises the same middleware paths.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace rabit::script {
+
+enum class TokenKind {
+  Identifier,
+  Number,
+  String,
+  Keyword,  // let def if else while return true false null and or not in
+  Punct,    // ( ) { } [ ] , . = == != < <= > >= + - * / %
+  EndOfFile,
+};
+
+struct Token {
+  TokenKind kind = TokenKind::EndOfFile;
+  std::string text;
+  double number = 0.0;  ///< valid when kind == Number
+  int line = 0;         ///< 1-based source line
+};
+
+class ScriptError : public std::runtime_error {
+ public:
+  ScriptError(const std::string& message, int line)
+      : std::runtime_error("script error at line " + std::to_string(line) + ": " + message),
+        line_(line) {}
+  [[nodiscard]] int line() const { return line_; }
+
+ private:
+  int line_;
+};
+
+/// Tokenizes a complete script. '#' starts a line comment. Throws
+/// ScriptError on malformed input.
+[[nodiscard]] std::vector<Token> tokenize(std::string_view source);
+
+}  // namespace rabit::script

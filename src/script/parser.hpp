@@ -1,0 +1,13 @@
+// Recursive-descent parser for the lab-script DSL.
+#pragma once
+
+#include "script/ast.hpp"
+#include "script/lexer.hpp"
+
+namespace rabit::script {
+
+/// Parses a complete script. Throws ScriptError with a line number on any
+/// syntax problem.
+[[nodiscard]] Program parse(std::string_view source);
+
+}  // namespace rabit::script

@@ -1,0 +1,151 @@
+#include "script/workflows.hpp"
+
+#include "devices/robot_arm.hpp"
+#include "script/interp.hpp"
+
+namespace rabit::script {
+
+json::Value locations_table(const sim::LabBackend& backend, double safe_lift) {
+  json::Object table;
+  for (const sim::SiteBinding& site : backend.sites()) {
+    json::Object per_arm;
+    for (const dev::Device* d : backend.registry().all()) {
+      const auto* arm = dynamic_cast<const dev::RobotArmDevice*>(d);
+      if (arm == nullptr) continue;
+      geom::Vec3 pickup = arm->to_local(site.lab_position);
+      geom::Vec3 safe = pickup + geom::Vec3(0, 0, safe_lift);
+      json::Object coords;
+      coords["pickup"] = json::Array{pickup.x, pickup.y, pickup.z};
+      coords["safe"] = json::Array{safe.x, safe.y, safe.z};
+      per_arm[arm->id()] = std::move(coords);
+    }
+    table[site.name] = std::move(per_arm);
+  }
+  return json::Value(std::move(table));
+}
+
+std::string helpers_source() {
+  // The `workflow_utils` of Fig. 5: pick-up and place helpers over primitive
+  // move and gripper commands. A bug inside these definitions (e.g. the
+  // reordered gripper commands of §IV category 3) silently changes every
+  // workflow that calls them.
+  return R"SCRIPT(
+def arm_pick_up(arm, safe, grab) {
+    arm.move_to(position=safe)
+    arm.open_gripper()
+    arm.move_to(position=grab)
+    arm.close_gripper()
+    arm.move_to(position=safe)
+}
+
+def arm_place(arm, safe, grab) {
+    arm.move_to(position=safe)
+    arm.move_to(position=grab)
+    arm.open_gripper()
+    arm.move_to(position=safe)
+}
+)SCRIPT";
+}
+
+std::string testbed_workflow_source() {
+  // The safe workflow of Fig. 5: ViperX doses vial_1 with solid at the
+  // dosing device, parks, and Ned2 relocates the vial on the grid.
+  return helpers_source() + R"SCRIPT(
+# Set vial locations (per-arm frames, as in the Fig. 6 utilities file)
+let viperx_grid   = locations["grid.NW"]["viperx"]
+let viperx_dosing = locations["dosing_device"]["viperx"]
+let ned2_grid_nw  = locations["grid.NW"]["ned2"]
+let ned2_grid_sw  = locations["grid.SW"]["ned2"]
+
+# Start workflow
+dosing_device.set_door(state="open")
+vial_1.decap()
+viperx.go_home()
+
+arm_pick_up(viperx, viperx_grid["safe"], viperx_grid["pickup"])
+arm_place(viperx, viperx_dosing["safe"], viperx_dosing["pickup"])
+viperx.go_home()
+
+dosing_device.set_door(state="closed")
+dosing_device.run_action(delay=3, quantity=5)
+dosing_device.stop_action(delay=0)
+dosing_device.set_door(state="open")
+
+arm_pick_up(viperx, viperx_dosing["safe"], viperx_dosing["pickup"])
+arm_place(viperx, viperx_grid["safe"], viperx_grid["pickup"])
+
+dosing_device.set_door(state="closed")
+viperx.go_home()
+viperx.go_sleep()
+
+arm_pick_up(ned2, ned2_grid_nw["safe"], ned2_grid_nw["pickup"])
+arm_place(ned2, ned2_grid_sw["safe"], ned2_grid_sw["pickup"])
+ned2.go_sleep()
+)SCRIPT";
+}
+
+std::string solubility_workflow_source() {
+  // Fig. 1(b): automated solubility measurement on the production deck.
+  return R"SCRIPT(
+# dose solid into the vial
+dosing_device.set_door(state="open")
+vial_1.decap()
+ur3e.pick_object(site="grid.NW")
+ur3e.place_object(site="dosing_device")
+ur3e.go_home()
+dosing_device.set_door(state="closed")
+dosing_device.run_action(delay=3, quantity=5)
+dosing_device.stop_action(delay=0)
+dosing_device.set_door(state="open")
+ur3e.pick_object(site="dosing_device")
+ur3e.place_object(site="hotplate")
+ur3e.go_home()
+dosing_device.set_door(state="closed")
+
+# dose initial solvent and stir
+syringe_pump.draw_solvent(volume=2)
+syringe_pump.dose_solvent(volume=2, target=vial_1)
+hotplate.stir(rpm=400)
+let solubility = camera.measure_solubility(target=vial_1)
+
+# keep adding solvent until the solid dissolves
+while (solubility < 0.95) {
+    syringe_pump.draw_solvent(volume=1)
+    syringe_pump.dose_solvent(volume=1, target=vial_1)
+    hotplate.stir(rpm=400)
+    solubility = camera.measure_solubility(target=vial_1)
+}
+
+hotplate.stop()
+ur3e.pick_object(site="hotplate")
+ur3e.place_object(site="grid.NW")
+ur3e.go_home()
+)SCRIPT";
+}
+
+namespace {
+
+/// Recording sink that answers measurement commands as "fully dissolved" so
+/// feedback loops unroll to their shortest form.
+class UnrollingSink : public RecordingSink {
+ public:
+  json::Value on_command(const dev::Command& cmd) override {
+    RecordingSink::on_command(cmd);
+    if (cmd.action == "measure_solubility") return json::Value(1.0);
+    return json::Value();
+  }
+};
+
+}  // namespace
+
+std::vector<dev::Command> record_workflow(const sim::LabBackend& backend,
+                                          const std::string& source) {
+  UnrollingSink sink;
+  Interpreter interp(&sink);
+  interp.register_devices(backend.registry());
+  interp.set_global("locations", locations_table(backend));
+  interp.run(source);
+  return sink.take();
+}
+
+}  // namespace rabit::script

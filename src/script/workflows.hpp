@@ -1,0 +1,47 @@
+// Canonical experiment workflows, written in the lab-script DSL.
+//
+// These mirror the paper's scripts: the automated solubility measurement of
+// Fig. 1(b) (production deck, composite pick/place commands, a measurement-
+// driven dosing loop) and the testbed workflow of Fig. 5 (primitive move and
+// gripper commands through helper functions, per-arm coordinate tables as in
+// the Fig. 6 utilities file).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "devices/device.hpp"
+#include "json/json.hpp"
+#include "sim/backend.hpp"
+
+namespace rabit::script {
+
+/// Builds the Fig. 6-style hardcoded locations table for `backend`: for
+/// every site and every arm, the site's coordinates in that arm's own frame
+/// ("pickup") plus a raised approach point ("safe"). Structure:
+///   { "<site>": { "<arm>": { "pickup": [x,y,z], "safe": [x,y,z] } } }
+[[nodiscard]] json::Value locations_table(const sim::LabBackend& backend,
+                                          double safe_lift = 0.22);
+
+/// Shared helper functions (the `workflow_utils` of Fig. 5): primitive
+/// pick-up / place sequences over move and gripper commands.
+[[nodiscard]] std::string helpers_source();
+
+/// The safe testbed workflow of Fig. 5: ViperX doses vial_1 at the dosing
+/// device using primitives, parks, then Ned2 retrieves the vial. Expects the
+/// globals `locations` (from locations_table) and registered devices
+/// viperx/ned2/dosing_device/vial_1.
+[[nodiscard]] std::string testbed_workflow_source();
+
+/// The Fig. 1(b) automated solubility measurement on the production deck:
+/// dose solid, add solvent until dissolved (camera feedback loop), stir,
+/// return the vial. Uses composite pick_object/place_object commands.
+[[nodiscard]] std::string solubility_workflow_source();
+
+/// Convenience: interprets a workflow with a RecordingSink against
+/// `backend`'s devices and returns the linear command stream (workflows with
+/// measurement feedback unroll with measurements reading as dissolved).
+[[nodiscard]] std::vector<dev::Command> record_workflow(const sim::LabBackend& backend,
+                                                        const std::string& source);
+
+}  // namespace rabit::script

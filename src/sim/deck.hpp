@@ -1,0 +1,55 @@
+// Standard deck builders: the Hein Lab production deck (Fig. 1a) and the
+// low-fidelity testbed deck (Fig. 4). Tests, examples, and benches share
+// these so every experiment runs against the same geometry.
+#pragma once
+
+#include "sim/backend.hpp"
+
+namespace rabit::sim {
+
+/// Ids used by the standard decks.
+namespace deck_ids {
+inline constexpr const char* kUr3e = "ur3e";
+inline constexpr const char* kViperX = "viperx";
+inline constexpr const char* kNed2 = "ned2";
+inline constexpr const char* kGrid = "grid";
+inline constexpr const char* kDosingDevice = "dosing_device";
+inline constexpr const char* kSyringePump = "syringe_pump";
+inline constexpr const char* kHotplate = "hotplate";
+inline constexpr const char* kCentrifuge = "centrifuge";
+inline constexpr const char* kThermoshaker = "thermoshaker";
+inline constexpr const char* kCamera = "camera";
+inline constexpr const char* kVial1 = "vial_1";
+inline constexpr const char* kVial2 = "vial_2";
+}  // namespace deck_ids
+
+/// Populates `backend` with the Hein production deck: one UR3e, the five
+/// automation stations, a 2x2 vial grid (slots NW/NE/SW/SE), two vials
+/// (vial_1 at grid.NW, vial_2 at grid.SE), ground, platform, and walls.
+void build_hein_production_deck(LabBackend& backend);
+
+/// Populates `backend` with the testbed deck: ViperX and Ned2 (separate
+/// coordinate frames), cardboard-mockup stations at the same sites, vials,
+/// and the same static geometry.
+void build_hein_testbed_deck(LabBackend& backend);
+
+/// A world model mirroring the deck for the Extended Simulator / RABIT's
+/// target checks. Flags control fidelity — RABIT's detection gaps in §IV
+/// came precisely from what the configured model left out.
+struct DeckModelOptions {
+  bool include_devices = true;
+  bool include_ground_and_walls = true;  ///< V1 lacked these (platform/walls)
+  bool include_grid = true;
+  /// Use refined device shapes instead of cuboids (the §V-C extension).
+  bool refined_shapes = false;
+};
+[[nodiscard]] WorldModel deck_world_model(const LabBackend& backend,
+                                          const DeckModelOptions& options = {});
+
+/// JSON describing the same world (what a researcher would hand-write for
+/// the Extended Simulator; round-trips through
+/// ExtendedSimulator::world_from_json).
+[[nodiscard]] json::Value deck_world_json(const LabBackend& backend,
+                                          const DeckModelOptions& options = {});
+
+}  // namespace rabit::sim

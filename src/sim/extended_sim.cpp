@@ -1,0 +1,80 @@
+#include "sim/extended_sim.hpp"
+
+namespace rabit::sim {
+
+namespace {
+
+ObstacleKind kind_from_name(const std::string& name) {
+  if (name == "ground") return ObstacleKind::Ground;
+  if (name == "wall") return ObstacleKind::Wall;
+  if (name == "grid") return ObstacleKind::Grid;
+  if (name == "equipment") return ObstacleKind::Equipment;
+  if (name == "vial") return ObstacleKind::Vial;
+  if (name == "soft_wall") return ObstacleKind::SoftWall;
+  if (name == "parked_arm") return ObstacleKind::ParkedArm;
+  throw std::runtime_error("ExtendedSimulator: unknown obstacle kind '" + name + "'");
+}
+
+geom::Vec3 vec3_from_json(const json::Value& v, const char* what) {
+  if (!v.is_array() || v.as_array().size() != 3) {
+    throw std::runtime_error(std::string("ExtendedSimulator: ") + what +
+                             " must be an array of 3 numbers");
+  }
+  const json::Array& a = v.as_array();
+  return geom::Vec3(a[0].as_double(), a[1].as_double(), a[2].as_double());
+}
+
+}  // namespace
+
+ExtendedSimulator::ExtendedSimulator(WorldModel world, Options options)
+    : world_(std::move(world)), options_(options) {
+  if (options_.polling_step_m <= 0) {
+    throw std::invalid_argument("ExtendedSimulator: polling step must be positive");
+  }
+}
+
+WorldModel ExtendedSimulator::world_from_json(const json::Value& config) {
+  WorldModel world;
+  const json::Value* objects = config.find("objects");
+  if (objects == nullptr || !objects->is_array()) {
+    throw std::runtime_error("ExtendedSimulator: config needs an 'objects' array");
+  }
+  for (const json::Value& obj : objects->as_array()) {
+    if (!obj.is_object()) throw std::runtime_error("ExtendedSimulator: object must be a map");
+    const json::Value* name = obj.find("name");
+    const json::Value* center = obj.find("center");
+    const json::Value* size = obj.find("size");
+    if (name == nullptr || !name->is_string() || center == nullptr || size == nullptr) {
+      throw std::runtime_error("ExtendedSimulator: object needs name/center/size");
+    }
+    ObstacleKind kind = kind_from_name(obj.get_or("kind", std::string("equipment")));
+    world.add_box(name->as_string(),
+                  geom::Aabb::from_center(vec3_from_json(*center, "center"),
+                                          vec3_from_json(*size, "size")),
+                  kind);
+  }
+  return world;
+}
+
+void ExtendedSimulator::charge_latency() {
+  ++checks_;
+  modeled_latency_s_ += options_.gui_enabled ? options_.gui_latency_s
+                                             : options_.headless_latency_s;
+}
+
+std::optional<CollisionReport> ExtendedSimulator::validate_trajectory(const geom::Vec3& start,
+                                                                      const geom::Vec3& goal,
+                                                                      double held_clearance) {
+  charge_latency();
+  PathCheckOptions opts;
+  opts.step = options_.polling_step_m;
+  return check_path(world_, start, goal, held_clearance, opts);
+}
+
+std::optional<CollisionReport> ExtendedSimulator::validate_target(const geom::Vec3& target,
+                                                                  double held_clearance) {
+  charge_latency();
+  return check_point(world_, target, held_clearance);
+}
+
+}  // namespace rabit::sim

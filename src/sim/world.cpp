@@ -1,0 +1,131 @@
+#include "sim/world.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace rabit::sim {
+
+std::string_view to_string(ObstacleKind k) {
+  switch (k) {
+    case ObstacleKind::Ground: return "ground";
+    case ObstacleKind::Wall: return "wall";
+    case ObstacleKind::Grid: return "grid";
+    case ObstacleKind::Equipment: return "equipment";
+    case ObstacleKind::Vial: return "vial";
+    case ObstacleKind::SoftWall: return "soft_wall";
+    case ObstacleKind::ParkedArm: return "parked_arm";
+  }
+  return "unknown";
+}
+
+void WorldModel::add_box(std::string name, const geom::Aabb& box, ObstacleKind kind) {
+  boxes.push_back(NamedBox{std::move(name), box, kind, std::nullopt});
+}
+
+void WorldModel::add_solid(std::string name, geom::Solid solid, ObstacleKind kind) {
+  geom::Aabb bounds = solid.bounding_box();
+  boxes.push_back(NamedBox{std::move(name), bounds, kind, std::move(solid)});
+}
+
+const NamedBox* WorldModel::find_box(std::string_view name) const {
+  for (const NamedBox& b : boxes) {
+    if (b.name == name) return &b;
+  }
+  return nullptr;
+}
+
+const NamedBox* WorldModel::box_containing(const geom::Vec3& p) const {
+  for (const NamedBox& b : boxes) {
+    if (b.contains(p)) return &b;
+  }
+  return nullptr;
+}
+
+std::string CollisionReport::describe() const {
+  std::ostringstream os;
+  if (arm_vs_arm) {
+    os << "collision with robot arm '" << obstacle << "'";
+  } else {
+    os << "collision with " << to_string(kind) << " '" << obstacle << "'";
+  }
+  if (via_held_object) os << " via held object";
+  os << " at " << position;
+  return os.str();
+}
+
+namespace {
+
+bool is_ignored(const PathCheckOptions& options, const std::string& name) {
+  return std::find(options.ignore.begin(), options.ignore.end(), name) != options.ignore.end();
+}
+
+/// Checks a single tip sample against the world.
+std::optional<CollisionReport> check_sample(const WorldModel& world, const geom::Vec3& tip,
+                                            double held_clearance,
+                                            const PathCheckOptions& options) {
+  // The volume occupied by a held object: a slim box hanging below the tip.
+  std::optional<geom::Aabb> held_box;
+  if (held_clearance > 0) {
+    held_box = geom::Aabb(
+        tip - geom::Vec3(options.held_half_width, options.held_half_width, held_clearance),
+        tip + geom::Vec3(options.held_half_width, options.held_half_width, 0.0));
+  }
+
+  for (const NamedBox& b : world.boxes) {
+    if (b.kind == ObstacleKind::SoftWall && !options.include_soft_walls) continue;
+    if (is_ignored(options, b.name)) continue;
+    if (b.contains(tip)) {
+      return CollisionReport{b.name, b.kind, tip, /*via_held_object=*/false,
+                             /*arm_vs_arm=*/false};
+    }
+    if (held_box && b.intersects(*held_box)) {
+      return CollisionReport{b.name, b.kind, tip, /*via_held_object=*/true,
+                             /*arm_vs_arm=*/false};
+    }
+  }
+
+  for (const ArmSegmentObstacle& seg : world.arm_segments) {
+    if (is_ignored(options, seg.arm_id)) continue;
+    double clearance_needed = seg.radius + options.moving_arm_radius;
+    if (geom::distance(seg.segment, tip) < clearance_needed) {
+      return CollisionReport{seg.arm_id, ObstacleKind::Equipment, tip,
+                             /*via_held_object=*/false, /*arm_vs_arm=*/true};
+    }
+    if (held_box) {
+      geom::Vec3 held_bottom = tip - geom::Vec3(0, 0, held_clearance);
+      if (geom::distance(seg.segment, held_bottom) < clearance_needed) {
+        return CollisionReport{seg.arm_id, ObstacleKind::Equipment, held_bottom,
+                               /*via_held_object=*/true, /*arm_vs_arm=*/true};
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::optional<CollisionReport> check_path(const WorldModel& world, const geom::Vec3& start,
+                                          const geom::Vec3& goal, double held_clearance,
+                                          const PathCheckOptions& options) {
+  if (options.step <= 0) throw std::invalid_argument("check_path: step must be positive");
+  double length = start.distance_to(goal);
+  auto samples = static_cast<std::size_t>(std::ceil(length / options.step)) + 1;
+  for (std::size_t i = 0; i <= samples; ++i) {
+    double t = samples == 0 ? 1.0 : static_cast<double>(i) / static_cast<double>(samples);
+    geom::Vec3 tip = geom::lerp(start, goal, t);
+    // Skip the departure point itself: the arm is allowed to *leave* a spot
+    // that brushes an obstacle boundary (e.g. lifting out of a grid slot).
+    if (i == 0) continue;
+    if (auto hit = check_sample(world, tip, held_clearance, options)) return hit;
+  }
+  return std::nullopt;
+}
+
+std::optional<CollisionReport> check_point(const WorldModel& world, const geom::Vec3& point,
+                                           double held_clearance,
+                                           const PathCheckOptions& options) {
+  return check_sample(world, point, held_clearance, options);
+}
+
+}  // namespace rabit::sim

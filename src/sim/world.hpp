@@ -1,0 +1,113 @@
+// rabit::sim — collision world model shared by ground truth and prediction.
+//
+// The paper's Extended Simulator (§III) models every automation device as a
+// 3D cuboid and polls the robot arm's trajectory against them. The same
+// path-checking primitive serves two roles here:
+//   * ground truth — the LabBackend sweeps the arm's *actual* motion through
+//     the *complete* physical world and records real damage;
+//   * prediction — the ExtendedSimulator sweeps the *planned* motion through
+//     its *configured* world model (which may be incomplete; that is exactly
+//     how detection gaps arise in §IV).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "geometry/geometry.hpp"
+#include "geometry/solid.hpp"
+
+namespace rabit::sim {
+
+/// What a box in the world stands for; determines damage severity when hit.
+enum class ObstacleKind {
+  Ground,     ///< floor / mounting platform
+  Wall,       ///< room or enclosure walls
+  Grid,       ///< vial rack (inexpensive)
+  Equipment,  ///< expensive automation device
+  Vial,       ///< a standing vial (glassware)
+  SoftWall,   ///< virtual software-defined wall (space multiplexing, §IV) —
+              ///< crossing it is a rule violation but causes no damage
+  ParkedArm,  ///< a sleeping robot arm modeled as a cuboid (time multiplexing)
+};
+
+[[nodiscard]] std::string_view to_string(ObstacleKind k);
+
+struct NamedBox {
+  std::string name;
+  geom::Aabb box;
+  ObstacleKind kind = ObstacleKind::Equipment;
+  /// Optional refined (non-cuboid) shape — the §V-C extension. When present,
+  /// collision queries use it instead of the bounding cuboid; `box` must be
+  /// its bounding box.
+  std::optional<geom::Solid> solid;
+
+  [[nodiscard]] bool contains(const geom::Vec3& p) const {
+    return solid ? solid->contains(p) : box.contains(p);
+  }
+  [[nodiscard]] bool intersects(const geom::Aabb& other) const {
+    return solid ? solid->intersects_box(other) : box.intersects(other);
+  }
+};
+
+/// Another arm's current link, treated as a dynamic obstacle.
+struct ArmSegmentObstacle {
+  std::string arm_id;
+  geom::Segment segment;
+  double radius = 0.05;
+};
+
+struct WorldModel {
+  std::vector<NamedBox> boxes;
+  std::vector<ArmSegmentObstacle> arm_segments;
+
+  void add_box(std::string name, const geom::Aabb& box, ObstacleKind kind);
+  /// Adds a refined-shape obstacle (bounding box derived from the solid).
+  void add_solid(std::string name, geom::Solid solid, ObstacleKind kind);
+  [[nodiscard]] const NamedBox* find_box(std::string_view name) const;
+
+  /// First box (if any) containing the point.
+  [[nodiscard]] const NamedBox* box_containing(const geom::Vec3& p) const;
+};
+
+struct CollisionReport {
+  std::string obstacle;     ///< box name or other arm id
+  ObstacleKind kind = ObstacleKind::Equipment;
+  geom::Vec3 position;      ///< where along the path contact happened (lab)
+  bool via_held_object = false;  ///< the held vial hit, not the arm itself
+  bool arm_vs_arm = false;
+
+  [[nodiscard]] std::string describe() const;
+};
+
+/// Path-check parameters. `step` is the polling resolution of the paper's
+/// trajectory polling (ablation A2 sweeps it).
+struct PathCheckOptions {
+  double step = 0.01;              ///< metres between samples
+  double moving_arm_radius = 0.05; ///< collision radius of the moving tool
+  double held_half_width = 0.012;  ///< held vial half width (m)
+  bool include_soft_walls = true;  ///< treat SoftWall boxes as obstacles
+  /// Boxes whose name appears here are skipped (e.g. the device the arm is
+  /// deliberately reaching into through an open door).
+  std::vector<std::string> ignore;
+};
+
+/// Sweeps a straight tip path from `start` to `goal` (lab frame) through the
+/// world. `held_clearance` extends the checked volume below the tip by the
+/// held object's length (the Bug D fix: arm dimensions change when holding).
+/// Returns the first collision, or nullopt for a clear path.
+[[nodiscard]] std::optional<CollisionReport> check_path(const WorldModel& world,
+                                                        const geom::Vec3& start,
+                                                        const geom::Vec3& goal,
+                                                        double held_clearance,
+                                                        const PathCheckOptions& options = {});
+
+/// Point-in-world query with the same held-object semantics, for validating
+/// a single target location (the fallback when no simulator is available:
+/// "only the target location is checked", paper §II-B lines 8-10).
+[[nodiscard]] std::optional<CollisionReport> check_point(const WorldModel& world,
+                                                         const geom::Vec3& point,
+                                                         double held_clearance,
+                                                         const PathCheckOptions& options = {});
+
+}  // namespace rabit::sim

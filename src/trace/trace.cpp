@@ -1,0 +1,213 @@
+#include "trace/trace.hpp"
+
+#include <sstream>
+
+namespace rabit::trace {
+
+std::string_view to_string(Outcome o) {
+  switch (o) {
+    case Outcome::Executed: return "executed";
+    case Outcome::SilentlySkipped: return "silently_skipped";
+    case Outcome::FirmwareError: return "firmware_error";
+    case Outcome::Blocked: return "blocked";
+    case Outcome::MalfunctionFlagged: return "malfunction_flagged";
+  }
+  return "unknown";
+}
+
+namespace {
+
+Outcome outcome_from_name(const std::string& name) {
+  if (name == "executed") return Outcome::Executed;
+  if (name == "silently_skipped") return Outcome::SilentlySkipped;
+  if (name == "firmware_error") return Outcome::FirmwareError;
+  if (name == "blocked") return Outcome::Blocked;
+  if (name == "malfunction_flagged") return Outcome::MalfunctionFlagged;
+  throw std::runtime_error("TraceLog: unknown outcome '" + name + "'");
+}
+
+}  // namespace
+
+std::string TraceLog::to_jsonl() const {
+  std::string out;
+  for (const TraceRecord& r : records_) {
+    json::Object line;
+    line["device"] = r.command.device;
+    line["action"] = r.command.action;
+    line["args"] = r.command.args;
+    line["line"] = r.command.source_line;
+    line["outcome"] = std::string(to_string(r.outcome));
+    if (!r.alert_rule.empty()) {
+      line["alert_rule"] = r.alert_rule;
+      line["alert_message"] = r.alert_message;
+    }
+    if (r.damage_events > 0) line["damage_events"] = r.damage_events;
+    out += json::serialize(json::Value(std::move(line)));
+    out += '\n';
+  }
+  return out;
+}
+
+TraceLog TraceLog::from_jsonl(std::string_view text) {
+  TraceLog log;
+  std::size_t start = 0;
+  while (start < text.size()) {
+    std::size_t end = text.find('\n', start);
+    if (end == std::string_view::npos) end = text.size();
+    std::string_view line = text.substr(start, end - start);
+    start = end + 1;
+    if (line.empty()) continue;
+
+    json::Value doc = json::parse(line);
+    TraceRecord r;
+    r.command.device = doc.as_object().at("device").as_string();
+    r.command.action = doc.as_object().at("action").as_string();
+    r.command.args = doc.as_object().at("args");
+    r.command.source_line = static_cast<int>(doc.get_or("line", std::int64_t{0}));
+    r.outcome = outcome_from_name(doc.as_object().at("outcome").as_string());
+    r.alert_rule = doc.get_or("alert_rule", std::string());
+    r.alert_message = doc.get_or("alert_message", std::string());
+    r.damage_events = static_cast<std::size_t>(doc.get_or("damage_events", std::int64_t{0}));
+    log.append(std::move(r));
+  }
+  return log;
+}
+
+// ---------------------------------------------------------------------------
+// RunReport
+// ---------------------------------------------------------------------------
+
+bool RunReport::alert_preceded_damage() const {
+  if (!first_alert_step) return false;
+  if (!first_damage_step) return true;  // alerted and nothing ever broke
+  return *first_alert_step <= *first_damage_step;
+}
+
+std::optional<dev::Severity> RunReport::max_damage_severity() const {
+  std::optional<dev::Severity> worst;
+  for (const sim::DamageEvent& e : damage) {
+    if (!worst || static_cast<int>(e.severity) > static_cast<int>(*worst)) {
+      worst = e.severity;
+    }
+  }
+  return worst;
+}
+
+// ---------------------------------------------------------------------------
+// Supervisor
+// ---------------------------------------------------------------------------
+
+Supervisor::Supervisor(core::RabitEngine* engine, sim::LabBackend* backend, Options options)
+    : engine_(engine), backend_(backend), options_(options) {
+  if (backend_ == nullptr) throw std::invalid_argument("Supervisor: null backend");
+}
+
+void Supervisor::start() {
+  halted_ = false;
+  log_.clear();
+  if (engine_ != nullptr) {
+    engine_->initialize(backend_->registry().fetch_observed_state());
+  }
+}
+
+SupervisedStep Supervisor::step(const dev::Command& cmd) {
+  SupervisedStep result;
+  result.command = cmd;
+
+  TraceRecord record;
+  record.command = cmd;
+
+  if (halted_) {
+    // The experiment already stopped; refuse further commands.
+    result.halted = true;
+    record.outcome = Outcome::Blocked;
+    record.alert_rule = "HALTED";
+    record.alert_message = "experiment already halted";
+    log_.append(std::move(record));
+    return result;
+  }
+
+  // Lines 6-10: pre-execution checks.
+  if (engine_ != nullptr) {
+    if (auto alert = engine_->check_command(cmd)) {
+      result.alert = alert;
+      record.outcome = Outcome::Blocked;
+      record.alert_rule = alert->rule;
+      record.alert_message = alert->message;
+      if (options_.halt_on_alert) {
+        halted_ = true;
+        result.halted = true;
+      }
+      log_.append(std::move(record));
+      return result;
+    }
+    engine_->apply_expected(cmd);  // line 11
+  }
+
+  // Line 12: forward to the device.
+  sim::ExecResult exec = backend_->execute(cmd);
+  result.exec = exec;
+  record.damage_events = exec.damage.size();
+  if (!exec.executed) {
+    record.outcome = Outcome::FirmwareError;
+  } else if (exec.silently_skipped) {
+    record.outcome = Outcome::SilentlySkipped;
+  } else {
+    record.outcome = Outcome::Executed;
+  }
+
+  // Lines 13-16: postcondition verification.
+  if (engine_ != nullptr) {
+    auto observed = backend_->registry().fetch_observed_state();
+    if (auto alert = engine_->verify_postconditions(cmd, observed)) {
+      result.alert = alert;
+      record.outcome = Outcome::MalfunctionFlagged;
+      record.alert_rule = alert->rule;
+      record.alert_message = alert->message;
+      if (options_.halt_on_alert) {
+        halted_ = true;
+        result.halted = true;
+      }
+    }
+  }
+
+  log_.append(std::move(record));
+  return result;
+}
+
+RunReport Supervisor::run(const std::vector<dev::Command>& workflow) {
+  start();
+  RunReport report;
+  double overhead_before =
+      engine_ != nullptr ? engine_->modeled_overhead_s() : 0.0;
+  double backend_clock_before = backend_->modeled_clock_s();
+
+  for (const dev::Command& cmd : workflow) {
+    SupervisedStep step_result = step(cmd);
+    std::size_t index = report.steps.size();
+
+    if (step_result.alert) {
+      ++report.alerts;
+      if (!report.first_alert_step) report.first_alert_step = index;
+    }
+    if (step_result.exec) {
+      for (const sim::DamageEvent& e : step_result.exec->damage) {
+        if (!report.first_damage_step) report.first_damage_step = index;
+        report.damage.push_back(e);
+      }
+    }
+    bool halted_now = step_result.halted;
+    report.steps.push_back(std::move(step_result));
+    if (halted_now) {
+      report.halted = true;
+      break;
+    }
+  }
+
+  report.modeled_runtime_s = backend_->modeled_clock_s() - backend_clock_before;
+  report.modeled_overhead_s =
+      (engine_ != nullptr ? engine_->modeled_overhead_s() : 0.0) - overhead_before;
+  return report;
+}
+
+}  // namespace rabit::trace

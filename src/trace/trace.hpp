@@ -1,0 +1,116 @@
+// rabit::trace — the RATracer-equivalent interception layer (paper §II-C).
+//
+// The paper reconfigures RATracer so that every traced device command is
+// first checked with RABIT: on an alert the experiment halts (a Python
+// exception in the original); otherwise the command is forwarded to the
+// device. This module provides the same intercept-check-forward pipeline
+// (Supervisor), plus trace recording and replay in a JSONL format shared
+// with the RAD dataset tooling.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "devices/device.hpp"
+#include "sim/backend.hpp"
+
+namespace rabit::trace {
+
+/// What happened to one intercepted command.
+enum class Outcome {
+  Executed,        ///< forwarded and executed normally
+  SilentlySkipped, ///< controller quietly ignored it (unreachable target)
+  FirmwareError,   ///< the device's own firmware refused it
+  Blocked,         ///< RABIT alerted before execution; never forwarded
+  MalfunctionFlagged,  ///< executed, then the postcondition check alerted
+};
+
+[[nodiscard]] std::string_view to_string(Outcome o);
+
+struct TraceRecord {
+  dev::Command command;
+  Outcome outcome = Outcome::Executed;
+  std::string alert_rule;     ///< rule id when RABIT alerted
+  std::string alert_message;
+  std::size_t damage_events = 0;  ///< ground-truth damage caused by this command
+};
+
+/// An append-only command trace, serializable to JSON-lines.
+class TraceLog {
+ public:
+  void append(TraceRecord record) { records_.push_back(std::move(record)); }
+  [[nodiscard]] const std::vector<TraceRecord>& records() const { return records_; }
+  [[nodiscard]] std::size_t size() const { return records_.size(); }
+  void clear() { records_.clear(); }
+
+  [[nodiscard]] std::string to_jsonl() const;
+  [[nodiscard]] static TraceLog from_jsonl(std::string_view text);
+
+ private:
+  std::vector<TraceRecord> records_;
+};
+
+/// Result of supervising one command.
+struct SupervisedStep {
+  dev::Command command;
+  std::optional<core::Alert> alert;
+  std::optional<sim::ExecResult> exec;  ///< absent when blocked pre-execution
+  bool halted = false;                  ///< the experiment was stopped
+};
+
+/// Full-workflow report, with the indices benches need to score detection:
+/// an unsafe behaviour counts as *detected* only when RABIT's alert came at
+/// or before the command that caused the first ground-truth damage.
+struct RunReport {
+  std::vector<SupervisedStep> steps;
+  bool halted = false;
+  std::size_t alerts = 0;
+  std::optional<std::size_t> first_alert_step;
+  std::optional<std::size_t> first_damage_step;
+  std::vector<sim::DamageEvent> damage;
+  double modeled_runtime_s = 0.0;   ///< backend execution time
+  double modeled_overhead_s = 0.0;  ///< RABIT + simulator check time
+
+  /// Damage that RABIT prevented or at least flagged in time.
+  [[nodiscard]] bool alert_preceded_damage() const;
+  /// Worst severity that physically occurred.
+  [[nodiscard]] std::optional<dev::Severity> max_damage_severity() const;
+};
+
+/// The intercept-check-forward pipeline. The engine is optional: running
+/// without one measures the uninstrumented baseline for the latency bench.
+class Supervisor {
+ public:
+  struct Options {
+    bool halt_on_alert = true;  ///< the Hein Lab's preemptive-stop policy
+  };
+
+  Supervisor(core::RabitEngine* engine, sim::LabBackend* backend)
+      : Supervisor(engine, backend, Options{}) {}
+  Supervisor(core::RabitEngine* engine, sim::LabBackend* backend, Options options);
+
+  /// Fig. 2 line 3: fetches the initial state and primes the engine.
+  void start();
+
+  /// Intercepts one command.
+  SupervisedStep step(const dev::Command& cmd);
+
+  /// Runs a whole workflow; stops early on alert when halt_on_alert is set.
+  RunReport run(const std::vector<dev::Command>& workflow);
+
+  [[nodiscard]] const TraceLog& log() const { return log_; }
+  [[nodiscard]] sim::LabBackend& backend() { return *backend_; }
+  [[nodiscard]] core::RabitEngine* engine() { return engine_; }
+  [[nodiscard]] bool halted() const { return halted_; }
+
+ private:
+  core::RabitEngine* engine_;
+  sim::LabBackend* backend_;
+  Options options_;
+  TraceLog log_;
+  bool halted_ = false;
+};
+
+}  // namespace rabit::trace

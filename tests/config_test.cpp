@@ -1,0 +1,167 @@
+#include <gtest/gtest.h>
+
+#include "core/config.hpp"
+#include "sim/deck.hpp"
+
+namespace rabit::core {
+namespace {
+
+namespace ids = sim::deck_ids;
+
+EngineConfig testbed_config(Variant v = Variant::Modified) {
+  sim::LabBackend backend(sim::testbed_profile());
+  sim::build_hein_testbed_deck(backend);
+  return config_from_backend(backend, v);
+}
+
+TEST(Config, FromBackendCoversEveryDevice) {
+  sim::LabBackend backend(sim::testbed_profile());
+  sim::build_hein_testbed_deck(backend);
+  EngineConfig cfg = config_from_backend(backend, Variant::Modified);
+  EXPECT_EQ(cfg.devices.size(), backend.registry().size());
+  EXPECT_EQ(cfg.sites.size(), backend.sites().size());
+  EXPECT_EQ(cfg.static_obstacles.size(), backend.static_obstacles().size());
+}
+
+TEST(Config, ArmMetadata) {
+  EngineConfig cfg = testbed_config();
+  const DeviceMeta* viperx = cfg.find_device(ids::kViperX);
+  ASSERT_NE(viperx, nullptr);
+  EXPECT_TRUE(viperx->is_arm);
+  EXPECT_TRUE(viperx->sleep_box.has_value());
+  EXPECT_GT(viperx->held_clearance, 0.0);
+  EXPECT_EQ(viperx->unchecked_vars, (std::vector<std::string>{"position", "pose"}));
+  // Home and sleep tips are distinct, above the platform.
+  EXPECT_GT(viperx->home_position_lab.z, 0.02);
+  EXPECT_GT(viperx->sleep_position_lab.z, 0.02);
+  EXPECT_GT(viperx->home_position_lab.distance_to(viperx->sleep_position_lab), 0.05);
+}
+
+TEST(Config, StationMetadata) {
+  EngineConfig cfg = testbed_config();
+  const DeviceMeta* dosing = cfg.find_device(ids::kDosingDevice);
+  ASSERT_NE(dosing, nullptr);
+  EXPECT_TRUE(dosing->has_door);
+  EXPECT_TRUE(dosing->is_active_action("run_action"));
+  EXPECT_FALSE(dosing->is_active_action("set_door"));
+
+  const DeviceMeta* hotplate = cfg.find_device(ids::kHotplate);
+  ASSERT_NE(hotplate, nullptr);
+  const ThresholdSpec* threshold = hotplate->threshold_for("set_temperature");
+  ASSERT_NE(threshold, nullptr);
+  EXPECT_DOUBLE_EQ(threshold->max, 150.0);  // RABIT threshold, below the 340 C firmware limit
+  EXPECT_EQ(hotplate->threshold_for("stop"), nullptr);
+
+  const DeviceMeta* vial = cfg.find_device(ids::kVial1);
+  ASSERT_NE(vial, nullptr);
+  EXPECT_DOUBLE_EQ(vial->capacity_mg, 10.0);
+  EXPECT_DOUBLE_EQ(vial->capacity_ml, 15.0);
+  EXPECT_EQ(vial->initial_state.at("location").as_string(), "grid.NW");
+}
+
+TEST(Config, TimeMultiplexOnlyWhenModifiedAndMultiArm) {
+  EXPECT_FALSE(testbed_config(Variant::Initial).time_multiplex);
+  EXPECT_TRUE(testbed_config(Variant::Modified).time_multiplex);
+  EXPECT_TRUE(testbed_config(Variant::ModifiedWithSim).time_multiplex);
+
+  sim::LabBackend production(sim::production_profile());
+  sim::build_hein_production_deck(production);
+  EXPECT_FALSE(config_from_backend(production, Variant::Modified).time_multiplex);
+}
+
+TEST(Config, SiteNearRespectsTolerance) {
+  EngineConfig cfg = testbed_config();
+  const SiteMeta* nw = cfg.find_site("grid.NW");
+  ASSERT_NE(nw, nullptr);
+  EXPECT_EQ(cfg.site_near(nw->lab_position + geom::Vec3(0.02, 0, 0)), nw);
+  EXPECT_EQ(cfg.site_near(nw->lab_position + geom::Vec3(0.2, 0, 0)), nullptr);
+}
+
+TEST(Config, JsonRoundTrip) {
+  EngineConfig cfg = testbed_config(Variant::ModifiedWithSim);
+  cfg.soft_walls.push_back(
+      SoftWallSpec{ids::kNed2, geom::Aabb(geom::Vec3(-1, -1, 0), geom::Vec3(0, 1, 1))});
+  json::Value doc = config_to_json(cfg);
+  EngineConfig round = config_from_json(doc);
+
+  EXPECT_EQ(round.variant, cfg.variant);
+  EXPECT_EQ(round.time_multiplex, cfg.time_multiplex);
+  EXPECT_EQ(round.devices.size(), cfg.devices.size());
+  EXPECT_EQ(round.sites.size(), cfg.sites.size());
+  EXPECT_EQ(round.static_obstacles.size(), cfg.static_obstacles.size());
+  ASSERT_EQ(round.soft_walls.size(), 1u);
+  EXPECT_EQ(round.soft_walls[0].arm_id, ids::kNed2);
+
+  const DeviceMeta* arm = round.find_device(ids::kViperX);
+  const DeviceMeta* orig = cfg.find_device(ids::kViperX);
+  ASSERT_NE(arm, nullptr);
+  EXPECT_TRUE(arm->is_arm);
+  EXPECT_TRUE(geom::approx_equal(arm->home_position_lab, orig->home_position_lab, 1e-9));
+  EXPECT_TRUE(geom::approx_equal(arm->base.apply(geom::Vec3(0.1, 0.2, 0.3)),
+                                 orig->base.apply(geom::Vec3(0.1, 0.2, 0.3)), 1e-9));
+  ASSERT_TRUE(arm->sleep_box.has_value());
+  EXPECT_TRUE(geom::approx_equal(*arm->sleep_box, *orig->sleep_box, 1e-9));
+
+  const DeviceMeta* hotplate = round.find_device(ids::kHotplate);
+  ASSERT_NE(hotplate, nullptr);
+  ASSERT_NE(hotplate->threshold_for("set_temperature"), nullptr);
+  EXPECT_DOUBLE_EQ(hotplate->threshold_for("set_temperature")->max, 150.0);
+}
+
+TEST(Config, SchemaAcceptsGeneratedConfig) {
+  json::Value doc = config_to_json(testbed_config());
+  EXPECT_TRUE(config_schema().validate(doc).empty());
+}
+
+TEST(Config, SchemaCatchesPilotStudySignError) {
+  // §V-A: participant P "accidentally entered a negative sign instead of a
+  // positive sign in a location".
+  json::Value doc = config_to_json(testbed_config());
+  json::Value& sites = doc.as_object()["sites"];
+  json::Value& z = sites.as_array()[0].as_object()["position"].as_object()["z"];
+  z = json::Value(-z.as_double());
+  auto issues = config_schema().validate(doc);
+  ASSERT_FALSE(issues.empty());
+  EXPECT_NE(issues[0].path.find("/sites/0/position/z"), std::string::npos);
+  EXPECT_THROW(config_from_json(doc), std::runtime_error);
+}
+
+TEST(Config, SchemaCatchesMissingFields) {
+  json::Value doc = config_to_json(testbed_config());
+  doc.as_object()["devices"].as_array()[0].as_object().erase("category");
+  EXPECT_FALSE(config_schema().validate(doc).empty());
+  EXPECT_THROW(config_from_json(doc), std::runtime_error);
+}
+
+TEST(Config, SchemaCatchesWrongTypes) {
+  json::Value doc = config_to_json(testbed_config());
+  doc.as_object()["devices"].as_array()[0].as_object()["id"] = json::Value(42);
+  EXPECT_FALSE(config_schema().validate(doc).empty());
+}
+
+TEST(Config, FromJsonRejectsBadVariant) {
+  json::Value doc = config_to_json(testbed_config());
+  doc.as_object()["variant"] = std::string("v99");
+  EXPECT_THROW(config_from_json(doc), std::runtime_error);
+}
+
+TEST(Config, JsonSyntaxErrorHasLocation) {
+  // The §V-A pilot study's JSON syntax errors surface with line/column.
+  std::string text = json::serialize_pretty(config_to_json(testbed_config()));
+  text.insert(text.find("\"devices\""), ",,");
+  try {
+    static_cast<void>(json::parse(text));
+    FAIL() << "expected ParseError";
+  } catch (const json::ParseError& e) {
+    EXPECT_GT(e.line(), 0);
+  }
+}
+
+TEST(Config, VariantNames) {
+  EXPECT_EQ(to_string(Variant::Initial), "initial");
+  EXPECT_EQ(to_string(Variant::Modified), "modified");
+  EXPECT_EQ(to_string(Variant::ModifiedWithSim), "modified+sim");
+}
+
+}  // namespace
+}  // namespace rabit::core

@@ -1,0 +1,204 @@
+// Tests for the §V open-challenge extensions: action aliases (multiple
+// commands per action), the proximity-sensor device class (S1 rule), and
+// refined shapes inside the engine's rule world.
+#include <gtest/gtest.h>
+
+#include "core/engine.hpp"
+#include "devices/robot_arm.hpp"
+#include "devices/stations.hpp"
+#include "script/workflows.hpp"
+#include "sim/deck.hpp"
+#include "trace/trace.hpp"
+
+namespace rabit {
+namespace {
+
+using dev::Command;
+using geom::Aabb;
+using geom::Vec3;
+namespace ids = sim::deck_ids;
+
+Command make_cmd(std::string device, std::string action, json::Object args = {}) {
+  Command c;
+  c.device = std::move(device);
+  c.action = std::move(action);
+  c.args = json::Value(std::move(args));
+  return c;
+}
+
+Command move_as(const char* arm, const char* action, const Vec3& local) {
+  json::Object args;
+  args["position"] = json::Array{local.x, local.y, local.z};
+  return make_cmd(arm, action, std::move(args));
+}
+
+class ExtensionsTest : public ::testing::Test {
+ protected:
+  ExtensionsTest() : backend(sim::testbed_profile()) {
+    sim::build_hein_testbed_deck(backend);
+  }
+
+  Vec3 site_local(const char* arm, const char* site) {
+    return backend.arm(arm).to_local(backend.find_site(site)->lab_position);
+  }
+
+  sim::LabBackend backend;
+};
+
+// --- action aliases -----------------------------------------------------------
+
+TEST_F(ExtensionsTest, MovePoseAliasExecutesOnDevice) {
+  // The device itself accepts the vendor-specific command name.
+  Vec3 target = site_local(ids::kNed2, "grid.NW") + Vec3(0, 0, 0.22);
+  sim::ExecResult r = backend.execute(move_as(ids::kNed2, "move_pose", target));
+  EXPECT_TRUE(r.executed);
+  EXPECT_LT(backend.arm(ids::kNed2).position_local().distance_to(target), 5e-3);
+}
+
+TEST_F(ExtensionsTest, MovePoseAliasCheckedByMotionRules) {
+  core::RabitEngine engine(core::config_from_backend(backend, core::Variant::Modified));
+  engine.initialize(backend.registry().fetch_observed_state());
+  // The alias must hit the same G1 rule as the canonical command.
+  auto alias_alert = engine.check_command(
+      move_as(ids::kViperX, "move_pose", site_local(ids::kViperX, "dosing_device")));
+  ASSERT_TRUE(alias_alert.has_value());
+  EXPECT_EQ(alias_alert->rule, "G1");
+  auto canonical_alert = engine.check_command(
+      move_as(ids::kViperX, "move_to", site_local(ids::kViperX, "dosing_device")));
+  ASSERT_TRUE(canonical_alert.has_value());
+  EXPECT_EQ(canonical_alert->rule, alias_alert->rule);
+}
+
+TEST_F(ExtensionsTest, MovePoseAliasTrackedLikeCanonical) {
+  core::RabitEngine engine(core::config_from_backend(backend, core::Variant::Modified));
+  engine.initialize(backend.registry().fetch_observed_state());
+  Vec3 target = site_local(ids::kViperX, "grid.NW");
+  engine.apply_expected(move_as(ids::kViperX, "move_pose", target));
+  EXPECT_LT(engine.tracker()
+                .arm_position_lab(ids::kViperX)
+                .distance_to(backend.find_site("grid.NW")->lab_position),
+            1e-9);
+}
+
+TEST_F(ExtensionsTest, AliasRoundTripsThroughJson) {
+  core::EngineConfig cfg = core::config_from_backend(backend, core::Variant::Modified);
+  core::EngineConfig round = core::config_from_json(core::config_to_json(cfg));
+  const core::DeviceMeta* arm = round.find_device(ids::kViperX);
+  ASSERT_NE(arm, nullptr);
+  EXPECT_EQ(arm->canonical_action("move_pose"), "move_to");
+  EXPECT_EQ(arm->canonical_action("move_to"), "move_to");
+  EXPECT_EQ(arm->canonical_action("unrelated"), "unrelated");
+}
+
+TEST_F(ExtensionsTest, AliasedUnsafeWorkflowBlockedEndToEnd) {
+  core::RabitEngine engine(core::config_from_backend(backend, core::Variant::Modified));
+  trace::Supervisor supervisor(&engine, &backend);
+  supervisor.start();
+  trace::SupervisedStep step = supervisor.step(
+      move_as(ids::kViperX, "move_pose", site_local(ids::kViperX, "dosing_device")));
+  ASSERT_TRUE(step.alert.has_value());
+  EXPECT_FALSE(step.exec.has_value());
+  EXPECT_TRUE(backend.damage_log().empty());
+}
+
+// --- proximity sensor (S1) -----------------------------------------------------
+
+class SensorTest : public ExtensionsTest {
+ protected:
+  SensorTest() {
+    // A sensor watching the space in front of the dosing device.
+    zone = Aabb(Vec3(-0.15, 0.30, 0.02), Vec3(0.15, 0.60, 0.60));
+    sensor = &dynamic_cast<dev::ProximitySensor&>(backend.registry().add(
+        std::make_unique<dev::ProximitySensor>("door_sensor", zone)));
+  }
+
+  Aabb zone;
+  dev::ProximitySensor* sensor = nullptr;
+};
+
+TEST_F(SensorTest, SensorStateObservable) {
+  EXPECT_FALSE(sensor->occupied());
+  sensor->set_occupied(true);
+  EXPECT_TRUE(sensor->occupied());
+  dev::StateMap observed = sensor->observed_state();
+  ASSERT_TRUE(observed.contains("occupied"));
+  EXPECT_EQ(observed.at("occupied").as_int(), 1);
+  sensor->execute(make_cmd("door_sensor", "reset"));
+  EXPECT_FALSE(sensor->occupied());
+}
+
+TEST_F(SensorTest, ConfigMarksSensor) {
+  core::EngineConfig cfg = core::config_from_backend(backend, core::Variant::Modified);
+  const core::DeviceMeta* meta = cfg.find_device("door_sensor");
+  ASSERT_NE(meta, nullptr);
+  EXPECT_TRUE(meta->is_sensor);
+  ASSERT_TRUE(meta->sensor_zone.has_value());
+  EXPECT_TRUE(geom::approx_equal(*meta->sensor_zone, zone));
+  // And it survives the JSON round trip.
+  core::EngineConfig round = core::config_from_json(core::config_to_json(cfg));
+  EXPECT_TRUE(round.find_device("door_sensor")->is_sensor);
+}
+
+TEST_F(SensorTest, OccupiedZoneBlocksArmTargets) {
+  sensor->set_occupied(true);
+  core::RabitEngine engine(core::config_from_backend(backend, core::Variant::Modified));
+  engine.initialize(backend.registry().fetch_observed_state());
+
+  // The dosing device sits inside the watched zone; even with the door open
+  // the arm must not approach while a person is present.
+  engine.apply_expected(make_cmd(ids::kDosingDevice, "set_door", [] {
+    json::Object o;
+    o["state"] = std::string("open");
+    return o;
+  }()));
+  auto alert = engine.check_command(
+      move_as(ids::kViperX, "move_to", site_local(ids::kViperX, "dosing_device")));
+  ASSERT_TRUE(alert.has_value());
+  EXPECT_EQ(alert->rule, "S1");
+
+  // Targets outside the zone remain legal.
+  EXPECT_FALSE(
+      engine.check_command(move_as(ids::kViperX, "move_to", Vec3(0.25, -0.2, 0.3)))
+          .has_value());
+}
+
+TEST_F(SensorTest, ClearedSensorUnblocks) {
+  sensor->set_occupied(true);
+  core::RabitEngine engine(core::config_from_backend(backend, core::Variant::Modified));
+  trace::Supervisor supervisor(&engine, &backend);
+  supervisor.start();
+
+  Command open_door = make_cmd(ids::kDosingDevice, "set_door", [] {
+    json::Object o;
+    o["state"] = std::string("open");
+    return o;
+  }());
+  EXPECT_FALSE(supervisor.step(open_door).alert.has_value());
+
+  Command approach =
+      move_as(ids::kViperX, "move_to", site_local(ids::kViperX, "dosing_device"));
+  trace::Supervisor relaxed(&engine, &backend,
+                            trace::Supervisor::Options{/*halt_on_alert=*/false});
+  trace::SupervisedStep blocked = relaxed.step(approach);
+  ASSERT_TRUE(blocked.alert.has_value());
+  EXPECT_EQ(blocked.alert->rule, "S1");
+
+  // The person leaves; the sensor clears; the very next status fetch lets
+  // the same command through (the tracker resyncs from observation).
+  sensor->set_occupied(false);
+  trace::SupervisedStep harmless = relaxed.step(make_cmd("door_sensor", "reset"));
+  EXPECT_FALSE(harmless.alert.has_value());
+  trace::SupervisedStep allowed = relaxed.step(approach);
+  EXPECT_FALSE(allowed.alert.has_value()) << allowed.alert->describe();
+}
+
+TEST_F(SensorTest, SensorNeverBlocksWhenClear) {
+  core::RabitEngine engine(core::config_from_backend(backend, core::Variant::Modified));
+  trace::Supervisor supervisor(&engine, &backend);
+  auto commands = script::record_workflow(backend, script::testbed_workflow_source());
+  trace::RunReport report = supervisor.run(commands);
+  EXPECT_EQ(report.alerts, 0u);  // clear sensor = zero new false positives
+}
+
+}  // namespace
+}  // namespace rabit

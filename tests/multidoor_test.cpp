@@ -1,0 +1,192 @@
+// Multi-door stations (§V-C: "Devices might have multiple doors, for
+// instance, for two robot arms to approach the device simultaneously. In its
+// current state, RABIT does not handle this." — this extension handles it).
+#include <gtest/gtest.h>
+
+#include "core/engine.hpp"
+#include "devices/robot_arm.hpp"
+#include "devices/stations.hpp"
+#include "sim/deck.hpp"
+#include "trace/trace.hpp"
+
+namespace rabit {
+namespace {
+
+using dev::Command;
+using dev::MultiDoorStation;
+using geom::Aabb;
+using geom::Vec3;
+namespace ids = sim::deck_ids;
+
+Command make_cmd(std::string device, std::string action, json::Object args = {}) {
+  Command c;
+  c.device = std::move(device);
+  c.action = std::move(action);
+  c.args = json::Value(std::move(args));
+  return c;
+}
+
+json::Object door_arg(const char* door, const char* state) {
+  json::Object o;
+  o["door"] = std::string(door);
+  o["state"] = std::string(state);
+  return o;
+}
+
+Command move_to(const char* arm, const Vec3& local) {
+  json::Object args;
+  args["position"] = json::Array{local.x, local.y, local.z};
+  return make_cmd(arm, "move_to", std::move(args));
+}
+
+MultiDoorStation::DoorSpec west_door() { return {"west", Vec3(-1, 0, 0)}; }
+MultiDoorStation::DoorSpec east_door() { return {"east", Vec3(1, 0, 0)}; }
+
+// --- device-level -------------------------------------------------------------
+
+TEST(MultiDoorDevice, ConstructionAndDoors) {
+  MultiDoorStation station("mix", {west_door(), east_door()},
+                           Aabb::from_center(Vec3(0, 0, 0.1), Vec3(0.2, 0.2, 0.2)));
+  EXPECT_EQ(station.doors().size(), 2u);
+  EXPECT_EQ(station.door_status("west"), "closed");
+  EXPECT_EQ(station.door_status("east"), "closed");
+  EXPECT_THROW(static_cast<void>(station.door_status("north")), dev::DeviceError);
+  EXPECT_THROW(MultiDoorStation("solo", {west_door()}, Aabb(Vec3(), Vec3(1, 1, 1))),
+               std::invalid_argument);
+}
+
+TEST(MultiDoorDevice, SetDoorPerName) {
+  MultiDoorStation station("mix", {west_door(), east_door()},
+                           Aabb::from_center(Vec3(0, 0, 0.1), Vec3(0.2, 0.2, 0.2)));
+  station.execute(make_cmd("mix", "set_door", door_arg("west", "open")));
+  EXPECT_EQ(station.door_status("west"), "open");
+  EXPECT_EQ(station.door_status("east"), "closed");
+  station.break_door("east");
+  EXPECT_EQ(station.door_status("east"), "broken");
+  EXPECT_EQ(station.take_hazards().size(), 1u);
+  EXPECT_THROW(station.execute(make_cmd("mix", "set_door", door_arg("east", "open"))),
+               dev::DeviceError);
+}
+
+TEST(MultiDoorDevice, DoorFacingPicksApproachSide) {
+  MultiDoorStation station("mix", {west_door(), east_door()},
+                           Aabb::from_center(Vec3(0, 0, 0.1), Vec3(0.2, 0.2, 0.2)));
+  EXPECT_EQ(station.door_facing(Vec3(-0.5, 0.05, 0.3)).name, "west");
+  EXPECT_EQ(station.door_facing(Vec3(0.5, -0.05, 0.05)).name, "east");
+}
+
+// --- full pipeline --------------------------------------------------------------
+
+class MultiDoorPipeline : public ::testing::Test {
+ protected:
+  MultiDoorPipeline() : backend(sim::testbed_profile()) {
+    sim::build_hein_testbed_deck(backend);
+    // A mixing station between the two arms with a door toward each:
+    // ViperX (based at x=0) approaches from the west, Ned2 (x=0.6) from the
+    // east.
+    station = &dynamic_cast<MultiDoorStation&>(
+        backend.registry().add(std::make_unique<MultiDoorStation>(
+            "mixing_station", std::vector<MultiDoorStation::DoorSpec>{west_door(), east_door()},
+            Aabb::from_center(Vec3(0.30, -0.42, 0.10), Vec3(0.12, 0.12, 0.16)))));
+    backend.add_site({"mixing_station", Vec3(0.30, -0.42, 0.10), "", "", "mixing_station"});
+    engine = std::make_unique<core::RabitEngine>(
+        core::config_from_backend(backend, core::Variant::Modified));
+    supervisor = std::make_unique<trace::Supervisor>(engine.get(), &backend);
+    supervisor->start();
+  }
+
+  Vec3 entry_local(const char* arm) {
+    return backend.arm(arm).to_local(Vec3(0.30, -0.42, 0.10));
+  }
+
+  sim::LabBackend backend;
+  MultiDoorStation* station = nullptr;
+  std::unique_ptr<core::RabitEngine> engine;
+  std::unique_ptr<trace::Supervisor> supervisor;
+};
+
+TEST_F(MultiDoorPipeline, ConfigCarriesDoors) {
+  const core::DeviceMeta* meta = engine->config().find_device("mixing_station");
+  ASSERT_NE(meta, nullptr);
+  ASSERT_EQ(meta->multi_doors.size(), 2u);
+  EXPECT_EQ(meta->door_facing(Vec3(-0.2, -0.42, 0.3)).name, "west");
+  EXPECT_EQ(meta->door_facing(Vec3(0.7, -0.42, 0.3)).name, "east");
+  // JSON round trip.
+  core::EngineConfig round = core::config_from_json(core::config_to_json(engine->config()));
+  EXPECT_EQ(round.find_device("mixing_station")->multi_doors.size(), 2u);
+}
+
+TEST_F(MultiDoorPipeline, EntryRequiresTheFacingDoor) {
+  // ViperX approaches from the west with only the EAST door open: blocked.
+  trace::SupervisedStep east_only = supervisor->step(
+      make_cmd("mixing_station", "set_door", door_arg("east", "open")));
+  EXPECT_FALSE(east_only.alert.has_value());
+  trace::Supervisor relaxed(engine.get(), &backend,
+                            trace::Supervisor::Options{/*halt_on_alert=*/false});
+  trace::SupervisedStep blocked = relaxed.step(move_to(ids::kViperX, entry_local(ids::kViperX)));
+  ASSERT_TRUE(blocked.alert.has_value());
+  EXPECT_EQ(blocked.alert->rule, "G1");
+  EXPECT_NE(blocked.alert->message.find("west"), std::string::npos);
+
+  // Open the west door too: entry allowed.
+  EXPECT_FALSE(relaxed.step(make_cmd("mixing_station", "set_door", door_arg("west", "open")))
+                   .alert.has_value());
+  trace::SupervisedStep allowed = relaxed.step(move_to(ids::kViperX, entry_local(ids::kViperX)));
+  EXPECT_FALSE(allowed.alert.has_value()) << allowed.alert->describe();
+  EXPECT_TRUE(allowed.exec->damage.empty());
+}
+
+TEST_F(MultiDoorPipeline, GroundTruthBreaksTheFacingDoor) {
+  // No RABIT: ViperX smashes through the (closed) west door; the east door
+  // survives.
+  trace::Supervisor bare(nullptr, &backend);
+  trace::SupervisedStep crash = bare.step(move_to(ids::kViperX, entry_local(ids::kViperX)));
+  ASSERT_TRUE(crash.exec.has_value());
+  EXPECT_FALSE(crash.exec->damage.empty());
+  EXPECT_EQ(station->door_status("west"), "broken");
+  EXPECT_EQ(station->door_status("east"), "closed");
+}
+
+TEST_F(MultiDoorPipeline, ClosingDoorOnArmInsideBlocked) {
+  supervisor->step(make_cmd("mixing_station", "set_door", door_arg("west", "open")));
+  supervisor->step(move_to(ids::kViperX, entry_local(ids::kViperX)));
+  trace::SupervisedStep closing = supervisor->step(
+      make_cmd("mixing_station", "set_door", door_arg("west", "closed")));
+  ASSERT_TRUE(closing.alert.has_value());
+  EXPECT_EQ(closing.alert->rule, "G2");
+}
+
+TEST_F(MultiDoorPipeline, ActiveActionNeedsAllDoorsClosed) {
+  // Seat a vial symbolically so G5/G6 pass, then try to start with one door
+  // open.
+  supervisor->step(make_cmd("mixing_station", "set_door", door_arg("west", "open")));
+  station->set_container_inside(ids::kVial1);
+  // Rebuild tracked occupancy: believe the vial inside via the tracker API.
+  core::RabitEngine fresh(core::config_from_backend(backend, core::Variant::Modified));
+  fresh.initialize(backend.registry().fetch_observed_state());
+  auto alert = fresh.check_command(make_cmd("mixing_station", "start"));
+  ASSERT_TRUE(alert.has_value());
+  EXPECT_EQ(alert->rule, "G9");
+  EXPECT_NE(alert->message.find("west"), std::string::npos);
+}
+
+TEST_F(MultiDoorPipeline, TwoArmsThroughTheirOwnDoors) {
+  // The §V-C motivation: each arm services the station through its own door.
+  // With time multiplexing the arms take turns; each entry is legal because
+  // its own side is open.
+  std::vector<Command> workflow = {
+      make_cmd("mixing_station", "set_door", door_arg("west", "open")),
+      make_cmd("mixing_station", "set_door", door_arg("east", "open")),
+      move_to(ids::kViperX, entry_local(ids::kViperX)),
+      make_cmd(ids::kViperX, "go_sleep"),
+      move_to(ids::kNed2, entry_local(ids::kNed2)),
+      make_cmd(ids::kNed2, "go_sleep"),
+  };
+  trace::RunReport report = supervisor->run(workflow);
+  EXPECT_FALSE(report.halted);
+  EXPECT_EQ(report.alerts, 0u);
+  EXPECT_TRUE(report.damage.empty());
+}
+
+}  // namespace
+}  // namespace rabit

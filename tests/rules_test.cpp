@@ -1,0 +1,488 @@
+// Rulebase tests: one violating and one conforming scenario per rule of
+// Tables III and IV, plus the §IV multiplexing preconditions.
+#include <gtest/gtest.h>
+
+#include "core/rules.hpp"
+#include "devices/robot_arm.hpp"
+#include "sim/deck.hpp"
+
+namespace rabit::core {
+namespace {
+
+using dev::Command;
+using geom::Vec3;
+namespace ids = sim::deck_ids;
+
+Command make_cmd(std::string device, std::string action, json::Object args = {}) {
+  Command c;
+  c.device = std::move(device);
+  c.action = std::move(action);
+  c.args = json::Value(std::move(args));
+  return c;
+}
+
+json::Object door(const char* state) {
+  json::Object o;
+  o["state"] = std::string(state);
+  return o;
+}
+
+class RulesTest : public ::testing::Test {
+ protected:
+  explicit RulesTest(Variant variant = Variant::Modified)
+      : backend(sim::testbed_profile()) {
+    sim::build_hein_testbed_deck(backend);
+    config = config_from_backend(backend, variant);
+    tracker = std::make_unique<StateTracker>(&config);
+    tracker->initialize(backend.registry().fetch_observed_state());
+  }
+
+  Vec3 site_local(const char* arm, const char* site) {
+    return backend.arm(arm).to_local(backend.find_site(site)->lab_position);
+  }
+
+  Command move(const char* arm, const Vec3& local) {
+    json::Object args;
+    args["position"] = json::Array{local.x, local.y, local.z};
+    return make_cmd(arm, "move_to", std::move(args));
+  }
+
+  std::optional<RuleHit> check(const Command& cmd) {
+    return check_preconditions(config, *tracker, cmd);
+  }
+
+  /// Applies the command's postconditions (as the engine would before
+  /// executing it).
+  void apply(const Command& cmd) { tracker->apply_postconditions(cmd); }
+
+  sim::LabBackend backend;
+  EngineConfig config;
+  std::unique_ptr<StateTracker> tracker;
+};
+
+// ---- Table III, rule by rule -------------------------------------------------
+
+TEST_F(RulesTest, G1_RobotCannotEnterClosedDoor) {
+  auto hit = check(move(ids::kViperX, site_local(ids::kViperX, "dosing_device")));
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->rule, "G1");
+  // With the door believed open, entry is allowed.
+  apply(make_cmd(ids::kDosingDevice, "set_door", door("open")));
+  EXPECT_FALSE(check(move(ids::kViperX, site_local(ids::kViperX, "dosing_device"))).has_value());
+}
+
+TEST_F(RulesTest, G2_DoorCannotCloseOnArmInside) {
+  apply(make_cmd(ids::kDosingDevice, "set_door", door("open")));
+  apply(move(ids::kViperX, site_local(ids::kViperX, "dosing_device")));
+  auto hit = check(make_cmd(ids::kDosingDevice, "set_door", door("closed")));
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->rule, "G2");
+  // After the arm leaves, closing is fine.
+  apply(move(ids::kViperX, site_local(ids::kViperX, "dosing_device") + Vec3(0, 0, 0.25)));
+  EXPECT_FALSE(check(make_cmd(ids::kDosingDevice, "set_door", door("closed"))).has_value());
+}
+
+TEST_F(RulesTest, G3_TargetInsideObjectRejected) {
+  // The hotplate body is an occupied location.
+  auto hit = check(move(ids::kViperX, Vec3(-0.35, 0.25, 0.06)));
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->rule, "G3");
+  // Free space above it is fine.
+  EXPECT_FALSE(check(move(ids::kViperX, Vec3(-0.35, 0.25, 0.30))).has_value());
+}
+
+TEST_F(RulesTest, G3_PlacementOntoOccupiedSiteRejected) {
+  apply(make_cmd(ids::kViperX, "pick_object", [] {
+    json::Object o;
+    o["site"] = std::string("grid.NW");
+    return o;
+  }()));
+  auto hit = check(make_cmd(ids::kViperX, "place_object", [] {
+    json::Object o;
+    o["site"] = std::string("grid.SE");  // vial_2's slot
+    return o;
+  }()));
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->rule, "G3");
+  EXPECT_FALSE(check(make_cmd(ids::kViperX, "place_object", [] {
+                 json::Object o;
+                 o["site"] = std::string("grid.SW");
+                 return o;
+               }()))
+                   .has_value());
+}
+
+TEST_F(RulesTest, G4_PickOnlyWhenEmptyHanded) {
+  apply(make_cmd(ids::kViperX, "pick_object", [] {
+    json::Object o;
+    o["site"] = std::string("grid.NW");
+    return o;
+  }()));
+  auto hit = check(make_cmd(ids::kViperX, "pick_object", [] {
+    json::Object o;
+    o["site"] = std::string("grid.SE");
+    return o;
+  }()));
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->rule, "G4");
+}
+
+TEST_F(RulesTest, G4_GripperGrabWhileHolding) {
+  apply(move(ids::kViperX, site_local(ids::kViperX, "grid.NW")));
+  apply(make_cmd(ids::kViperX, "close_gripper"));
+  ASSERT_EQ(tracker->arm_holding(ids::kViperX), ids::kVial1);
+  apply(move(ids::kViperX, site_local(ids::kViperX, "grid.SE")));
+  auto hit = check(make_cmd(ids::kViperX, "close_gripper"));
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->rule, "G4");
+}
+
+TEST_F(RulesTest, G5_ActionDeviceNeedsContainer) {
+  auto hit = check(make_cmd(ids::kThermoshaker, "shake", [] {
+    json::Object o;
+    o["rpm"] = 500.0;
+    return o;
+  }()));
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->rule, "G5");
+}
+
+TEST_F(RulesTest, G6_ContainerMustNotBeEmpty) {
+  // Seat the (empty) vial_1 on the thermoshaker symbolically.
+  tracker->seat("thermoshaker", ids::kVial1);
+  auto hit = check(make_cmd(ids::kThermoshaker, "shake", [] {
+    json::Object o;
+    o["rpm"] = 500.0;
+    return o;
+  }()));
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->rule, "G6");
+  // With contents it passes.
+  tracker->set_var(ids::kVial1, "solidMg", json::Value(5.0));
+  EXPECT_FALSE(check(make_cmd(ids::kThermoshaker, "shake", [] {
+                 json::Object o;
+                 o["rpm"] = 500.0;
+                 return o;
+               }()))
+                   .has_value());
+}
+
+TEST_F(RulesTest, G7_NoTransferThroughStopper) {
+  tracker->seat("dosing_device", ids::kVial1);
+  tracker->set_var(ids::kVial1, "hasStopper", json::Value(1));
+  auto hit = check(make_cmd(ids::kDosingDevice, "run_action", [] {
+    json::Object o;
+    o["quantity"] = 5.0;
+    return o;
+  }()));
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->rule, "G7");
+}
+
+TEST_F(RulesTest, G7_PumpBlockedByStopper) {
+  apply(make_cmd(ids::kSyringePump, "draw_solvent", [] {
+    json::Object o;
+    o["volume"] = 5.0;
+    return o;
+  }()));
+  tracker->set_var(ids::kVial1, "hasStopper", json::Value(1));
+  tracker->set_var(ids::kVial1, "solidMg", json::Value(5.0));
+  auto hit = check(make_cmd(ids::kSyringePump, "dose_solvent", [] {
+    json::Object o;
+    o["volume"] = 2.0;
+    o["target"] = std::string(ids::kVial1);
+    return o;
+  }()));
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->rule, "G7");
+}
+
+TEST_F(RulesTest, G8_DoseMustFitReceivingContainer) {
+  tracker->seat("dosing_device", ids::kVial1);
+  auto hit = check(make_cmd(ids::kDosingDevice, "run_action", [] {
+    json::Object o;
+    o["quantity"] = 50.0;  // capacity is 10 mg
+    return o;
+  }()));
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->rule, "G8");
+  // Exactly filling the vial passes.
+  EXPECT_FALSE(check(make_cmd(ids::kDosingDevice, "run_action", [] {
+                 json::Object o;
+                 o["quantity"] = 10.0;
+                 return o;
+               }()))
+                   .has_value());
+}
+
+TEST_F(RulesTest, G8_PumpMustBeFilledFirst) {
+  tracker->set_var(ids::kVial1, "solidMg", json::Value(5.0));
+  auto hit = check(make_cmd(ids::kSyringePump, "dose_solvent", [] {
+    json::Object o;
+    o["volume"] = 2.0;
+    o["target"] = std::string(ids::kVial1);
+    return o;
+  }()));
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->rule, "G8");  // nothing drawn yet
+}
+
+TEST_F(RulesTest, G9_DosingNeedsClosedDoor) {
+  tracker->seat("dosing_device", ids::kVial1);
+  apply(make_cmd(ids::kDosingDevice, "set_door", door("open")));
+  auto hit = check(make_cmd(ids::kDosingDevice, "run_action", [] {
+    json::Object o;
+    o["quantity"] = 5.0;
+    return o;
+  }()));
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->rule, "G9");
+}
+
+TEST_F(RulesTest, G10_DoorStaysClosedWhileRunning) {
+  tracker->seat("dosing_device", ids::kVial1);
+  apply(make_cmd(ids::kDosingDevice, "run_action", [] {
+    json::Object o;
+    o["quantity"] = 5.0;
+    return o;
+  }()));
+  auto hit = check(make_cmd(ids::kDosingDevice, "set_door", door("open")));
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->rule, "G10");
+  apply(make_cmd(ids::kDosingDevice, "stop_action"));
+  EXPECT_FALSE(check(make_cmd(ids::kDosingDevice, "set_door", door("open"))).has_value());
+}
+
+TEST_F(RulesTest, G11_ThresholdsEnforced) {
+  auto hit = check(make_cmd(ids::kHotplate, "set_temperature", [] {
+    json::Object o;
+    o["celsius"] = 200.0;  // RABIT threshold 150, firmware limit 340
+    return o;
+  }()));
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->rule, "G11");
+  EXPECT_FALSE(check(make_cmd(ids::kHotplate, "set_temperature", [] {
+                 json::Object o;
+                 o["celsius"] = 140.0;
+                 return o;
+               }()))
+                   .has_value());
+  // Also on the centrifuge rpm.
+  auto spin = check(make_cmd(ids::kCentrifuge, "start_spin", [] {
+    json::Object o;
+    o["rpm"] = 9000.0;
+    return o;
+  }()));
+  ASSERT_TRUE(spin.has_value());
+  EXPECT_EQ(spin->rule, "G11");
+}
+
+// ---- Table IV custom rules ---------------------------------------------------
+
+TEST_F(RulesTest, C1_LiquidOnlyAfterSolid) {
+  apply(make_cmd(ids::kSyringePump, "draw_solvent", [] {
+    json::Object o;
+    o["volume"] = 5.0;
+    return o;
+  }()));
+  auto hit = check(make_cmd(ids::kSyringePump, "dose_solvent", [] {
+    json::Object o;
+    o["volume"] = 2.0;
+    o["target"] = std::string(ids::kVial1);
+    return o;
+  }()));
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->rule, "C1");
+  tracker->set_var(ids::kVial1, "solidMg", json::Value(5.0));
+  EXPECT_FALSE(check(make_cmd(ids::kSyringePump, "dose_solvent", [] {
+                 json::Object o;
+                 o["volume"] = 2.0;
+                 o["target"] = std::string(ids::kVial1);
+                 return o;
+               }()))
+                   .has_value());
+}
+
+class CentrifugePlacement : public RulesTest {
+ protected:
+  CentrifugePlacement() {
+    // Hold a fully prepared vial and open the centrifuge.
+    apply(make_cmd(ids::kViperX, "pick_object", [] {
+      json::Object o;
+      o["site"] = std::string("grid.NW");
+      return o;
+    }()));
+    tracker->set_var(ids::kVial1, "solidMg", json::Value(5.0));
+    tracker->set_var(ids::kVial1, "liquidMl", json::Value(2.0));
+    tracker->set_var(ids::kVial1, "hasStopper", json::Value(1));
+    apply(make_cmd(ids::kCentrifuge, "set_door", door("open")));
+  }
+
+  Command place_in_centrifuge() {
+    json::Object o;
+    o["site"] = std::string("centrifuge");
+    return make_cmd(ids::kViperX, "place_object", std::move(o));
+  }
+};
+
+TEST_F(CentrifugePlacement, FullyPreparedVialPasses) {
+  EXPECT_FALSE(check(place_in_centrifuge()).has_value());
+}
+
+TEST_F(CentrifugePlacement, C2_NeedsSolidAndLiquid) {
+  tracker->set_var(ids::kVial1, "liquidMl", json::Value(0.0));
+  auto hit = check(place_in_centrifuge());
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->rule, "C2");
+}
+
+TEST_F(CentrifugePlacement, C3_RedDotMustFaceNorth) {
+  apply(make_cmd(ids::kCentrifuge, "rotate_platter", [] {
+    json::Object o;
+    o["orientation"] = std::string("E");
+    return o;
+  }()));
+  auto hit = check(place_in_centrifuge());
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->rule, "C3");
+}
+
+TEST_F(CentrifugePlacement, C4_StopperRequired) {
+  tracker->set_var(ids::kVial1, "hasStopper", json::Value(0));
+  auto hit = check(place_in_centrifuge());
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->rule, "C4");
+}
+
+TEST_F(CentrifugePlacement, CustomRulesCanBeDisabled) {
+  config.hein_custom_rules = false;
+  tracker->set_var(ids::kVial1, "hasStopper", json::Value(0));
+  EXPECT_FALSE(check(place_in_centrifuge()).has_value());
+}
+
+// ---- multiplexing preconditions (§IV category 2) -----------------------------
+
+TEST_F(RulesTest, M1_TimeMultiplexRequiresOthersAsleep) {
+  // Wake ViperX, then try to move Ned2.
+  apply(make_cmd(ids::kViperX, "go_home"));
+  auto hit = check(move(ids::kNed2, Vec3(0.2, 0.0, 0.2)));
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->rule, "M1");
+  // Put ViperX to sleep and retry.
+  apply(make_cmd(ids::kViperX, "go_sleep"));
+  EXPECT_FALSE(check(move(ids::kNed2, Vec3(0.2, 0.0, 0.2))).has_value());
+}
+
+TEST_F(RulesTest, M2_SoftWallBlocksTargets) {
+  config.soft_walls.push_back(SoftWallSpec{
+      ids::kViperX, geom::Aabb(Vec3(0.5, -1.0, 0.0), Vec3(1.0, 1.0, 1.0))});
+  auto hit = check(move(ids::kViperX, backend.arm(ids::kViperX).to_local(Vec3(0.6, 0.0, 0.3))));
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->rule, "M2");
+  // The wall only binds the arm it was declared for.
+  EXPECT_FALSE(
+      check(move(ids::kNed2, backend.arm(ids::kNed2).to_local(Vec3(0.62, 0.05, 0.3))))
+          .has_value());
+}
+
+TEST_F(RulesTest, ParkedArmCuboidBlocksTargets) {
+  // Ned2 is asleep; its configured parked cuboid occupies space.
+  const DeviceMeta* ned2 = config.find_device(ids::kNed2);
+  ASSERT_TRUE(ned2->sleep_box.has_value());
+  Vec3 inside = ned2->sleep_box->center();
+  auto hit = check(move(ids::kViperX, backend.arm(ids::kViperX).to_local(inside)));
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->rule, "G3");
+  EXPECT_NE(hit->message.find(ids::kNed2), std::string::npos);
+}
+
+TEST_F(RulesTest, UnknownDeviceIsInvalid) {
+  auto hit = check(make_cmd("ghost", "anything"));
+  ASSERT_TRUE(hit.has_value());
+}
+
+// ---- variant differences -----------------------------------------------------
+
+class InitialVariantRules : public RulesTest {
+ protected:
+  InitialVariantRules() : RulesTest(Variant::Initial) {}
+};
+
+TEST_F(InitialVariantRules, NoStaticObstaclesInWorld) {
+  // Target below the platform surface: V1 does not model the platform.
+  auto below = move(ids::kViperX, Vec3(0.2, 0.2, -0.01));
+  EXPECT_FALSE(check(below).has_value());
+  // But device cuboids are known even to V1.
+  auto hit = check(move(ids::kViperX, Vec3(-0.35, 0.25, 0.06)));
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->rule, "G3");
+}
+
+TEST_F(InitialVariantRules, NoHeldObjectInflation) {
+  apply(make_cmd(ids::kViperX, "pick_object", [] {
+    json::Object o;
+    o["site"] = std::string("grid.NW");
+    return o;
+  }()));
+  auto motion = analyze_motion(config, *tracker, move(ids::kViperX, Vec3(0.2, 0.0, 0.2)));
+  ASSERT_TRUE(motion.has_value());
+  EXPECT_DOUBLE_EQ(motion->held_clearance, 0.0);
+}
+
+TEST_F(RulesTest, ModifiedVariantInflatesHeldObject) {
+  apply(make_cmd(ids::kViperX, "pick_object", [] {
+    json::Object o;
+    o["site"] = std::string("grid.NW");
+    return o;
+  }()));
+  auto motion = analyze_motion(config, *tracker, move(ids::kViperX, Vec3(0.2, 0.0, 0.2)));
+  ASSERT_TRUE(motion.has_value());
+  EXPECT_GT(motion->held_clearance, 0.0);
+}
+
+// ---- motion analysis ----------------------------------------------------------
+
+TEST_F(RulesTest, AnalyzeMotionWaypoints) {
+  auto direct = analyze_motion(config, *tracker, move(ids::kViperX, Vec3(0.2, 0.0, 0.2)));
+  ASSERT_TRUE(direct.has_value());
+  EXPECT_EQ(direct->waypoints.size(), 2u);
+
+  auto composite = analyze_motion(config, *tracker, make_cmd(ids::kViperX, "pick_object", [] {
+                                    json::Object o;
+                                    o["site"] = std::string("grid.NW");
+                                    return o;
+                                  }()));
+  ASSERT_TRUE(composite.has_value());
+  EXPECT_EQ(composite->waypoints.size(), 4u);  // lift, traverse, descend
+  // The arm's own name is always ignorable (its parked cuboid).
+  EXPECT_NE(std::find(composite->ignores.begin(), composite->ignores.end(),
+                      std::string(ids::kViperX)),
+            composite->ignores.end());
+}
+
+TEST_F(RulesTest, AnalyzeMotionNonMotionCommands) {
+  EXPECT_FALSE(analyze_motion(config, *tracker, make_cmd(ids::kViperX, "open_gripper"))
+                   .has_value());
+  EXPECT_FALSE(analyze_motion(config, *tracker, make_cmd(ids::kDosingDevice, "stop_action"))
+                   .has_value());
+}
+
+TEST(TransitionTable, CoversAllCategoriesAndRules) {
+  auto table = transition_table();
+  EXPECT_GE(table.size(), 12u);
+  bool has_pick = false;
+  std::set<dev::DeviceCategory> categories;
+  for (const TransitionEntry& e : table) {
+    categories.insert(e.category);
+    if (e.action == "pick_object") {
+      has_pick = true;
+      EXPECT_NE(e.preconditions.find("robotArmHolding = none"), std::string::npos);
+      EXPECT_NE(e.postconditions.find("robotArmHolding = object"), std::string::npos);
+    }
+  }
+  EXPECT_TRUE(has_pick);
+  EXPECT_EQ(categories.size(), 4u);  // all four device types appear
+}
+
+}  // namespace
+}  // namespace rabit::core

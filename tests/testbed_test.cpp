@@ -1,0 +1,96 @@
+// Frame-unification calibration (paper §IV category 2).
+#include <gtest/gtest.h>
+
+#include "sim/deck.hpp"
+#include "testbed/frame_calibration.hpp"
+
+namespace rabit::tb {
+namespace {
+
+namespace ids = sim::deck_ids;
+
+class CalibrationTest : public ::testing::Test {
+ protected:
+  CalibrationTest() : backend(sim::testbed_profile()) {
+    sim::build_hein_testbed_deck(backend);
+  }
+  sim::LabBackend backend;
+};
+
+TEST_F(CalibrationTest, TestbedErrorLandsNearPaperFigure) {
+  // Average several sessions, like the bench does.
+  double mean = 0;
+  constexpr int kSessions = 10;
+  for (int s = 0; s < kSessions; ++s) {
+    CalibrationOptions opts;
+    opts.seed = 100 + static_cast<unsigned>(s);
+    CalibrationResult result =
+        calibrate_frames(backend.arm(ids::kViperX), backend.arm(ids::kNed2), opts);
+    mean += result.mean_probe_error_m;
+  }
+  mean /= kSessions;
+  // Paper: "an average error of 3cm". Accept the right order of magnitude.
+  EXPECT_GT(mean, 0.015);
+  EXPECT_LT(mean, 0.06);
+}
+
+TEST_F(CalibrationTest, CleanMeasurementsFitAlmostExactly) {
+  CalibrationOptions opts;
+  opts.measurement_noise_m = 0.0;
+  opts.gripper_mismatch_m = 0.0;
+  CalibrationResult result =
+      calibrate_frames(backend.arm(ids::kViperX), backend.arm(ids::kNed2), opts);
+  EXPECT_LT(result.mean_probe_error_m, 1e-6);
+  EXPECT_LT(result.fit.rms_error, 1e-6);
+}
+
+TEST_F(CalibrationTest, ErrorGrowsWithNoise) {
+  auto mean_error = [&](double noise, double gripper) {
+    double total = 0;
+    for (unsigned s = 0; s < 8; ++s) {
+      CalibrationOptions opts;
+      opts.measurement_noise_m = noise;
+      opts.gripper_mismatch_m = gripper;
+      opts.seed = 40 + s;
+      total += calibrate_frames(backend.arm(ids::kViperX), backend.arm(ids::kNed2), opts)
+                   .mean_probe_error_m;
+    }
+    return total / 8;
+  };
+  double precise = mean_error(0.0005, 0.0);
+  double noisy = mean_error(0.01, 0.0);
+  double noisy_mismatched = mean_error(0.01, 0.035);
+  EXPECT_LT(precise, noisy);
+  EXPECT_LT(noisy, noisy_mismatched);
+}
+
+TEST_F(CalibrationTest, DeterministicPerSeed) {
+  CalibrationOptions opts;
+  opts.seed = 7;
+  CalibrationResult a =
+      calibrate_frames(backend.arm(ids::kViperX), backend.arm(ids::kNed2), opts);
+  CalibrationResult b =
+      calibrate_frames(backend.arm(ids::kViperX), backend.arm(ids::kNed2), opts);
+  EXPECT_DOUBLE_EQ(a.mean_probe_error_m, b.mean_probe_error_m);
+  EXPECT_DOUBLE_EQ(a.max_probe_error_m, b.max_probe_error_m);
+}
+
+TEST_F(CalibrationTest, SafetyMarginCoversObservedError) {
+  CalibrationOptions opts;
+  CalibrationResult result =
+      calibrate_frames(backend.arm(ids::kViperX), backend.arm(ids::kNed2), opts);
+  double margin = required_safety_margin(result);
+  EXPECT_GE(margin, result.mean_probe_error_m);
+  EXPECT_GE(margin, result.max_probe_error_m);
+}
+
+TEST_F(CalibrationTest, ValidationOfOptions) {
+  CalibrationOptions opts;
+  opts.calibration_points = 2;
+  EXPECT_THROW(static_cast<void>(calibrate_frames(backend.arm(ids::kViperX),
+                                                  backend.arm(ids::kNed2), opts)),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rabit::tb

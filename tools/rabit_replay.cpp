@@ -1,0 +1,73 @@
+// rabit_replay — replay a recorded command trace through RABIT offline.
+//
+// Given a JSONL trace (the format the Supervisor records and RAD uses), this
+// tool replays the raw commands on a fresh testbed deck under a chosen RABIT
+// variant and reports what would have been blocked — the "test yesterday's
+// experiment against today's rulebase" workflow.
+//
+//   usage: rabit_replay <trace.jsonl> [initial|modified|modified+sim]
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "bugs/bugs.hpp"
+#include "trace/trace.hpp"
+
+using namespace rabit;
+
+int main(int argc, char** argv) {
+  if (argc < 2 || argc > 3) {
+    std::fprintf(stderr, "usage: %s <trace.jsonl> [initial|modified|modified+sim]\n", argv[0]);
+    return 2;
+  }
+  core::Variant variant = core::Variant::Modified;
+  if (argc == 3) {
+    std::string name = argv[2];
+    if (name == "initial") {
+      variant = core::Variant::Initial;
+    } else if (name == "modified") {
+      variant = core::Variant::Modified;
+    } else if (name == "modified+sim") {
+      variant = core::Variant::ModifiedWithSim;
+    } else {
+      std::fprintf(stderr, "error: unknown variant '%s'\n", name.c_str());
+      return 2;
+    }
+  }
+
+  std::ifstream in(argv[1]);
+  if (!in) {
+    std::fprintf(stderr, "error: cannot open '%s'\n", argv[1]);
+    return 2;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+
+  trace::TraceLog log;
+  try {
+    log = trace::TraceLog::from_jsonl(buffer.str());
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: malformed trace: %s\n", e.what());
+    return 1;
+  }
+  std::vector<dev::Command> commands;
+  commands.reserve(log.size());
+  for (const trace::TraceRecord& r : log.records()) commands.push_back(r.command);
+
+  bugs::BugOutcome outcome = bugs::evaluate_stream(commands, variant);
+  std::printf("replayed %zu commands under '%s'\n", commands.size(),
+              std::string(core::to_string(variant)).c_str());
+  std::printf("  executed steps : %zu\n", outcome.report.steps.size());
+  std::printf("  alerts         : %zu\n", outcome.report.alerts);
+  if (outcome.report.first_alert_step) {
+    const trace::SupervisedStep& s = outcome.report.steps[*outcome.report.first_alert_step];
+    std::printf("  first alert    : step %zu, %s\n", *outcome.report.first_alert_step,
+                s.alert->describe().c_str());
+  }
+  std::printf("  damage events  : %zu\n", outcome.report.damage.size());
+  for (const sim::DamageEvent& e : outcome.report.damage) {
+    std::printf("    [%s] %s\n", std::string(dev::to_string(e.severity)).c_str(),
+                e.description.c_str());
+  }
+  return outcome.report.alerts > 0 || !outcome.report.damage.empty() ? 1 : 0;
+}

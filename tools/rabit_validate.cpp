@@ -1,0 +1,81 @@
+// rabit_validate — check a RABIT lab-configuration file before deployment.
+//
+// The §V-A pilot study found researchers lose hours to JSON syntax errors
+// and sign mistakes; this tool runs the same schema validation RABIT applies
+// at load time and reports every issue with its location.
+//
+//   usage: rabit_validate <config.json>
+//          rabit_validate --template > config.json   (emit a starter file)
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "core/config.hpp"
+#include "sim/deck.hpp"
+
+using namespace rabit;
+
+namespace {
+
+int emit_template() {
+  sim::LabBackend backend(sim::testbed_profile());
+  sim::build_hein_testbed_deck(backend);
+  core::EngineConfig config = core::config_from_backend(backend, core::Variant::Modified);
+  std::printf("%s\n", json::serialize_pretty(core::config_to_json(config)).c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: %s <config.json> | --template\n", argv[0]);
+    return 2;
+  }
+  if (std::string(argv[1]) == "--template") return emit_template();
+
+  std::ifstream in(argv[1]);
+  if (!in) {
+    std::fprintf(stderr, "error: cannot open '%s'\n", argv[1]);
+    return 2;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+
+  json::Value doc;
+  try {
+    doc = json::parse(buffer.str());
+  } catch (const json::ParseError& e) {
+    std::fprintf(stderr, "%s: JSON syntax error at line %d, column %d\n", argv[1], e.line(),
+                 e.column());
+    std::fprintf(stderr, "  %s\n", e.what());
+    return 1;
+  }
+
+  auto issues = core::config_schema().validate(doc);
+  if (!issues.empty()) {
+    std::fprintf(stderr, "%s: %zu schema issue(s):\n", argv[1], issues.size());
+    for (const json::SchemaIssue& issue : issues) {
+      std::fprintf(stderr, "  %s: %s\n",
+                   issue.path.empty() ? "/" : issue.path.c_str(), issue.message.c_str());
+    }
+    return 1;
+  }
+
+  try {
+    core::EngineConfig config = core::config_from_json(doc);
+    std::size_t arms = 0;
+    for (const core::DeviceMeta& m : config.devices) {
+      if (m.is_arm) ++arms;
+    }
+    std::printf("%s: OK — %zu devices (%zu arms), %zu sites, %zu static obstacles, "
+                "variant '%s'\n",
+                argv[1], config.devices.size(), arms, config.sites.size(),
+                config.static_obstacles.size(),
+                std::string(core::to_string(config.variant)).c_str());
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s: schema passed but loading failed: %s\n", argv[1], e.what());
+    return 1;
+  }
+  return 0;
+}
