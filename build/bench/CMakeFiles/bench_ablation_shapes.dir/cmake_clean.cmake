@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_shapes.dir/bench_ablation_shapes.cpp.o"
+  "CMakeFiles/bench_ablation_shapes.dir/bench_ablation_shapes.cpp.o.d"
+  "bench_ablation_shapes"
+  "bench_ablation_shapes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_shapes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

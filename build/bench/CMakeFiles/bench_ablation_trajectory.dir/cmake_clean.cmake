@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_trajectory.dir/bench_ablation_trajectory.cpp.o"
+  "CMakeFiles/bench_ablation_trajectory.dir/bench_ablation_trajectory.cpp.o.d"
+  "bench_ablation_trajectory"
+  "bench_ablation_trajectory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_trajectory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

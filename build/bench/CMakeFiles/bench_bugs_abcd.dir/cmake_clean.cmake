@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_bugs_abcd.dir/bench_bugs_abcd.cpp.o"
+  "CMakeFiles/bench_bugs_abcd.dir/bench_bugs_abcd.cpp.o.d"
+  "bench_bugs_abcd"
+  "bench_bugs_abcd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_bugs_abcd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

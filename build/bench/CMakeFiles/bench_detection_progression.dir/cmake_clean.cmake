@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_detection_progression.dir/bench_detection_progression.cpp.o"
+  "CMakeFiles/bench_detection_progression.dir/bench_detection_progression.cpp.o.d"
+  "bench_detection_progression"
+  "bench_detection_progression.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_detection_progression.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

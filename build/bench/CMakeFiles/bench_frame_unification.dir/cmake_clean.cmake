@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_frame_unification.dir/bench_frame_unification.cpp.o"
+  "CMakeFiles/bench_frame_unification.dir/bench_frame_unification.cpp.o.d"
+  "bench_frame_unification"
+  "bench_frame_unification.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_frame_unification.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_latency_overhead.dir/bench_latency_overhead.cpp.o"
+  "CMakeFiles/bench_latency_overhead.dir/bench_latency_overhead.cpp.o.d"
+  "bench_latency_overhead"
+  "bench_latency_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_latency_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_pilot_config_errors.dir/bench_pilot_config_errors.cpp.o"
+  "CMakeFiles/bench_pilot_config_errors.dir/bench_pilot_config_errors.cpp.o.d"
+  "bench_pilot_config_errors"
+  "bench_pilot_config_errors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_pilot_config_errors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

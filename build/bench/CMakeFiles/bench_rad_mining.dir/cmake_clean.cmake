@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_rad_mining.dir/bench_rad_mining.cpp.o"
+  "CMakeFiles/bench_rad_mining.dir/bench_rad_mining.cpp.o.d"
+  "bench_rad_mining"
+  "bench_rad_mining.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_rad_mining.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

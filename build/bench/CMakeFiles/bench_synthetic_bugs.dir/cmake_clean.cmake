@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_synthetic_bugs.dir/bench_synthetic_bugs.cpp.o"
+  "CMakeFiles/bench_synthetic_bugs.dir/bench_synthetic_bugs.cpp.o.d"
+  "bench_synthetic_bugs"
+  "bench_synthetic_bugs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_synthetic_bugs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_stages.dir/bench_table1_stages.cpp.o"
+  "CMakeFiles/bench_table1_stages.dir/bench_table1_stages.cpp.o.d"
+  "bench_table1_stages"
+  "bench_table1_stages.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_stages.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

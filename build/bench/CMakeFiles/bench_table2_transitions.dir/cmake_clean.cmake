@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_transitions.dir/bench_table2_transitions.cpp.o"
+  "CMakeFiles/bench_table2_transitions.dir/bench_table2_transitions.cpp.o.d"
+  "bench_table2_transitions"
+  "bench_table2_transitions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_transitions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_general_rules.dir/bench_table3_general_rules.cpp.o"
+  "CMakeFiles/bench_table3_general_rules.dir/bench_table3_general_rules.cpp.o.d"
+  "bench_table3_general_rules"
+  "bench_table3_general_rules.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_general_rules.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_custom_rules.dir/bench_table4_custom_rules.cpp.o"
+  "CMakeFiles/bench_table4_custom_rules.dir/bench_table4_custom_rules.cpp.o.d"
+  "bench_table4_custom_rules"
+  "bench_table4_custom_rules.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_custom_rules.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

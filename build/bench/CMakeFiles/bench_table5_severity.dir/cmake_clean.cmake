@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_severity.dir/bench_table5_severity.cpp.o"
+  "CMakeFiles/bench_table5_severity.dir/bench_table5_severity.cpp.o.d"
+  "bench_table5_severity"
+  "bench_table5_severity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_severity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/berlinguette_lab.dir/berlinguette_lab.cpp.o"
+  "CMakeFiles/berlinguette_lab.dir/berlinguette_lab.cpp.o.d"
+  "berlinguette_lab"
+  "berlinguette_lab.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/berlinguette_lab.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

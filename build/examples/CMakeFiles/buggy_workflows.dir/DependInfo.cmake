@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/buggy_workflows.cpp" "examples/CMakeFiles/buggy_workflows.dir/buggy_workflows.cpp.o" "gcc" "examples/CMakeFiles/buggy_workflows.dir/buggy_workflows.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/bugs/CMakeFiles/rabit_bugs.dir/DependInfo.cmake"
+  "/root/repo/build/src/rad/CMakeFiles/rabit_rad.dir/DependInfo.cmake"
+  "/root/repo/build/src/script/CMakeFiles/rabit_script.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/rabit_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/rabit_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/rabit_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/testbed/CMakeFiles/rabit_testbed.dir/DependInfo.cmake"
+  "/root/repo/build/src/devices/CMakeFiles/rabit_devices.dir/DependInfo.cmake"
+  "/root/repo/build/src/kinematics/CMakeFiles/rabit_kinematics.dir/DependInfo.cmake"
+  "/root/repo/build/src/geometry/CMakeFiles/rabit_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/json/CMakeFiles/rabit_json.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/buggy_workflows.dir/buggy_workflows.cpp.o"
+  "CMakeFiles/buggy_workflows.dir/buggy_workflows.cpp.o.d"
+  "buggy_workflows"
+  "buggy_workflows.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/buggy_workflows.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

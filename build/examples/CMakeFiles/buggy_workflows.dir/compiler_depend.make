@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for buggy_workflows.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/solubility_experiment.dir/solubility_experiment.cpp.o"
+  "CMakeFiles/solubility_experiment.dir/solubility_experiment.cpp.o.d"
+  "solubility_experiment"
+  "solubility_experiment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/solubility_experiment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/three_stage_pipeline.dir/three_stage_pipeline.cpp.o"
+  "CMakeFiles/three_stage_pipeline.dir/three_stage_pipeline.cpp.o.d"
+  "three_stage_pipeline"
+  "three_stage_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/three_stage_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("json")
+subdirs("geometry")
+subdirs("kinematics")
+subdirs("devices")
+subdirs("sim")
+subdirs("testbed")
+subdirs("script")
+subdirs("trace")
+subdirs("core")
+subdirs("rad")
+subdirs("bugs")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rabit_bugs.dir/bugs.cpp.o"
+  "CMakeFiles/rabit_bugs.dir/bugs.cpp.o.d"
+  "librabit_bugs.a"
+  "librabit_bugs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rabit_bugs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/config.cpp" "src/core/CMakeFiles/rabit_core.dir/config.cpp.o" "gcc" "src/core/CMakeFiles/rabit_core.dir/config.cpp.o.d"
+  "/root/repo/src/core/engine.cpp" "src/core/CMakeFiles/rabit_core.dir/engine.cpp.o" "gcc" "src/core/CMakeFiles/rabit_core.dir/engine.cpp.o.d"
+  "/root/repo/src/core/rules.cpp" "src/core/CMakeFiles/rabit_core.dir/rules.cpp.o" "gcc" "src/core/CMakeFiles/rabit_core.dir/rules.cpp.o.d"
+  "/root/repo/src/core/tracker.cpp" "src/core/CMakeFiles/rabit_core.dir/tracker.cpp.o" "gcc" "src/core/CMakeFiles/rabit_core.dir/tracker.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/rabit_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/devices/CMakeFiles/rabit_devices.dir/DependInfo.cmake"
+  "/root/repo/build/src/geometry/CMakeFiles/rabit_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/json/CMakeFiles/rabit_json.dir/DependInfo.cmake"
+  "/root/repo/build/src/kinematics/CMakeFiles/rabit_kinematics.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

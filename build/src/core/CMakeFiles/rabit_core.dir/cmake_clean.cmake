@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rabit_core.dir/config.cpp.o"
+  "CMakeFiles/rabit_core.dir/config.cpp.o.d"
+  "CMakeFiles/rabit_core.dir/engine.cpp.o"
+  "CMakeFiles/rabit_core.dir/engine.cpp.o.d"
+  "CMakeFiles/rabit_core.dir/rules.cpp.o"
+  "CMakeFiles/rabit_core.dir/rules.cpp.o.d"
+  "CMakeFiles/rabit_core.dir/tracker.cpp.o"
+  "CMakeFiles/rabit_core.dir/tracker.cpp.o.d"
+  "librabit_core.a"
+  "librabit_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rabit_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

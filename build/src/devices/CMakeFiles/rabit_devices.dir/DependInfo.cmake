@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/devices/containers.cpp" "src/devices/CMakeFiles/rabit_devices.dir/containers.cpp.o" "gcc" "src/devices/CMakeFiles/rabit_devices.dir/containers.cpp.o.d"
+  "/root/repo/src/devices/device.cpp" "src/devices/CMakeFiles/rabit_devices.dir/device.cpp.o" "gcc" "src/devices/CMakeFiles/rabit_devices.dir/device.cpp.o.d"
+  "/root/repo/src/devices/robot_arm.cpp" "src/devices/CMakeFiles/rabit_devices.dir/robot_arm.cpp.o" "gcc" "src/devices/CMakeFiles/rabit_devices.dir/robot_arm.cpp.o.d"
+  "/root/repo/src/devices/stations.cpp" "src/devices/CMakeFiles/rabit_devices.dir/stations.cpp.o" "gcc" "src/devices/CMakeFiles/rabit_devices.dir/stations.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/geometry/CMakeFiles/rabit_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/kinematics/CMakeFiles/rabit_kinematics.dir/DependInfo.cmake"
+  "/root/repo/build/src/json/CMakeFiles/rabit_json.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rabit_devices.dir/containers.cpp.o"
+  "CMakeFiles/rabit_devices.dir/containers.cpp.o.d"
+  "CMakeFiles/rabit_devices.dir/device.cpp.o"
+  "CMakeFiles/rabit_devices.dir/device.cpp.o.d"
+  "CMakeFiles/rabit_devices.dir/robot_arm.cpp.o"
+  "CMakeFiles/rabit_devices.dir/robot_arm.cpp.o.d"
+  "CMakeFiles/rabit_devices.dir/stations.cpp.o"
+  "CMakeFiles/rabit_devices.dir/stations.cpp.o.d"
+  "librabit_devices.a"
+  "librabit_devices.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rabit_devices.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rabit_geometry.dir/geometry.cpp.o"
+  "CMakeFiles/rabit_geometry.dir/geometry.cpp.o.d"
+  "CMakeFiles/rabit_geometry.dir/solid.cpp.o"
+  "CMakeFiles/rabit_geometry.dir/solid.cpp.o.d"
+  "librabit_geometry.a"
+  "librabit_geometry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rabit_geometry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rabit_json.dir/json.cpp.o"
+  "CMakeFiles/rabit_json.dir/json.cpp.o.d"
+  "librabit_json.a"
+  "librabit_json.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rabit_json.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rabit_kinematics.dir/kinematics.cpp.o"
+  "CMakeFiles/rabit_kinematics.dir/kinematics.cpp.o.d"
+  "librabit_kinematics.a"
+  "librabit_kinematics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rabit_kinematics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rabit_rad.dir/rad.cpp.o"
+  "CMakeFiles/rabit_rad.dir/rad.cpp.o.d"
+  "librabit_rad.a"
+  "librabit_rad.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rabit_rad.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "librabit_rad.a"
+)

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/script/interp.cpp" "src/script/CMakeFiles/rabit_script.dir/interp.cpp.o" "gcc" "src/script/CMakeFiles/rabit_script.dir/interp.cpp.o.d"
+  "/root/repo/src/script/lexer.cpp" "src/script/CMakeFiles/rabit_script.dir/lexer.cpp.o" "gcc" "src/script/CMakeFiles/rabit_script.dir/lexer.cpp.o.d"
+  "/root/repo/src/script/parser.cpp" "src/script/CMakeFiles/rabit_script.dir/parser.cpp.o" "gcc" "src/script/CMakeFiles/rabit_script.dir/parser.cpp.o.d"
+  "/root/repo/src/script/workflows.cpp" "src/script/CMakeFiles/rabit_script.dir/workflows.cpp.o" "gcc" "src/script/CMakeFiles/rabit_script.dir/workflows.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/trace/CMakeFiles/rabit_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/rabit_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/rabit_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/json/CMakeFiles/rabit_json.dir/DependInfo.cmake"
+  "/root/repo/build/src/devices/CMakeFiles/rabit_devices.dir/DependInfo.cmake"
+  "/root/repo/build/src/kinematics/CMakeFiles/rabit_kinematics.dir/DependInfo.cmake"
+  "/root/repo/build/src/geometry/CMakeFiles/rabit_geometry.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rabit_script.dir/interp.cpp.o"
+  "CMakeFiles/rabit_script.dir/interp.cpp.o.d"
+  "CMakeFiles/rabit_script.dir/lexer.cpp.o"
+  "CMakeFiles/rabit_script.dir/lexer.cpp.o.d"
+  "CMakeFiles/rabit_script.dir/parser.cpp.o"
+  "CMakeFiles/rabit_script.dir/parser.cpp.o.d"
+  "CMakeFiles/rabit_script.dir/workflows.cpp.o"
+  "CMakeFiles/rabit_script.dir/workflows.cpp.o.d"
+  "librabit_script.a"
+  "librabit_script.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rabit_script.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

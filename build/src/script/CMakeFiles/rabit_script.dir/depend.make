@@ -1,0 +1,2 @@
+# Empty dependencies file for rabit_script.
+# This may be replaced when dependencies are built.

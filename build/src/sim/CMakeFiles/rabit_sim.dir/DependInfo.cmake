@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/backend.cpp" "src/sim/CMakeFiles/rabit_sim.dir/backend.cpp.o" "gcc" "src/sim/CMakeFiles/rabit_sim.dir/backend.cpp.o.d"
+  "/root/repo/src/sim/deck.cpp" "src/sim/CMakeFiles/rabit_sim.dir/deck.cpp.o" "gcc" "src/sim/CMakeFiles/rabit_sim.dir/deck.cpp.o.d"
+  "/root/repo/src/sim/extended_sim.cpp" "src/sim/CMakeFiles/rabit_sim.dir/extended_sim.cpp.o" "gcc" "src/sim/CMakeFiles/rabit_sim.dir/extended_sim.cpp.o.d"
+  "/root/repo/src/sim/world.cpp" "src/sim/CMakeFiles/rabit_sim.dir/world.cpp.o" "gcc" "src/sim/CMakeFiles/rabit_sim.dir/world.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/devices/CMakeFiles/rabit_devices.dir/DependInfo.cmake"
+  "/root/repo/build/src/geometry/CMakeFiles/rabit_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/kinematics/CMakeFiles/rabit_kinematics.dir/DependInfo.cmake"
+  "/root/repo/build/src/json/CMakeFiles/rabit_json.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

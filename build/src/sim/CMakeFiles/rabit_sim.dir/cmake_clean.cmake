@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rabit_sim.dir/backend.cpp.o"
+  "CMakeFiles/rabit_sim.dir/backend.cpp.o.d"
+  "CMakeFiles/rabit_sim.dir/deck.cpp.o"
+  "CMakeFiles/rabit_sim.dir/deck.cpp.o.d"
+  "CMakeFiles/rabit_sim.dir/extended_sim.cpp.o"
+  "CMakeFiles/rabit_sim.dir/extended_sim.cpp.o.d"
+  "CMakeFiles/rabit_sim.dir/world.cpp.o"
+  "CMakeFiles/rabit_sim.dir/world.cpp.o.d"
+  "librabit_sim.a"
+  "librabit_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rabit_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/testbed/frame_calibration.cpp" "src/testbed/CMakeFiles/rabit_testbed.dir/frame_calibration.cpp.o" "gcc" "src/testbed/CMakeFiles/rabit_testbed.dir/frame_calibration.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/devices/CMakeFiles/rabit_devices.dir/DependInfo.cmake"
+  "/root/repo/build/src/geometry/CMakeFiles/rabit_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/kinematics/CMakeFiles/rabit_kinematics.dir/DependInfo.cmake"
+  "/root/repo/build/src/json/CMakeFiles/rabit_json.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rabit_testbed.dir/frame_calibration.cpp.o"
+  "CMakeFiles/rabit_testbed.dir/frame_calibration.cpp.o.d"
+  "librabit_testbed.a"
+  "librabit_testbed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rabit_testbed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rabit_trace.dir/trace.cpp.o"
+  "CMakeFiles/rabit_trace.dir/trace.cpp.o.d"
+  "librabit_trace.a"
+  "librabit_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rabit_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

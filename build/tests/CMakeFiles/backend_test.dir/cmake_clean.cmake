@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/backend_test.dir/backend_test.cpp.o"
+  "CMakeFiles/backend_test.dir/backend_test.cpp.o.d"
+  "backend_test"
+  "backend_test.pdb"
+  "backend_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/backend_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

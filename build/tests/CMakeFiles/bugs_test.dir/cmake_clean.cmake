@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bugs_test.dir/bugs_test.cpp.o"
+  "CMakeFiles/bugs_test.dir/bugs_test.cpp.o.d"
+  "bugs_test"
+  "bugs_test.pdb"
+  "bugs_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bugs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

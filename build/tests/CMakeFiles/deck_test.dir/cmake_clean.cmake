@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deck_test.dir/deck_test.cpp.o"
+  "CMakeFiles/deck_test.dir/deck_test.cpp.o.d"
+  "deck_test"
+  "deck_test.pdb"
+  "deck_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deck_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

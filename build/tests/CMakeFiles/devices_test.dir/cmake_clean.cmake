@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/devices_test.dir/devices_test.cpp.o"
+  "CMakeFiles/devices_test.dir/devices_test.cpp.o.d"
+  "devices_test"
+  "devices_test.pdb"
+  "devices_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/devices_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kinematics_test.dir/kinematics_test.cpp.o"
+  "CMakeFiles/kinematics_test.dir/kinematics_test.cpp.o.d"
+  "kinematics_test"
+  "kinematics_test.pdb"
+  "kinematics_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kinematics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

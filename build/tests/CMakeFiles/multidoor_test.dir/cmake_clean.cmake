@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multidoor_test.dir/multidoor_test.cpp.o"
+  "CMakeFiles/multidoor_test.dir/multidoor_test.cpp.o.d"
+  "multidoor_test"
+  "multidoor_test.pdb"
+  "multidoor_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multidoor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rad_test.dir/rad_test.cpp.o"
+  "CMakeFiles/rad_test.dir/rad_test.cpp.o.d"
+  "rad_test"
+  "rad_test.pdb"
+  "rad_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rad_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

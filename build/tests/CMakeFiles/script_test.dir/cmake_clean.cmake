@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/script_test.dir/script_test.cpp.o"
+  "CMakeFiles/script_test.dir/script_test.cpp.o.d"
+  "script_test"
+  "script_test.pdb"
+  "script_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/script_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

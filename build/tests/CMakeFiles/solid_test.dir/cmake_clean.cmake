@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/solid_test.dir/solid_test.cpp.o"
+  "CMakeFiles/solid_test.dir/solid_test.cpp.o.d"
+  "solid_test"
+  "solid_test.pdb"
+  "solid_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/solid_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

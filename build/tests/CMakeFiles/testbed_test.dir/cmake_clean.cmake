@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/testbed_test.dir/testbed_test.cpp.o"
+  "CMakeFiles/testbed_test.dir/testbed_test.cpp.o.d"
+  "testbed_test"
+  "testbed_test.pdb"
+  "testbed_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/testbed_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

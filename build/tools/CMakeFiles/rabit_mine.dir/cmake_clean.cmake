@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rabit_mine.dir/rabit_mine.cpp.o"
+  "CMakeFiles/rabit_mine.dir/rabit_mine.cpp.o.d"
+  "rabit_mine"
+  "rabit_mine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rabit_mine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for rabit_mine.
+# This may be replaced when dependencies are built.

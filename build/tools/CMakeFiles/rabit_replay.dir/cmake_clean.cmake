@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rabit_replay.dir/rabit_replay.cpp.o"
+  "CMakeFiles/rabit_replay.dir/rabit_replay.cpp.o.d"
+  "rabit_replay"
+  "rabit_replay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rabit_replay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rabit_validate.dir/rabit_validate.cpp.o"
+  "CMakeFiles/rabit_validate.dir/rabit_validate.cpp.o.d"
+  "rabit_validate"
+  "rabit_validate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rabit_validate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

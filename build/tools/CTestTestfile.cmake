@@ -1,0 +1,12 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(tool_validate_template "sh" "-c" "/root/repo/build/tools/rabit_validate --template > /root/repo/build/tools/template.json && /root/repo/build/tools/rabit_validate /root/repo/build/tools/template.json")
+set_tests_properties(tool_validate_template PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;16;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tool_validate_rejects_garbage "sh" "-c" "echo '{broken' > /root/repo/build/tools/bad.json; ! /root/repo/build/tools/rabit_validate /root/repo/build/tools/bad.json")
+set_tests_properties(tool_validate_rejects_garbage PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;18;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tool_mine_synthetic "/root/repo/build/tools/rabit_mine" "--days" "5")
+set_tests_properties(tool_mine_synthetic PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;20;add_test;/root/repo/tools/CMakeLists.txt;0;")
