@@ -1,0 +1,224 @@
+// The abstract value lattice: Const ⊑ Range ⊑ Top, with interval arithmetic
+// and three-valued comparisons. Kept deliberately simple — the analyzer only
+// needs enough precision to decide rule preconditions and loop bounds, and
+// anything it cannot decide degrades to Top (reported, never guessed).
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <initializer_list>
+#include <sstream>
+
+#include "analysis/analysis.hpp"
+
+namespace rabit::analysis {
+
+std::string_view to_string(Severity s) {
+  switch (s) {
+    case Severity::Info: return "info";
+    case Severity::Warning: return "warning";
+    case Severity::Error: return "error";
+  }
+  return "unknown";
+}
+
+std::string Diagnostic::format() const {
+  std::ostringstream os;
+  os << "line " << line << ": " << to_string(severity) << " " << rule << " — " << message;
+  return os.str();
+}
+
+std::size_t AnalysisReport::count(Severity s) const {
+  std::size_t n = 0;
+  for (const Diagnostic& d : diagnostics) {
+    if (d.severity == s) ++n;
+  }
+  return n;
+}
+
+json::Value report_to_json(const AnalysisReport& report) {
+  json::Array items;
+  for (const Diagnostic& d : report.diagnostics) {
+    json::Object o;
+    o["severity"] = std::string(to_string(d.severity));
+    o["rule"] = d.rule;
+    o["line"] = d.line;
+    o["message"] = d.message;
+    items.emplace_back(std::move(o));
+  }
+  json::Object root;
+  root["diagnostics"] = std::move(items);
+  root["errors"] = report.count(Severity::Error);
+  root["warnings"] = report.count(Severity::Warning);
+  root["truncated"] = report.truncated;
+  return json::Value(std::move(root));
+}
+
+// ---------------------------------------------------------------------------
+// AbstractValue
+// ---------------------------------------------------------------------------
+
+AbstractValue AbstractValue::make_const(json::Value v) {
+  AbstractValue a;
+  a.kind = Kind::Const;
+  a.constant = std::move(v);
+  return a;
+}
+
+AbstractValue AbstractValue::make_range(double lo, double hi) {
+  if (lo > hi) std::swap(lo, hi);
+  if (lo == hi) return make_const(json::Value(lo));
+  AbstractValue a;
+  a.kind = Kind::Range;
+  a.lo = lo;
+  a.hi = hi;
+  return a;
+}
+
+AbstractValue AbstractValue::top() { return AbstractValue{}; }
+
+AbstractValue AbstractValue::device_ref(std::string id) {
+  AbstractValue a;
+  a.kind = Kind::Const;
+  a.device = std::move(id);
+  return a;
+}
+
+bool AbstractValue::numeric_bounds(double& out_lo, double& out_hi) const {
+  if (kind == Kind::Range) {
+    out_lo = lo;
+    out_hi = hi;
+    return true;
+  }
+  if (kind == Kind::Const && constant.is_number()) {
+    out_lo = out_hi = constant.as_double();
+    return true;
+  }
+  return false;
+}
+
+std::optional<bool> AbstractValue::truth() const {
+  if (kind != Kind::Const) return std::nullopt;
+  if (!device.empty()) return true;
+  if (constant.is_bool()) return constant.as_bool();
+  if (constant.is_number()) return constant.as_double() != 0.0;
+  if (constant.is_null()) return false;
+  if (constant.is_string()) return !constant.as_string().empty();
+  return true;  // arrays/objects are truthy
+}
+
+namespace {
+
+AbstractValue range_of(std::initializer_list<double> candidates) {
+  double lo = *candidates.begin();
+  double hi = lo;
+  for (double c : candidates) {
+    lo = std::min(lo, c);
+    hi = std::max(hi, c);
+  }
+  if (!std::isfinite(lo) || !std::isfinite(hi)) return AbstractValue::top();
+  return AbstractValue::make_range(lo, hi);
+}
+
+AbstractValue numeric_binary(const std::string& op, double alo, double ahi, double blo,
+                             double bhi) {
+  if (op == "+") return range_of({alo + blo, ahi + bhi});
+  if (op == "-") return range_of({alo - bhi, ahi - blo});
+  if (op == "*") return range_of({alo * blo, alo * bhi, ahi * blo, ahi * bhi});
+  if (op == "/") {
+    if (blo <= 0.0 && bhi >= 0.0) return AbstractValue::top();  // may divide by 0
+    return range_of({alo / blo, alo / bhi, ahi / blo, ahi / bhi});
+  }
+  if (op == "%") {
+    if (blo == bhi && alo == ahi && blo != 0.0) {
+      return AbstractValue::make_const(json::Value(std::fmod(alo, blo)));
+    }
+    return AbstractValue::top();
+  }
+
+  // Comparisons: decided when the intervals do not straddle the boundary.
+  auto decided = [](bool v) { return AbstractValue::make_const(json::Value(v)); };
+  if (op == "<") {
+    if (ahi < blo) return decided(true);
+    if (alo >= bhi) return decided(false);
+    return AbstractValue::top();
+  }
+  if (op == "<=") {
+    if (ahi <= blo) return decided(true);
+    if (alo > bhi) return decided(false);
+    return AbstractValue::top();
+  }
+  if (op == ">") {
+    if (alo > bhi) return decided(true);
+    if (ahi <= blo) return decided(false);
+    return AbstractValue::top();
+  }
+  if (op == ">=") {
+    if (alo >= bhi) return decided(true);
+    if (ahi < blo) return decided(false);
+    return AbstractValue::top();
+  }
+  if (op == "==") {
+    if (alo == ahi && blo == bhi) return decided(alo == blo);
+    if (ahi < blo || bhi < alo) return decided(false);
+    return AbstractValue::top();
+  }
+  if (op == "!=") {
+    if (alo == ahi && blo == bhi) return decided(alo != blo);
+    if (ahi < blo || bhi < alo) return decided(true);
+    return AbstractValue::top();
+  }
+  return AbstractValue::top();
+}
+
+}  // namespace
+
+AbstractValue abstract_binary(const std::string& op, const AbstractValue& lhs,
+                              const AbstractValue& rhs) {
+  // Logical connectives are three-valued.
+  if (op == "and" || op == "or") {
+    std::optional<bool> lt = lhs.truth();
+    std::optional<bool> rt = rhs.truth();
+    if (op == "and") {
+      if (lt.has_value() && !*lt) return AbstractValue::make_const(json::Value(false));
+      if (rt.has_value() && !*rt) return AbstractValue::make_const(json::Value(false));
+      if (lt.has_value() && rt.has_value()) {
+        return AbstractValue::make_const(json::Value(*lt && *rt));
+      }
+    } else {
+      if (lt.has_value() && *lt) return AbstractValue::make_const(json::Value(true));
+      if (rt.has_value() && *rt) return AbstractValue::make_const(json::Value(true));
+      if (lt.has_value() && rt.has_value()) {
+        return AbstractValue::make_const(json::Value(*lt || *rt));
+      }
+    }
+    return AbstractValue::top();
+  }
+
+  // Exact equality over constants of any type.
+  if ((op == "==" || op == "!=") && lhs.is_const() && rhs.is_const() &&
+      !lhs.constant.is_number() && !rhs.constant.is_number()) {
+    bool eq = lhs.device.empty() && rhs.device.empty() ? lhs.constant == rhs.constant
+                                                       : lhs.device == rhs.device;
+    return AbstractValue::make_const(json::Value(op == "==" ? eq : !eq));
+  }
+
+  double alo = 0.0, ahi = 0.0, blo = 0.0, bhi = 0.0;
+  if (lhs.numeric_bounds(alo, ahi) && rhs.numeric_bounds(blo, bhi)) {
+    // Two exact constants: fold precisely (preserves integers for + - *).
+    if (alo == ahi && blo == bhi && (op == "+" || op == "-" || op == "*")) {
+      double r = op == "+" ? alo + blo : op == "-" ? alo - blo : alo * blo;
+      return AbstractValue::make_const(json::Value(r));
+    }
+    return numeric_binary(op, alo, ahi, blo, bhi);
+  }
+
+  // String concatenation mirrors the runtime interpreter.
+  if (op == "+" && lhs.is_const() && rhs.is_const() && lhs.constant.is_string() &&
+      rhs.constant.is_string()) {
+    return AbstractValue::make_const(
+        json::Value(lhs.constant.as_string() + rhs.constant.as_string()));
+  }
+  return AbstractValue::top();
+}
+
+}  // namespace rabit::analysis

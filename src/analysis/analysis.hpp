@@ -1,0 +1,148 @@
+// rabit::analysis — pre-flight static analysis of lab scripts and configs.
+//
+// The pilot study (§V-A) found researchers lose hours to configuration and
+// script errors that only surface at runtime. This module moves detection one
+// stage earlier than the paper's own deployment ladder (simulator → testbed →
+// production): it walks the script DSL AST with an abstract interpreter —
+// constant/interval propagation for numeric arguments, a symbolic device-
+// state model reusing StateTracker, bounded unrolling of loops, path forking
+// at statically undecidable branches — and evaluates the G/C/M rule
+// preconditions against every statically-resolvable device command, before a
+// single command executes.
+//
+// On top of the runtime rulebase it layers analyzer-only checks (A1..A8)
+// that catch classes of bug the runtime provably cannot (the paper's Bug C
+// dry-run, the gripper reorder, the frame-misalignment brush, the silently
+// skipped waypoint), plus a cross-consistency lint over EngineConfig (CFG1..)
+// for semantic mistakes the JSON schema cannot express.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/config.hpp"
+#include "devices/device.hpp"
+#include "json/json.hpp"
+#include "script/ast.hpp"
+
+namespace rabit::analysis {
+
+// ---------------------------------------------------------------------------
+// Diagnostics
+// ---------------------------------------------------------------------------
+
+enum class Severity { Info, Warning, Error };
+
+[[nodiscard]] std::string_view to_string(Severity s);
+
+struct Diagnostic {
+  Severity severity = Severity::Warning;
+  /// Rulebase id ("G1".."G11", "C1".."C4", "M1", "M2", "S1"), analyzer rule
+  /// ("A1".."A8"), or config lint rule ("CFG1"..).
+  std::string rule;
+  std::string message;
+  /// 1-based script line; for command streams the command's source_line when
+  /// recorded from a script, else the 1-based stream index.
+  int line = 0;
+
+  [[nodiscard]] std::string format() const;  ///< "line 14: error G7 — ..."
+};
+
+struct AnalysisReport {
+  std::vector<Diagnostic> diagnostics;
+  /// True when the analyzer hit a budget (paths, loop unrolling) and the
+  /// report may therefore be incomplete (soundness limit, see DESIGN.md).
+  bool truncated = false;
+
+  [[nodiscard]] std::size_t count(Severity s) const;
+  [[nodiscard]] bool has_errors() const { return count(Severity::Error) > 0; }
+};
+
+/// Serializes a report as a JSON object (the rabit_lint --json format).
+[[nodiscard]] json::Value report_to_json(const AnalysisReport& report);
+
+// ---------------------------------------------------------------------------
+// Abstract values
+// ---------------------------------------------------------------------------
+
+/// The numeric lattice: Const(v) ⊑ Range[lo,hi] ⊑ Top. Non-numeric values
+/// are either Const (strings, bools, lists, objects) or Top.
+struct AbstractValue {
+  enum class Kind { Const, Range, Top };
+
+  Kind kind = Kind::Top;
+  json::Value constant;  ///< valid when kind == Const
+  double lo = 0.0;       ///< valid when kind == Range
+  double hi = 0.0;
+  std::string device;    ///< non-empty: this value names a device
+
+  [[nodiscard]] static AbstractValue make_const(json::Value v);
+  [[nodiscard]] static AbstractValue make_range(double lo, double hi);
+  [[nodiscard]] static AbstractValue top();
+  [[nodiscard]] static AbstractValue device_ref(std::string id);
+
+  [[nodiscard]] bool is_const() const { return kind == Kind::Const; }
+  [[nodiscard]] bool is_top() const { return kind == Kind::Top; }
+  /// Numeric interval view: a Const number reads as a point interval.
+  [[nodiscard]] bool numeric_bounds(double& out_lo, double& out_hi) const;
+  /// Truth value when statically decidable.
+  [[nodiscard]] std::optional<bool> truth() const;
+};
+
+/// Interval arithmetic / comparison used by the interpreter (exposed for
+/// tests). `op` is one of the DSL binary operators.
+[[nodiscard]] AbstractValue abstract_binary(const std::string& op, const AbstractValue& lhs,
+                                            const AbstractValue& rhs);
+
+// ---------------------------------------------------------------------------
+// Analyzer entry points
+// ---------------------------------------------------------------------------
+
+struct AnalyzeOptions {
+  int loop_unroll_budget = 64;    ///< decidable-loop iterations before widening
+  int unknown_loop_unroll = 2;    ///< speculative iterations of unknown loops
+  int max_paths = 64;             ///< path-set cap (forked branches)
+  int max_diagnostics = 200;      ///< total report cap
+  double parked_arm_margin = 0.05;   ///< A3: frame-calibration slack (m)
+  double workspace_margin = 0.25;    ///< A4: inflation of the deck envelope (m)
+};
+
+/// Synthesizes the Fig. 6-style `locations` global from a configuration
+/// (sites × arms, arm-local "pickup" plus a raised "safe"), so standalone
+/// scripts can be linted without a live backend.
+[[nodiscard]] json::Value seed_locations(const core::EngineConfig& config,
+                                         double safe_lift = 0.22);
+
+/// Statically analyzes a script against the rulebase. `globals` seeds
+/// additional interpreter globals (the `locations` table when absent is
+/// synthesized from the config automatically).
+[[nodiscard]] AnalysisReport analyze_script(const core::EngineConfig& config,
+                                            const script::Program& program,
+                                            const AnalyzeOptions& options = {});
+[[nodiscard]] AnalysisReport analyze_script(const core::EngineConfig& config,
+                                            std::string_view source,
+                                            const AnalyzeOptions& options = {});
+[[nodiscard]] AnalysisReport analyze_script(const core::EngineConfig& config,
+                                            std::string_view source,
+                                            const std::map<std::string, json::Value>& globals,
+                                            const AnalyzeOptions& options = {});
+
+/// Degenerate (fully concrete) abstract interpretation of a linear command
+/// stream: every runtime rule plus the analyzer-only checks, with no
+/// execution. Diagnostic lines use each command's source_line when positive,
+/// else its 1-based stream index.
+[[nodiscard]] AnalysisReport analyze_stream(const core::EngineConfig& config,
+                                            const std::vector<dev::Command>& commands,
+                                            const AnalyzeOptions& options = {});
+
+/// Cross-consistency lint over a configuration: unknown device/site
+/// references, thresholds naming actions no device has, aliases shadowing
+/// canonical actions, sites unreachable from every arm, overlapping device
+/// cuboids, soft walls referencing unknown arms — semantic checks the JSON
+/// schema cannot express.
+[[nodiscard]] AnalysisReport lint_config(const core::EngineConfig& config);
+
+}  // namespace rabit::analysis

@@ -1,0 +1,191 @@
+// Cross-consistency lint over EngineConfig: semantic mistakes the JSON
+// schema cannot express. The pilot study (§V-A) found researchers making
+// exactly these errors by hand — a threshold naming an action the device
+// does not have silently guards nothing, an alias shadowing a canonical
+// action silently rewrites commands, a site no arm can reach makes every
+// workflow that uses it fail at runtime.
+#include <algorithm>
+#include <set>
+#include <sstream>
+#include <string>
+
+#include "analysis/analysis.hpp"
+
+namespace rabit::analysis {
+
+namespace {
+
+using core::DeviceMeta;
+using core::EngineConfig;
+using core::SiteMeta;
+using core::SoftWallSpec;
+
+/// The action vocabulary the engine dispatches on, per category (see
+/// core/rules.cpp and core/tracker.cpp). A threshold or alias naming
+/// anything else guards nothing.
+std::set<std::string> known_actions(const DeviceMeta& meta) {
+  std::set<std::string> actions;
+  if (meta.is_arm) {
+    actions = {"move_to",     "go_home",      "go_sleep",   "pick_object",
+               "place_object", "open_gripper", "close_gripper"};
+  } else {
+    actions = {"set_door",       "run_action",  "stop_action", "draw_solvent",
+               "dose_solvent",   "set_temperature", "stir",    "shake",
+               "stop",           "rotate_platter",  "start_spin", "stop_spin",
+               "decap",          "recap",       "add_solid",   "add_liquid",
+               "start",          "status",      "measure_solubility"};
+  }
+  for (const auto& binding : meta.value_bindings) actions.insert(binding.action);
+  for (const auto& active : meta.active_actions) actions.insert(active);
+  return actions;
+}
+
+double max_arm_reach(const DeviceMeta& arm) {
+  // Configs do not record joint limits; the home/sleep tip positions bound
+  // what the researcher told us about the arm. A generous multiple of the
+  // farther one approximates the reachable sphere around the base.
+  double home = (arm.home_position_lab - arm.base.apply(geom::Vec3())).norm();
+  double sleep = (arm.sleep_position_lab - arm.base.apply(geom::Vec3())).norm();
+  return std::max(0.6, 2.5 * std::max(home, sleep));
+}
+
+}  // namespace
+
+AnalysisReport lint_config(const core::EngineConfig& config) {
+  AnalysisReport report;
+  auto emit = [&report](Severity severity, const std::string& rule, std::string message) {
+    report.diagnostics.push_back(Diagnostic{severity, rule, std::move(message), 0});
+  };
+
+  // CFG1 — duplicate device / site ids. Everything downstream resolves by
+  // name, so a duplicate silently wins or loses lookups.
+  {
+    std::set<std::string> seen;
+    for (const DeviceMeta& d : config.devices) {
+      if (!seen.insert(d.id).second) {
+        emit(Severity::Error, "CFG1", "duplicate device id '" + d.id + "'");
+      }
+    }
+    std::set<std::string> sites;
+    for (const SiteMeta& s : config.sites) {
+      if (!sites.insert(s.name).second) {
+        emit(Severity::Error, "CFG1", "duplicate site name '" + s.name + "'");
+      }
+    }
+  }
+
+  // CFG2 — sites referencing unknown devices.
+  for (const SiteMeta& s : config.sites) {
+    if (s.is_grid_slot() && config.find_device(s.grid_device) == nullptr) {
+      emit(Severity::Error, "CFG2",
+           "site '" + s.name + "' names unknown grid device '" + s.grid_device + "'");
+    }
+    if (s.is_receptacle() && config.find_device(s.receptacle_device) == nullptr) {
+      emit(Severity::Error, "CFG2", "site '" + s.name + "' names unknown receptacle device '" +
+                                        s.receptacle_device + "'");
+    }
+  }
+
+  // CFG3 — soft walls must reference a configured arm; a typo here disables
+  // the space-multiplexing protection entirely (§IV category 2).
+  for (const SoftWallSpec& wall : config.soft_walls) {
+    const DeviceMeta* arm = config.find_device(wall.arm_id);
+    if (arm == nullptr) {
+      emit(Severity::Error, "CFG3",
+           "soft wall references unknown arm '" + wall.arm_id + "'");
+    } else if (!arm->is_arm) {
+      emit(Severity::Error, "CFG3", "soft wall references '" + wall.arm_id +
+                                        "', which is not a robot arm");
+    }
+  }
+
+  for (const DeviceMeta& d : config.devices) {
+    std::set<std::string> vocabulary = known_actions(d);
+
+    // CFG4 — a threshold naming an action the device never dispatches is a
+    // guard on nothing: the researcher believes a limit exists.
+    for (const core::ThresholdSpec& t : d.thresholds) {
+      bool known = vocabulary.count(t.action) > 0 ||
+                   std::any_of(d.action_aliases.begin(), d.action_aliases.end(),
+                               [&t](const auto& a) { return a.first == t.action; });
+      if (!known) {
+        emit(Severity::Warning, "CFG4",
+             "device '" + d.id + "' sets a threshold on action '" + t.action +
+                 "', which no rule or binding dispatches — the limit guards nothing");
+      }
+    }
+
+    // CFG5 — an alias that names an existing canonical action shadows it:
+    // commands using the original name are silently rewritten.
+    for (const auto& [alias, canonical] : d.action_aliases) {
+      if (vocabulary.count(alias) > 0) {
+        emit(Severity::Error, "CFG5",
+             "device '" + d.id + "' aliases '" + alias + "' -> '" + canonical +
+                 "', shadowing the canonical action of the same name");
+      }
+      if (alias == canonical) {
+        emit(Severity::Warning, "CFG5",
+             "device '" + d.id + "' aliases '" + alias + "' to itself");
+      }
+    }
+  }
+
+  // CFG6 — a site unreachable from every arm makes any workflow using it
+  // fail at runtime; catching it here is exactly the pre-flight promise.
+  {
+    std::vector<const DeviceMeta*> arms;
+    for (const DeviceMeta& d : config.devices) {
+      if (d.is_arm) arms.push_back(&d);
+    }
+    if (!arms.empty()) {
+      for (const SiteMeta& s : config.sites) {
+        bool reachable = std::any_of(arms.begin(), arms.end(), [&s](const DeviceMeta* arm) {
+          geom::Vec3 base = arm->base.apply(geom::Vec3());
+          return (s.lab_position - base).norm() <= max_arm_reach(*arm);
+        });
+        if (!reachable) {
+          emit(Severity::Warning, "CFG6",
+               "site '" + s.name + "' lies beyond the estimated reach of every arm");
+        }
+      }
+    }
+  }
+
+  // CFG7 — overlapping station cuboids: two devices cannot occupy the same
+  // space; an overlap with positive volume means at least one box is wrong,
+  // and rule G3 will fire on legitimate approaches to either.
+  for (std::size_t i = 0; i < config.devices.size(); ++i) {
+    const DeviceMeta& a = config.devices[i];
+    if (a.is_arm || !a.box) continue;
+    for (std::size_t j = i + 1; j < config.devices.size(); ++j) {
+      const DeviceMeta& b = config.devices[j];
+      if (b.is_arm || !b.box) continue;
+      geom::Vec3 lo(std::max(a.box->min.x, b.box->min.x), std::max(a.box->min.y, b.box->min.y),
+                    std::max(a.box->min.z, b.box->min.z));
+      geom::Vec3 hi(std::min(a.box->max.x, b.box->max.x), std::min(a.box->max.y, b.box->max.y),
+                    std::min(a.box->max.z, b.box->max.z));
+      if (lo.x < hi.x && lo.y < hi.y && lo.z < hi.z) {
+        std::ostringstream os;
+        os << "device cuboids of '" << a.id << "' and '" << b.id
+           << "' overlap with positive volume";
+        emit(Severity::Warning, "CFG7", os.str());
+      }
+    }
+  }
+
+  // CFG8 — a threshold with a non-positive limit rejects every use of the
+  // action; almost certainly a sign or unit mistake (§V-A).
+  for (const DeviceMeta& d : config.devices) {
+    for (const core::ThresholdSpec& t : d.thresholds) {
+      if (t.max <= 0.0) {
+        emit(Severity::Warning, "CFG8",
+             "device '" + d.id + "' threshold on '" + t.action + "' has non-positive limit " +
+                 std::to_string(t.max) + " — every use will be rejected");
+      }
+    }
+  }
+
+  return report;
+}
+
+}  // namespace rabit::analysis

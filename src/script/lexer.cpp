@@ -1,5 +1,6 @@
 #include "script/lexer.hpp"
 
+#include <algorithm>
 #include <cctype>
 
 namespace rabit::script {
@@ -21,9 +22,13 @@ std::vector<Token> tokenize(std::string_view source) {
   std::vector<Token> tokens;
   std::size_t i = 0;
   int line = 1;
+  std::size_t line_start = 0;  // index just past the most recent newline
 
   auto peek = [&](std::size_t offset = 0) -> char {
     return i + offset < source.size() ? source[i + offset] : '\0';
+  };
+  auto column_at = [&](std::size_t index) -> int {
+    return static_cast<int>(index - line_start) + 1;
   };
 
   while (i < source.size()) {
@@ -31,6 +36,7 @@ std::vector<Token> tokenize(std::string_view source) {
     if (c == '\n') {
       ++line;
       ++i;
+      line_start = i;
       continue;
     }
     if (c == ' ' || c == '\t' || c == '\r') {
@@ -50,7 +56,7 @@ std::vector<Token> tokenize(std::string_view source) {
       }
       std::string word(source.substr(start, i - start));
       tokens.push_back(Token{is_keyword(word) ? TokenKind::Keyword : TokenKind::Identifier,
-                             std::move(word), 0.0, line});
+                             std::move(word), 0.0, line, column_at(start)});
       continue;
     }
 
@@ -64,11 +70,11 @@ std::vector<Token> tokenize(std::string_view source) {
         ++i;
       }
       std::string text(source.substr(start, i - start));
-      Token t{TokenKind::Number, text, 0.0, line};
+      Token t{TokenKind::Number, text, 0.0, line, column_at(start)};
       try {
         t.number = std::stod(text);
       } catch (const std::exception&) {
-        throw ScriptError("malformed number '" + text + "'", line);
+        throw ScriptError("malformed number '" + text + "'", line, column_at(start));
       }
       tokens.push_back(std::move(t));
       continue;
@@ -76,10 +82,11 @@ std::vector<Token> tokenize(std::string_view source) {
 
     if (c == '"' || c == '\'') {
       char quote = c;
+      std::size_t start = i;
       ++i;
       std::string value;
       while (i < source.size() && source[i] != quote) {
-        if (source[i] == '\n') throw ScriptError("unterminated string", line);
+        if (source[i] == '\n') throw ScriptError("unterminated string", line, column_at(start));
         if (source[i] == '\\' && i + 1 < source.size()) {
           ++i;
           switch (source[i]) {
@@ -88,7 +95,7 @@ std::vector<Token> tokenize(std::string_view source) {
             case '\\': value.push_back('\\'); break;
             case '"': value.push_back('"'); break;
             case '\'': value.push_back('\''); break;
-            default: throw ScriptError("bad escape in string", line);
+            default: throw ScriptError("bad escape in string", line, column_at(i));
           }
           ++i;
           continue;
@@ -96,29 +103,30 @@ std::vector<Token> tokenize(std::string_view source) {
         value.push_back(source[i]);
         ++i;
       }
-      if (i >= source.size()) throw ScriptError("unterminated string", line);
+      if (i >= source.size()) throw ScriptError("unterminated string", line, column_at(start));
       ++i;  // closing quote
-      tokens.push_back(Token{TokenKind::String, std::move(value), 0.0, line});
+      tokens.push_back(Token{TokenKind::String, std::move(value), 0.0, line, column_at(start)});
       continue;
     }
 
     // Two-character operators first.
     if ((c == '=' || c == '!' || c == '<' || c == '>') && peek(1) == '=') {
-      tokens.push_back(Token{TokenKind::Punct, std::string{c, '='}, 0.0, line});
+      tokens.push_back(Token{TokenKind::Punct, std::string{c, '='}, 0.0, line, column_at(i)});
       i += 2;
       continue;
     }
     static const std::string kSingles = "(){}[],.=<>+-*/%";
     if (kSingles.find(c) != std::string::npos) {
-      tokens.push_back(Token{TokenKind::Punct, std::string(1, c), 0.0, line});
+      tokens.push_back(Token{TokenKind::Punct, std::string(1, c), 0.0, line, column_at(i)});
       ++i;
       continue;
     }
 
-    throw ScriptError(std::string("unexpected character '") + c + "'", line);
+    throw ScriptError(std::string("unexpected character '") + c + "'", line, column_at(i));
   }
 
-  tokens.push_back(Token{TokenKind::EndOfFile, "", 0.0, line});
+  tokens.push_back(Token{TokenKind::EndOfFile, "", 0.0, line,
+                         column_at(std::min(i, source.size()))});
   return tokens;
 }
 

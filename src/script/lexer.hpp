@@ -29,6 +29,7 @@ struct Token {
   std::string text;
   double number = 0.0;  ///< valid when kind == Number
   int line = 0;         ///< 1-based source line
+  int column = 0;       ///< 1-based column of the token's first character
 };
 
 class ScriptError : public std::runtime_error {
@@ -36,10 +37,18 @@ class ScriptError : public std::runtime_error {
   ScriptError(const std::string& message, int line)
       : std::runtime_error("script error at line " + std::to_string(line) + ": " + message),
         line_(line) {}
+  ScriptError(const std::string& message, int line, int column)
+      : std::runtime_error("script error at line " + std::to_string(line) + ", column " +
+                           std::to_string(column) + ": " + message),
+        line_(line),
+        column_(column) {}
   [[nodiscard]] int line() const { return line_; }
+  /// 1-based column, or 0 when the error site is known only by line.
+  [[nodiscard]] int column() const { return column_; }
 
  private:
   int line_;
+  int column_ = 0;
 };
 
 /// Tokenizes a complete script. '#' starts a line comment. Throws

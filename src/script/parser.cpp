@@ -48,13 +48,13 @@ class Parser {
   void expect_punct(std::string_view text) {
     if (!match_punct(text)) {
       throw ScriptError("expected '" + std::string(text) + "', got '" + peek().text + "'",
-                        peek().line);
+                        peek().line, peek().column);
     }
   }
 
   std::string expect_identifier(std::string_view what) {
     if (peek().kind != TokenKind::Identifier) {
-      throw ScriptError("expected " + std::string(what), peek().line);
+      throw ScriptError("expected " + std::string(what), peek().line, peek().column);
     }
     return advance().text;
   }
@@ -139,7 +139,7 @@ class Parser {
     expect_punct("{");
     Block block;
     while (!check_punct("}")) {
-      if (at_end()) throw ScriptError("unterminated block", peek().line);
+      if (at_end()) throw ScriptError("unterminated block", peek().line, peek().column);
       block.push_back(parse_statement());
     }
     advance();  // '}'
@@ -278,7 +278,7 @@ class Parser {
           advance();
           return make_expr(t.line, NullLit{});
         }
-        throw ScriptError("unexpected keyword '" + t.text + "'", t.line);
+        throw ScriptError("unexpected keyword '" + t.text + "'", t.line, t.column);
       }
       case TokenKind::Identifier: {
         advance();
@@ -305,12 +305,12 @@ class Parser {
           expect_punct("]");
           return make_expr(t.line, std::move(list));
         }
-        throw ScriptError("unexpected token '" + t.text + "'", t.line);
+        throw ScriptError("unexpected token '" + t.text + "'", t.line, t.column);
       }
       case TokenKind::EndOfFile:
-        throw ScriptError("unexpected end of script", t.line);
+        throw ScriptError("unexpected end of script", t.line, t.column);
     }
-    throw ScriptError("unexpected token", t.line);
+    throw ScriptError("unexpected token", t.line, t.column);
   }
 
   std::vector<Token> tokens_;

@@ -48,8 +48,33 @@ TEST(Lexer, Errors) {
   EXPECT_THROW(static_cast<void>(tokenize("\"bad\\q\"")), ScriptError);
   try {
     static_cast<void>(tokenize("ok\nok\n  @"));
+    FAIL() << "expected ScriptError";
   } catch (const ScriptError& e) {
     EXPECT_EQ(e.line(), 3);
+    EXPECT_EQ(e.column(), 3);  // two spaces, then the bad character
+    EXPECT_NE(std::string(e.what()).find("line 3, column 3"), std::string::npos);
+  }
+}
+
+TEST(Lexer, TokenPositions) {
+  std::vector<Token> tokens = tokenize("let x = 12\n  y = x");
+  ASSERT_GE(tokens.size(), 8u);
+  EXPECT_EQ(tokens[0].line, 1);   // let
+  EXPECT_EQ(tokens[0].column, 1);
+  EXPECT_EQ(tokens[1].column, 5);  // x
+  EXPECT_EQ(tokens[2].column, 7);  // =
+  EXPECT_EQ(tokens[3].column, 9);  // 12
+  EXPECT_EQ(tokens[4].line, 2);   // y
+  EXPECT_EQ(tokens[4].column, 3);
+}
+
+TEST(Lexer, ErrorColumnsOnLaterTokens) {
+  try {
+    static_cast<void>(tokenize("let s = \"oops"));
+    FAIL() << "expected ScriptError";
+  } catch (const ScriptError& e) {
+    EXPECT_EQ(e.line(), 1);
+    EXPECT_EQ(e.column(), 9);  // the opening quote
   }
 }
 
@@ -82,6 +107,23 @@ TEST(Parser, Errors) {
   EXPECT_THROW(parse("1 +"), ScriptError);
   EXPECT_THROW(parse("foo(1,"), ScriptError);
   EXPECT_THROW(parse("a.b"), ScriptError);  // method call needs parens
+}
+
+TEST(Parser, ErrorPositions) {
+  try {
+    parse("let x = 1\nif x { }");
+    FAIL() << "expected ScriptError";
+  } catch (const ScriptError& e) {
+    EXPECT_EQ(e.line(), 2);
+    EXPECT_EQ(e.column(), 4);  // expected '(' at the condition identifier
+  }
+  try {
+    parse("let ok = 1\nlet = 3");
+    FAIL() << "expected ScriptError";
+  } catch (const ScriptError& e) {
+    EXPECT_EQ(e.line(), 2);
+    EXPECT_EQ(e.column(), 5);  // the '=' where a name was expected
+  }
 }
 
 // --- interpreter ----------------------------------------------------------------

@@ -1,0 +1,181 @@
+// rabit_lint — pre-flight static analysis of lab scripts and configurations.
+//
+// Runs before anything executes: parses each script, abstractly interprets it
+// against the rulebase on the configured symbolic lab state, and reports
+// every rule a statically-resolvable command would violate, with script line
+// numbers and rule ids. With no scripts, lints just the configuration. The
+// recommended pre-flight ladder is
+//
+//   rabit_lint script.lab        (static, instant)
+//   rabit_validate config.json   (schema + cross-consistency)
+//   rabit_replay --sim ...       (full simulator stage)
+//
+//   usage: rabit_lint [options] [script.lab ...]
+//     --config <file.json>   lint against this configuration (default: the
+//                            built-in testbed config, as emitted by
+//                            `rabit_validate --template`)
+//     --config-only          lint only the configuration and exit
+//     --demo-bugs            run the §IV bug-catalogue command streams
+//                            through the analyzer and print what it flags
+//     --json                 machine-readable diagnostic output
+//     --help                 this text
+//
+// Exit status: 0 clean (warnings allowed), 1 error-level findings, 2 usage.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/analysis.hpp"
+#include "bugs/bugs.hpp"
+#include "core/config.hpp"
+#include "sim/deck.hpp"
+
+using namespace rabit;
+
+namespace {
+
+void print_usage(std::FILE* out, const char* argv0) {
+  std::fprintf(out,
+               "usage: %s [options] [script.lab ...]\n"
+               "  --config <file.json>  lint against this configuration\n"
+               "  --config-only         lint only the configuration and exit\n"
+               "  --demo-bugs           analyze the built-in bug-catalogue streams\n"
+               "  --json                machine-readable output\n"
+               "  --help                this text\n",
+               argv0);
+}
+
+core::EngineConfig builtin_testbed_config() {
+  sim::LabBackend backend(sim::testbed_profile());
+  sim::build_hein_testbed_deck(backend);
+  return core::config_from_backend(backend, core::Variant::Modified);
+}
+
+void print_report(const std::string& subject, const analysis::AnalysisReport& report,
+                  bool as_json) {
+  if (as_json) {
+    json::Value doc = analysis::report_to_json(report);
+    json::Object wrapped;
+    wrapped["subject"] = subject;
+    for (const auto& [key, value] : doc.as_object()) wrapped[key] = value;
+    std::printf("%s\n", json::serialize_pretty(json::Value(std::move(wrapped))).c_str());
+    return;
+  }
+  if (report.diagnostics.empty()) {
+    std::printf("%s: clean\n", subject.c_str());
+    return;
+  }
+  std::printf("%s:\n", subject.c_str());
+  for (const analysis::Diagnostic& d : report.diagnostics) {
+    std::printf("  %s\n", d.format().c_str());
+  }
+  if (report.truncated) std::printf("  (report truncated by analysis budget)\n");
+}
+
+int demo_bugs(const core::EngineConfig& config, bool as_json) {
+  sim::LabBackend backend(sim::testbed_profile());
+  sim::build_hein_testbed_deck(backend);
+  for (const bugs::BugSpec& bug : bugs::bug_catalogue()) {
+    sim::LabBackend staging(sim::testbed_profile());
+    sim::build_hein_testbed_deck(staging);
+    std::vector<dev::Command> stream = bug.build(staging);
+    analysis::AnalysisReport report = analysis::analyze_stream(config, stream);
+    print_report(bug.id + " — " + bug.name, report, as_json);
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string config_path;
+  bool as_json = false;
+  bool config_only = false;
+  bool run_demo_bugs = false;
+  std::vector<std::string> scripts;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      print_usage(stdout, argv[0]);
+      return 0;
+    }
+    if (arg == "--json") {
+      as_json = true;
+    } else if (arg == "--config-only") {
+      config_only = true;
+    } else if (arg == "--demo-bugs") {
+      run_demo_bugs = true;
+    } else if (arg == "--config") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "error: --config needs a file argument\n");
+        return 2;
+      }
+      config_path = argv[++i];
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "error: unknown option '%s'\n", arg.c_str());
+      print_usage(stderr, argv[0]);
+      return 2;
+    } else {
+      scripts.push_back(arg);
+    }
+  }
+  if (scripts.empty() && !config_only && !run_demo_bugs) {
+    print_usage(stderr, argv[0]);
+    return 2;
+  }
+
+  core::EngineConfig config;
+  if (config_path.empty()) {
+    config = builtin_testbed_config();
+  } else {
+    std::ifstream in(config_path);
+    if (!in) {
+      std::fprintf(stderr, "error: cannot open '%s'\n", config_path.c_str());
+      return 2;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    try {
+      config = core::config_from_json(json::parse(buffer.str()));
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "error: cannot load config '%s': %s\n", config_path.c_str(),
+                   e.what());
+      return 2;
+    }
+  }
+
+  bool any_errors = false;
+
+  // The configuration lint always runs: a script verdict against an
+  // inconsistent config is meaningless.
+  analysis::AnalysisReport config_report = analysis::lint_config(config);
+  any_errors |= config_report.has_errors();
+  if (config_only || !config_report.diagnostics.empty()) {
+    print_report(config_path.empty() ? "<builtin testbed config>" : config_path,
+                 config_report, as_json);
+  }
+  if (config_only) return any_errors ? 1 : 0;
+
+  if (run_demo_bugs) {
+    demo_bugs(config, as_json);
+    return any_errors ? 1 : 0;
+  }
+
+  for (const std::string& path : scripts) {
+    std::ifstream in(path);
+    if (!in) {
+      std::fprintf(stderr, "error: cannot open '%s'\n", path.c_str());
+      return 2;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    analysis::AnalysisReport report = analysis::analyze_script(config, buffer.str());
+    any_errors |= report.has_errors();
+    print_report(path, report, as_json);
+  }
+  return any_errors ? 1 : 0;
+}

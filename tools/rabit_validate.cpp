@@ -4,18 +4,31 @@
 // and sign mistakes; this tool runs the same schema validation RABIT applies
 // at load time and reports every issue with its location.
 //
+// Validation runs in two passes: the JSON schema (shape, types, coordinate
+// bounds), then the semantic cross-consistency lint (dangling references,
+// shadowed aliases, unreachable sites) that the schema cannot express.
+//
 //   usage: rabit_validate <config.json>
 //          rabit_validate --template > config.json   (emit a starter file)
 #include <cstdio>
 #include <fstream>
 #include <sstream>
 
+#include "analysis/analysis.hpp"
 #include "core/config.hpp"
 #include "sim/deck.hpp"
 
 using namespace rabit;
 
 namespace {
+
+void print_usage(std::FILE* out, const char* argv0) {
+  std::fprintf(out,
+               "usage: %s <config.json>\n"
+               "       %s --template > config.json   (emit a starter file)\n"
+               "       %s --help\n",
+               argv0, argv0, argv0);
+}
 
 int emit_template() {
   sim::LabBackend backend(sim::testbed_profile());
@@ -28,8 +41,16 @@ int emit_template() {
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (argc < 2) {
+    print_usage(stderr, argv[0]);
+    return 2;
+  }
+  if (std::string(argv[1]) == "--help" || std::string(argv[1]) == "-h") {
+    print_usage(stdout, argv[0]);
+    return 0;
+  }
   if (argc != 2) {
-    std::fprintf(stderr, "usage: %s <config.json> | --template\n", argv[0]);
+    print_usage(stderr, argv[0]);
     return 2;
   }
   if (std::string(argv[1]) == "--template") return emit_template();
@@ -62,20 +83,32 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  core::EngineConfig config;
   try {
-    core::EngineConfig config = core::config_from_json(doc);
-    std::size_t arms = 0;
-    for (const core::DeviceMeta& m : config.devices) {
-      if (m.is_arm) ++arms;
-    }
-    std::printf("%s: OK — %zu devices (%zu arms), %zu sites, %zu static obstacles, "
-                "variant '%s'\n",
-                argv[1], config.devices.size(), arms, config.sites.size(),
-                config.static_obstacles.size(),
-                std::string(core::to_string(config.variant)).c_str());
+    config = core::config_from_json(doc);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "%s: schema passed but loading failed: %s\n", argv[1], e.what());
     return 1;
   }
+
+  // Second pass: cross-consistency lint (semantic checks beyond the schema).
+  analysis::AnalysisReport lint = analysis::lint_config(config);
+  for (const analysis::Diagnostic& d : lint.diagnostics) {
+    std::fprintf(stderr, "%s: %s %s — %s\n", argv[1],
+                 std::string(analysis::to_string(d.severity)).c_str(), d.rule.c_str(),
+                 d.message.c_str());
+  }
+  if (lint.has_errors()) return 1;
+
+  std::size_t arms = 0;
+  for (const core::DeviceMeta& m : config.devices) {
+    if (m.is_arm) ++arms;
+  }
+  std::printf("%s: OK — %zu devices (%zu arms), %zu sites, %zu static obstacles, "
+              "variant '%s'%s\n",
+              argv[1], config.devices.size(), arms, config.sites.size(),
+              config.static_obstacles.size(),
+              std::string(core::to_string(config.variant)).c_str(),
+              lint.diagnostics.empty() ? "" : " (with lint warnings)");
   return 0;
 }
