@@ -1,0 +1,283 @@
+// Chaos campaign: seeded transient-fault schedules replayed against safe
+// workflows with the supervised-recovery ladder enabled. Reports completion
+// rate, false-halt rate (must be ZERO for recoverable transients), mean
+// retries, and modeled recovery latency; shows the false halts the paper's
+// alert-and-stop policy would raise on the same schedules; proves permanent
+// faults still escalate; and re-runs the Section IV detection progression
+// (8/16 -> 12/16 -> 13/16) to show recovery does not mask a single bug.
+//
+// `--smoke` runs a reduced campaign and skips the microbenchmarks (CI).
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cstring>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "recovery/recovery.hpp"
+
+namespace {
+
+using namespace rabit;
+using namespace rabit::bench;
+
+/// One workflow under chaos: how to build the deck and the command stream.
+struct WorkflowCase {
+  const char* name;
+  std::unique_ptr<sim::LabBackend> (*make_backend)();
+  std::string (*source)();
+};
+
+std::unique_ptr<sim::LabBackend> testbed_backend() { return make_testbed(); }
+std::unique_ptr<sim::LabBackend> production_backend() { return make_production(); }
+
+const WorkflowCase kWorkflows[] = {
+    {"testbed two-arm", testbed_backend, script::testbed_workflow_source},
+    {"solubility", production_backend, script::solubility_workflow_source},
+};
+
+std::vector<std::pair<std::string, std::string>> distinct_pairs(
+    const std::vector<dev::Command>& workflow) {
+  std::vector<std::pair<std::string, std::string>> pairs;
+  for (const dev::Command& c : workflow) {
+    std::pair<std::string, std::string> p{c.device, c.action};
+    if (std::find(pairs.begin(), pairs.end(), p) == pairs.end()) pairs.push_back(p);
+  }
+  return pairs;
+}
+
+dev::FaultSchedule chaos_for(const std::vector<dev::Command>& workflow, unsigned seed) {
+  dev::FaultSchedule::ChaosOptions options;
+  options.horizon_s = 30.0;  // keep fault windows inside the modeled run
+  options.transient_count = 8;
+  return dev::FaultSchedule::chaos(seed, distinct_pairs(workflow), options);
+}
+
+struct ChaosRun {
+  bool halted = false;
+  bool alerted = false;
+  std::size_t retries = 0;
+  std::size_t repolls = 0;
+  std::size_t absorbed = 0;
+  double recovery_time_s = 0.0;
+  std::string halt_reason;
+};
+
+ChaosRun run_chaos(const WorkflowCase& wc, unsigned seed, bool with_recovery) {
+  auto backend = wc.make_backend();
+  std::vector<dev::Command> workflow = script::record_workflow(*backend, wc.source());
+  backend->set_fault_schedule(chaos_for(workflow, seed));
+
+  auto engine = std::make_unique<core::RabitEngine>(
+      core::config_from_backend(*backend, core::Variant::Modified));
+  trace::Supervisor::Options options;
+  if (with_recovery) options.recovery = recovery::RecoveryPolicy{};
+  trace::Supervisor sup(engine.get(), backend.get(), options);
+  trace::RunReport report = sup.run(workflow);
+
+  ChaosRun out;
+  out.halted = report.halted;
+  out.alerted = report.alerts > 0;
+  if (report.halted && report.first_alert_step) {
+    const trace::SupervisedStep& s = report.steps[*report.first_alert_step];
+    if (s.alert) out.halt_reason = s.alert->describe();
+  }
+  if (report.recovery) {
+    out.retries = report.recovery->retries;
+    out.repolls = report.recovery->repolls;
+    out.absorbed = report.recovery->transients_absorbed;
+    out.recovery_time_s = report.recovery->recovery_time_s;
+  }
+  return out;
+}
+
+/// Campaign leg: N seeds per workflow, recovery on vs the paper's
+/// alert-and-stop policy. Every injected transient is recoverable, so every
+/// halt on the recovery side is a false halt. Returns the false-halt count.
+int run_campaign(int seeds_per_workflow) {
+  print_header("Chaos campaign: seeded transients under supervised recovery",
+               "robustness extension -- RABIT (DSN'24) \"preemptively stop\" policy "
+               "vs retry/backoff ladder");
+
+  int recovery_false_halts = 0;
+  std::printf("%-18s %6s %10s %10s %8s %8s %12s %14s\n", "Workflow", "Seeds", "Complete",
+              "FalseHalt", "Strikes", "Retries", "Repolls", "RecLatency(s)");
+  print_rule();
+  for (const WorkflowCase& wc : kWorkflows) {
+    int complete = 0, halts = 0, strikes = 0;
+    std::size_t retries = 0, repolls = 0;
+    double rec_time = 0.0;
+    for (int seed = 1; seed <= seeds_per_workflow; ++seed) {
+      ChaosRun run = run_chaos(wc, static_cast<unsigned>(seed), /*with_recovery=*/true);
+      if (run.halted) {
+        ++halts;
+        std::printf("  ! %s seed %d halted: %s\n", wc.name, seed, run.halt_reason.c_str());
+      } else {
+        ++complete;
+      }
+      if (run.absorbed > 0) ++strikes;
+      retries += run.retries;
+      repolls += run.repolls;
+      rec_time += run.recovery_time_s;
+    }
+    recovery_false_halts += halts;
+    std::printf("%-18s %6d %7d/%-2d %7d/%-2d %8d %8.2f %12.2f %14.2f\n", wc.name,
+                seeds_per_workflow, complete, seeds_per_workflow, halts, seeds_per_workflow,
+                strikes, double(retries) / seeds_per_workflow,
+                double(repolls) / seeds_per_workflow, rec_time / seeds_per_workflow);
+  }
+  print_rule();
+
+  // The same schedules under the paper's policy: the first unabsorbed
+  // transient halts the run.
+  std::printf("\nwithout recovery (alert-and-stop on the same schedules):\n");
+  int baseline_false_halts = 0, baseline_runs = 0;
+  for (const WorkflowCase& wc : kWorkflows) {
+    int halts = 0;
+    for (int seed = 1; seed <= seeds_per_workflow; ++seed) {
+      if (run_chaos(wc, static_cast<unsigned>(seed), /*with_recovery=*/false).halted) ++halts;
+    }
+    baseline_false_halts += halts;
+    baseline_runs += seeds_per_workflow;
+    std::printf("  %-18s false halts: %d/%d\n", wc.name, halts, seeds_per_workflow);
+  }
+  std::printf("\nall injected transients are recoverable; the ladder must absorb every\n");
+  std::printf("one: false halts with recovery = %d (required: 0), without = %d/%d\n",
+              recovery_false_halts, baseline_false_halts, baseline_runs);
+  return recovery_false_halts;
+}
+
+/// Permanent-fault leg: a genuinely dead device must still alert, quarantine,
+/// and drive the deck to its safe state. Returns the number of violations.
+int run_permanent_leg() {
+  print_header("Permanent faults still escalate through the ladder",
+               "RABIT (DSN'24) Fig. 2 lines 13-15 (declare malfunction)");
+
+  struct PermanentCase {
+    const char* name;
+    dev::FaultPlan plan;
+  };
+  std::vector<PermanentCase> cases;
+  {
+    dev::FaultPlan dead;
+    dead.dead_actions = {"set_door"};
+    cases.push_back({"dead door actuator", dead});
+  }
+  {
+    dev::FaultPlan liar;
+    liar.reported_overrides["doorStatus"] = std::string("closed");
+    cases.push_back({"status channel lies", liar});
+  }
+
+  int violations = 0;
+  for (const PermanentCase& pc : cases) {
+    auto backend = make_testbed();
+    std::vector<dev::Command> workflow =
+        script::record_workflow(*backend, script::testbed_workflow_source());
+    dev::FaultSchedule schedule;
+    schedule.add_permanent(sim::deck_ids::kDosingDevice, pc.plan);
+    backend->set_fault_schedule(std::move(schedule));
+
+    auto engine = std::make_unique<core::RabitEngine>(
+        core::config_from_backend(*backend, core::Variant::Modified));
+    trace::Supervisor::Options options;
+    options.recovery = recovery::RecoveryPolicy{};
+    trace::Supervisor sup(engine.get(), backend.get(), options);
+    trace::RunReport report = sup.run(workflow);
+
+    bool alerted = report.alerts > 0;
+    bool quarantined = report.recovery && !report.recovery->quarantined.empty();
+    bool safe_state = report.recovery && report.recovery->safe_state_executed;
+    bool ok = report.halted && alerted && quarantined && safe_state;
+    if (!ok) ++violations;
+    std::printf("  %-22s halted=%d alerted=%d quarantined=%d safe_state=%d  [%s]\n", pc.name,
+                report.halted, alerted, quarantined, safe_state, ok ? "ok" : "VIOLATION");
+  }
+  return violations;
+}
+
+/// Regression leg: the Section IV detection progression with the recovery
+/// ladder enabled, bug by bug against the alert-and-stop baseline. Returns
+/// the number of bugs whose verdict changed.
+int run_progression_leg() {
+  print_header("Detection progression is unchanged under recovery",
+               "RABIT (DSN'24), Section IV (8/16 -> 12/16 -> 13/16)");
+
+  const core::Variant variants[] = {core::Variant::Initial, core::Variant::Modified,
+                                    core::Variant::ModifiedWithSim};
+  trace::Supervisor::Options with_recovery;
+  with_recovery.recovery = recovery::RecoveryPolicy{};
+
+  int mismatches = 0;
+  std::printf("%-16s %10s %14s   %s\n", "Variant", "Baseline", "WithRecovery", "Verdict flips");
+  print_rule();
+  for (core::Variant variant : variants) {
+    int detected_baseline = 0, detected_recovery = 0;
+    std::string flips;
+    for (const bugs::BugSpec& bug : bugs::bug_catalogue()) {
+      std::vector<dev::Command> stream;
+      {
+        auto staging = make_testbed();
+        stream = bug.build(*staging);
+      }
+      bool base = bugs::evaluate_stream(stream, variant).detected;
+      bool rec = bugs::evaluate_stream(stream, variant, with_recovery).detected;
+      detected_baseline += base ? 1 : 0;
+      detected_recovery += rec ? 1 : 0;
+      if (base != rec) {
+        ++mismatches;
+        if (!flips.empty()) flips += " ";
+        flips += bug.id;
+      }
+    }
+    std::printf("%-16s %7d/16 %11d/16   %s\n",
+                std::string(core::to_string(variant)).c_str(), detected_baseline,
+                detected_recovery, flips.empty() ? "none" : flips.c_str());
+  }
+  print_rule();
+  std::printf("recovery retries transients but never swallows a genuine alert:\n");
+  std::printf("verdict flips across 16 bugs x 3 variants: %d (required: 0)\n", mismatches);
+  return mismatches;
+}
+
+// Timing: one full chaos run with recovery, per workflow.
+void BM_ChaosRunWithRecovery(benchmark::State& state) {
+  const WorkflowCase& wc = kWorkflows[state.range(0)];
+  unsigned seed = 1;
+  for (auto _ : state) {
+    ChaosRun run = run_chaos(wc, seed++, /*with_recovery=*/true);
+    benchmark::DoNotOptimize(run);
+  }
+  state.SetLabel(wc.name);
+}
+BENCHMARK(BM_ChaosRunWithRecovery)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+      for (int j = i; j + 1 < argc; ++j) argv[j] = argv[j + 1];
+      --argc;
+      break;
+    }
+  }
+
+  int violations = 0;
+  violations += run_campaign(smoke ? 5 : 25);
+  violations += run_permanent_leg();
+  violations += run_progression_leg();
+  if (violations > 0) {
+    std::printf("\nFAIL: %d acceptance violation(s)\n", violations);
+    return 1;
+  }
+  std::printf("\nall acceptance checks passed\n");
+
+  if (!smoke) {
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+  }
+  return 0;
+}

@@ -104,7 +104,7 @@ MuxRow run_scheme(const char* scheme,
   }
   trace::Supervisor supervisor(engine.get(), backend.get());
   supervisor = trace::Supervisor(engine.get(), backend.get(),
-                                 trace::Supervisor::Options{/*halt_on_alert=*/false});
+                                 trace::Supervisor::Options{/*halt_on_alert=*/false, /*recovery=*/{}});
   trace::RunReport report = supervisor.run(commands);
 
   std::size_t collisions = 0;

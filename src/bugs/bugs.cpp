@@ -497,6 +497,11 @@ const std::vector<BugSpec>& bug_catalogue() {
 // ---------------------------------------------------------------------------
 
 BugOutcome evaluate_stream(const std::vector<Command>& commands, core::Variant variant) {
+  return evaluate_stream(commands, variant, trace::Supervisor::Options{});
+}
+
+BugOutcome evaluate_stream(const std::vector<Command>& commands, core::Variant variant,
+                           const trace::Supervisor::Options& options) {
   sim::LabBackend backend(sim::testbed_profile());
   sim::build_hein_testbed_deck(backend);
 
@@ -523,7 +528,7 @@ BugOutcome evaluate_stream(const std::vector<Command>& commands, core::Variant v
   core::RabitEngine engine(std::move(config));
   if (simulator) engine.attach_simulator(&*simulator);
 
-  trace::Supervisor supervisor(&engine, &backend);
+  trace::Supervisor supervisor(&engine, &backend, options);
   BugOutcome outcome;
   outcome.report = supervisor.run(commands);
   outcome.damaged = !outcome.report.damage.empty();

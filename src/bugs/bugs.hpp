@@ -110,6 +110,13 @@ struct BugOutcome {
 [[nodiscard]] BugOutcome evaluate_stream(const std::vector<dev::Command>& commands,
                                          core::Variant variant);
 
+/// Same, but with explicit Supervisor options — used by the chaos-campaign
+/// bench to prove the detection progression is unchanged when the recovery
+/// ladder is enabled.
+[[nodiscard]] BugOutcome evaluate_stream(const std::vector<dev::Command>& commands,
+                                         core::Variant variant,
+                                         const trace::Supervisor::Options& options);
+
 /// Convenience: builds the bug's stream and evaluates it.
 [[nodiscard]] BugOutcome evaluate_bug(const BugSpec& bug, core::Variant variant);
 

@@ -101,6 +101,13 @@ std::optional<Alert> RabitEngine::check_command(const dev::Command& raw) {
                      motion->arm_id + " trajectory unsafe: " + hit->describe(), cmd};
       }
     }
+  } else if (simulator_ == nullptr && config_.variant == Variant::ModifiedWithSim &&
+             is_motion_command(cmd)) {
+    // Degraded mode: V3 was configured but the simulator is detached
+    // (crashed or disconnected mid-run). The V2 target checks above still
+    // ran; count the skipped trajectory replay as a warning instead of
+    // losing it silently.
+    ++stats_.degraded_checks;
   }
   return std::nullopt;
 }
@@ -112,9 +119,23 @@ void RabitEngine::apply_expected(const dev::Command& cmd) {
 std::optional<Alert> RabitEngine::verify_postconditions(const dev::Command& cmd,
                                                         const dev::LabStateSnapshot& observed) {
   std::vector<std::string> diffs = tracker_.mismatches(observed);
-  tracker_.resync(observed);  // line 16, unconditionally
+  resync_observed(observed);  // line 16, unconditionally
   if (diffs.empty()) return std::nullopt;
+  return declare_malfunction(cmd, diffs);
+}
 
+std::vector<std::string> RabitEngine::postcondition_mismatches(
+    const dev::LabStateSnapshot& observed) const {
+  return tracker_.mismatches(observed);
+}
+
+void RabitEngine::resync_observed(const dev::LabStateSnapshot& observed) {
+  tracker_.resync(observed);
+  ++stats_.resyncs;
+}
+
+Alert RabitEngine::declare_malfunction(const dev::Command& cmd,
+                                       const std::vector<std::string>& diffs) {
   ++stats_.malfunction_alerts;
   std::ostringstream os;
   os << "state diverged from expectation at:";

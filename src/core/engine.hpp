@@ -51,14 +51,44 @@ class RabitEngine {
   [[nodiscard]] std::optional<Alert> verify_postconditions(const dev::Command& cmd,
                                                            const dev::LabStateSnapshot& observed);
 
+  /// The line-14 comparison *without* the line-16 resync: what the recovery
+  /// layer uses to re-poll a suspicious status before declaring a
+  /// malfunction (a stale read must not be confused with real damage).
+  [[nodiscard]] std::vector<std::string> postcondition_mismatches(
+      const dev::LabStateSnapshot& observed) const;
+
+  /// Fig. 2 line 16 alone: adopts the observed state as S_current.
+  void resync_observed(const dev::LabStateSnapshot& observed);
+
+  /// Builds (and counts) the DeviceMalfunction alert for diffs that
+  /// survived the recovery ladder.
+  [[nodiscard]] Alert declare_malfunction(const dev::Command& cmd,
+                                          const std::vector<std::string>& diffs);
+
+  /// Counts one status re-poll taken before judging a divergence.
+  void note_status_repoll() { ++stats_.status_repolls; }
+
   struct Stats {
     std::size_t commands_checked = 0;
     std::size_t precondition_alerts = 0;
     std::size_t trajectory_alerts = 0;
     std::size_t malfunction_alerts = 0;
     std::size_t trajectory_checks = 0;
+    /// Motion commands checked at V2 level because the V3 simulator was
+    /// detached mid-run (degraded mode) — counted, never silently skipped.
+    std::size_t degraded_checks = 0;
+    /// Status re-polls taken before declaring a malfunction.
+    std::size_t status_repolls = 0;
+    /// Line-16 resyncs of S_current onto a fetched S_actual.
+    std::size_t resyncs = 0;
   };
   [[nodiscard]] const Stats& stats() const { return stats_; }
+
+  /// True when the engine is configured for V3 checks but no simulator is
+  /// attached: trajectory validation silently degrades to V2 target checks.
+  [[nodiscard]] bool degraded() const {
+    return config_.variant == Variant::ModifiedWithSim && simulator_ == nullptr;
+  }
 
   /// Modeled wall-clock overhead RABIT added so far: a fixed per-command
   /// check cost plus any Extended Simulator invocations. The paper reports

@@ -1,0 +1,178 @@
+#include "devices/fault.hpp"
+
+#include <algorithm>
+
+namespace rabit::dev {
+
+std::string_view to_string(TransientKind k) {
+  switch (k) {
+    case TransientKind::FirmwareBusy: return "firmware_busy";
+    case TransientKind::DeadAction: return "dead_action";
+    case TransientKind::StatusTimeout: return "status_timeout";
+    case TransientKind::StaleStatus: return "stale_status";
+  }
+  return "unknown";
+}
+
+bool FaultSchedule::Entry::active(double now_s) const {
+  if (now_s < fault.start_s) return false;
+  if (fault.clear_after_s > 0 && now_s >= fault.start_s + fault.clear_after_s) return false;
+  if (fault.clear_after_attempts > 0 && attempts >= fault.clear_after_attempts) return false;
+  return true;
+}
+
+void FaultSchedule::add(TransientFault fault) {
+  raw_.push_back(fault);
+  transients_.push_back(Entry{std::move(fault), 0});
+}
+
+void FaultSchedule::add_permanent(std::string device, FaultPlan plan, double start_s) {
+  permanents_.push_back(
+      Permanent{ScheduledPermanentFault{std::move(device), std::move(plan), start_s}, false});
+}
+
+std::optional<TransientKind> FaultSchedule::on_command_attempt(std::string_view device,
+                                                              std::string_view action,
+                                                              double now_s) {
+  Entry* hit = nullptr;
+  for (Entry& e : transients_) {
+    if (e.fault.kind != TransientKind::FirmwareBusy && e.fault.kind != TransientKind::DeadAction) {
+      continue;
+    }
+    if (e.fault.device != device) continue;
+    if (!e.fault.action.empty() && e.fault.action != action) continue;
+    if (!e.active(now_s)) continue;
+    if (hit == nullptr || (hit->fault.kind == TransientKind::DeadAction &&
+                           e.fault.kind == TransientKind::FirmwareBusy)) {
+      hit = &e;
+    }
+  }
+  if (hit == nullptr) return std::nullopt;
+  ++hit->attempts;
+  return hit->fault.kind;
+}
+
+std::optional<TransientKind> FaultSchedule::on_status_read(std::string_view device,
+                                                           double now_s) {
+  Entry* hit = nullptr;
+  for (Entry& e : transients_) {
+    if (e.fault.kind != TransientKind::StatusTimeout && e.fault.kind != TransientKind::StaleStatus) {
+      continue;
+    }
+    if (e.fault.device != device) continue;
+    if (!e.active(now_s)) continue;
+    if (hit == nullptr || (hit->fault.kind == TransientKind::StaleStatus &&
+                           e.fault.kind == TransientKind::StatusTimeout)) {
+      hit = &e;
+    }
+  }
+  if (hit == nullptr) return std::nullopt;
+  ++hit->attempts;
+  return hit->fault.kind;
+}
+
+std::vector<std::string> FaultSchedule::arm_permanent_plans(DeviceRegistry& registry,
+                                                            double now_s) {
+  std::vector<std::string> armed;
+  for (Permanent& p : permanents_) {
+    if (p.applied || now_s < p.fault.start_s) continue;
+    if (Device* d = registry.find(p.fault.device)) {
+      d->set_fault_plan(p.fault.plan);
+      p.applied = true;
+      armed.push_back(p.fault.device);
+    }
+  }
+  return armed;
+}
+
+const std::vector<std::string>& FaultSchedule::default_dead_safe_actions() {
+  // Actions whose expected postconditions land on *checked* state variables
+  // of the default rulebase — a dead attempt diverges observably, so the
+  // recovery ladder can re-poll and retry it. Arm moves are deliberately
+  // absent: "position"/"pose" are unchecked (the paper's §IV blind spot).
+  static const std::vector<std::string> kActions = {
+      "set_door",   "open_gripper", "close_gripper", "set_temperature", "stir",
+      "shake",      "stop",         "start_spin",    "stop_spin",       "rotate_platter",
+      "run_action", "stop_action",  "start",
+  };
+  return kActions;
+}
+
+FaultSchedule FaultSchedule::chaos(
+    unsigned seed, const std::vector<std::pair<std::string, std::string>>& device_actions,
+    const ChaosOptions& options) {
+  FaultSchedule schedule;
+  if (device_actions.empty() || options.transient_count == 0) return schedule;
+
+  std::mt19937 rng(seed);
+  std::uniform_int_distribution<std::size_t> pair_dist(0, device_actions.size() - 1);
+  std::uniform_real_distribution<double> start_dist(0.0, options.horizon_s);
+  std::uniform_real_distribution<double> clear_s_dist(0.5, options.max_clear_s);
+  std::uniform_int_distribution<std::size_t> clear_n_dist(
+      1, std::max<std::size_t>(1, options.max_clear_attempts));
+  // Kind weights: busy rejections dominate real transient logs; dead actions
+  // and status faults are rarer.
+  std::uniform_int_distribution<int> kind_dist(0, options.include_status_faults ? 5 : 3);
+
+  const auto& dead_safe = default_dead_safe_actions();
+  auto dead_ok = [&dead_safe](const std::string& action) {
+    return std::find(dead_safe.begin(), dead_safe.end(), action) != dead_safe.end();
+  };
+
+  // At most one transient per target: stacked faults on the same command (or
+  // the same device's status channel) accumulate clear_after_attempts
+  // windows until they exceed any bounded retry/re-poll budget, silently
+  // turning a "recoverable" schedule into an unrecoverable one.
+  std::vector<std::string> used_command_targets;
+  std::vector<std::string> used_status_devices;
+  auto take = [](std::vector<std::string>& used, const std::string& key) {
+    if (std::find(used.begin(), used.end(), key) != used.end()) return false;
+    used.push_back(key);
+    return true;
+  };
+
+  std::size_t added = 0;
+  for (std::size_t draw = 0; draw < options.transient_count * 4 && added < options.transient_count;
+       ++draw) {
+    const auto& [device, action] = device_actions[pair_dist(rng)];
+    int k = kind_dist(rng);
+
+    TransientFault fault;
+    fault.device = device;
+    fault.start_s = start_dist(rng);
+    if (k <= 2) {  // 0,1,2: firmware busy on this specific action
+      fault.kind = TransientKind::FirmwareBusy;
+      fault.action = action;
+      if (!take(used_command_targets, device + "." + action)) continue;
+    } else if (k == 3) {  // one dead attempt window, only on recoverable actions
+      fault.kind = dead_ok(action) ? TransientKind::DeadAction : TransientKind::FirmwareBusy;
+      fault.action = action;
+      if (!take(used_command_targets, device + "." + action)) continue;
+    } else if (k == 4) {
+      fault.kind = TransientKind::StaleStatus;
+      if (!take(used_status_devices, device)) continue;
+    } else {
+      fault.kind = TransientKind::StatusTimeout;
+      if (!take(used_status_devices, device)) continue;
+    }
+
+    // Every chaos fault is recoverable: it clears either after a bounded
+    // number of affected attempts or a bounded modeled-time window —
+    // whichever a bounded retry/re-poll ladder reaches first.
+    if (fault.kind == TransientKind::FirmwareBusy) {
+      // Draw both bounds; either retries or backoff waiting clears it.
+      fault.clear_after_attempts = clear_n_dist(rng);
+      fault.clear_after_s = clear_s_dist(rng);
+    } else {
+      // Dead actions and status faults clear by attempts so that re-polls
+      // (which may advance the clock only slightly) are guaranteed to see
+      // fresh data within the policy's re-poll budget.
+      fault.clear_after_attempts = clear_n_dist(rng);
+    }
+    schedule.add(std::move(fault));
+    ++added;
+  }
+  return schedule;
+}
+
+}  // namespace rabit::dev

@@ -1,0 +1,133 @@
+// Transient-fault model: a seeded, deterministic FaultSchedule keyed to the
+// backend's modeled clock.
+//
+// The permanent FaultPlan (device.hpp) models hardware that is genuinely
+// broken — status lies forever, actions never take effect. Month-long
+// autonomous campaigns additionally see *transient* faults that a retry
+// would absorb: firmware briefly refusing commands while busy, an action
+// that silently no-ops once, a status read that times out or returns a
+// stale snapshot. The FaultSchedule injects both kinds on a modeled-time
+// axis so chaos campaigns are reproducible from a single seed (same seed
+// ⇒ same fault sequence ⇒ same trace).
+#pragma once
+
+#include <random>
+
+#include "devices/device.hpp"
+
+namespace rabit::dev {
+
+/// The transient fault kinds a retry/re-poll can absorb.
+enum class TransientKind {
+  FirmwareBusy,   ///< command rejected with a busy error until the fault clears
+  DeadAction,     ///< command accepted but has no physical effect until cleared
+  StatusTimeout,  ///< status read gets no response (observable by the caller)
+  StaleStatus,    ///< status read silently returns the previous snapshot
+};
+
+[[nodiscard]] std::string_view to_string(TransientKind k);
+
+/// One transient fault window. A fault is *active* from `start_s` until it
+/// clears — by modeled time (`clear_after_s`), by affected attempts
+/// (`clear_after_attempts`), or whichever comes first when both are set.
+/// A fault with neither set never clears (degenerate permanent transient;
+/// useful in tests).
+struct TransientFault {
+  std::string device;
+  /// Action the fault applies to; empty = every action on the device.
+  /// Ignored for status faults (they apply to the device's status command).
+  std::string action;
+  TransientKind kind = TransientKind::FirmwareBusy;
+  double start_s = 0.0;                  ///< modeled time the fault arms
+  double clear_after_s = 0.0;            ///< >0: self-clears at start_s + this
+  std::size_t clear_after_attempts = 0;  ///< >0: clears after N affected attempts
+};
+
+/// A permanent FaultPlan that arms at a modeled time (a device breaking
+/// mid-campaign rather than being broken from the start).
+struct ScheduledPermanentFault {
+  std::string device;
+  FaultPlan plan;
+  double start_s = 0.0;
+};
+
+/// Deterministic fault timetable for one run. The backend consults it on
+/// every command and status read; attempt counters are internal, so the
+/// schedule is single-run state (build a fresh one per run, or copy it).
+class FaultSchedule {
+ public:
+  void add(TransientFault fault);
+  void add_permanent(std::string device, FaultPlan plan, double start_s = 0.0);
+
+  [[nodiscard]] bool empty() const { return transients_.empty() && permanents_.empty(); }
+  [[nodiscard]] const std::vector<TransientFault>& transients() const { return raw_; }
+  [[nodiscard]] std::size_t permanent_count() const { return permanents_.size(); }
+
+  /// Active command fault for (device, action) at modeled time `now_s`.
+  /// Counts one affected attempt against the matching fault. FirmwareBusy
+  /// wins over DeadAction when both are somehow active.
+  [[nodiscard]] std::optional<TransientKind> on_command_attempt(std::string_view device,
+                                                               std::string_view action,
+                                                               double now_s);
+
+  /// Active status fault for `device` at `now_s`. Counts one read attempt
+  /// against the matching fault. StatusTimeout wins over StaleStatus.
+  [[nodiscard]] std::optional<TransientKind> on_status_read(std::string_view device,
+                                                            double now_s);
+
+  /// Applies every permanent plan whose start time has passed to the
+  /// registry (once each); returns the ids of newly broken devices.
+  std::vector<std::string> arm_permanent_plans(DeviceRegistry& registry, double now_s);
+
+  // -------------------------------------------------------------------------
+  // Seeded chaos generation
+  // -------------------------------------------------------------------------
+
+  struct ChaosOptions {
+    std::size_t transient_count = 6;   ///< faults drawn per schedule
+    double horizon_s = 120.0;          ///< fault start times uniform in [0, horizon)
+    double max_clear_s = 4.0;          ///< time-cleared faults clear within this
+    std::size_t max_clear_attempts = 3;  ///< attempt-cleared faults clear within this
+    bool include_status_faults = true;   ///< draw StatusTimeout/StaleStatus too
+  };
+
+  /// Builds a schedule of `transient_count` transient faults over the given
+  /// (device, action) universe — typically the distinct pairs of the
+  /// workflow about to run, so every fault can actually strike. Fully
+  /// deterministic from `seed`. DeadAction faults are only drawn for
+  /// actions in `dead_safe_actions` (actions whose postconditions RABIT
+  /// tracks, so a dead attempt is observable and recoverable — dead *arm
+  /// moves* reproduce the paper's position blind spot instead and are not
+  /// chaos material).
+  [[nodiscard]] static FaultSchedule chaos(
+      unsigned seed, const std::vector<std::pair<std::string, std::string>>& device_actions,
+      const ChaosOptions& options);
+  [[nodiscard]] static FaultSchedule chaos(
+      unsigned seed, const std::vector<std::pair<std::string, std::string>>& device_actions);
+
+  /// Actions whose postconditions the default rulebase tracks (safe targets
+  /// for DeadAction chaos faults).
+  [[nodiscard]] static const std::vector<std::string>& default_dead_safe_actions();
+
+ private:
+  struct Entry {
+    TransientFault fault;
+    std::size_t attempts = 0;
+    [[nodiscard]] bool active(double now_s) const;
+  };
+  struct Permanent {
+    ScheduledPermanentFault fault;
+    bool applied = false;
+  };
+
+  std::vector<Entry> transients_;
+  std::vector<TransientFault> raw_;  ///< insertion-order copy for introspection
+  std::vector<Permanent> permanents_;
+};
+
+inline FaultSchedule FaultSchedule::chaos(
+    unsigned seed, const std::vector<std::pair<std::string, std::string>>& device_actions) {
+  return chaos(seed, device_actions, ChaosOptions{});
+}
+
+}  // namespace rabit::dev

@@ -1,0 +1,144 @@
+#include "recovery/recovery.hpp"
+
+#include <sstream>
+
+namespace rabit::recovery {
+
+double BackoffClock::wait_s(std::size_t attempt) {
+  double wait = policy_.backoff_base_s;
+  for (std::size_t i = 1; i < attempt; ++i) wait *= policy_.backoff_factor;
+  if (policy_.backoff_jitter > 0.0) {
+    std::uniform_real_distribution<double> jitter(1.0 - policy_.backoff_jitter,
+                                                  1.0 + policy_.backoff_jitter);
+    wait *= jitter(rng_);
+  }
+  return wait;
+}
+
+std::string_view to_string(RecoveryEvent::Kind k) {
+  switch (k) {
+    case RecoveryEvent::Kind::Retry: return "retry";
+    case RecoveryEvent::Kind::Repoll: return "repoll";
+    case RecoveryEvent::Kind::WatchdogExpired: return "watchdog_expired";
+    case RecoveryEvent::Kind::Quarantine: return "quarantine";
+    case RecoveryEvent::Kind::SafeState: return "safe_state";
+    case RecoveryEvent::Kind::Halt: return "halt";
+  }
+  return "unknown";
+}
+
+json::Value RecoveryReport::to_json() const {
+  json::Object out;
+  out["retries"] = retries;
+  out["repolls"] = repolls;
+  out["transients_absorbed"] = transients_absorbed;
+  out["watchdog_expirations"] = watchdog_expirations;
+  json::Array q;
+  for (const std::string& d : quarantined) q.emplace_back(d);
+  out["quarantined"] = std::move(q);
+  out["safe_state_executed"] = safe_state_executed;
+  out["safe_state_commands"] = safe_state_commands;
+  out["safe_state_failures"] = safe_state_failures;
+  out["halted"] = halted;
+  out["recovery_time_s"] = recovery_time_s;
+  json::Array evs;
+  for (const RecoveryEvent& e : events) {
+    json::Object ev;
+    ev["kind"] = std::string(to_string(e.kind));
+    ev["device"] = e.device;
+    ev["action"] = e.action;
+    if (e.attempt > 0) ev["attempt"] = e.attempt;
+    ev["t"] = e.modeled_time_s;
+    if (!e.note.empty()) ev["note"] = e.note;
+    evs.emplace_back(std::move(ev));
+  }
+  out["events"] = std::move(evs);
+  return json::Value(std::move(out));
+}
+
+std::string RecoveryReport::describe() const {
+  std::ostringstream os;
+  os << "recovery: " << retries << " retries, " << repolls << " repolls, "
+     << transients_absorbed << " transients absorbed";
+  if (watchdog_expirations > 0) os << ", " << watchdog_expirations << " watchdog expirations";
+  if (!quarantined.empty()) {
+    os << "; quarantined:";
+    for (const std::string& d : quarantined) os << " " << d;
+  }
+  if (safe_state_executed) {
+    os << "; safe state executed (" << safe_state_commands << " commands, "
+       << safe_state_failures << " failed)";
+  }
+  if (halted) os << "; HALTED";
+  return os.str();
+}
+
+namespace {
+
+dev::Command make_cmd(const std::string& device, const char* action, json::Object args = {}) {
+  dev::Command c;
+  c.device = device;
+  c.action = action;
+  c.args = json::Value(std::move(args));
+  return c;
+}
+
+}  // namespace
+
+std::vector<dev::Command> safe_state_sequence(const sim::LabBackend& backend,
+                                              const std::set<std::string>& quarantined) {
+  std::vector<dev::Command> out;
+  const dev::DeviceRegistry& registry = backend.registry();
+
+  auto skip = [&quarantined](const dev::Device& d) { return quarantined.count(d.id()) > 0; };
+
+  // 1. Park every arm. Arms go first so that no door below closes onto an
+  //    arm still reaching inside a station.
+  for (const dev::Device* d : registry.all()) {
+    if (skip(*d)) continue;
+    if (dynamic_cast<const dev::RobotArmDevice*>(d) != nullptr) {
+      out.push_back(make_cmd(d->id(), "go_sleep"));
+    }
+  }
+
+  // 2. Close every software-controlled door that is currently open (a
+  //    broken actuator would only reject the command).
+  for (const dev::Device* d : registry.all()) {
+    if (skip(*d)) continue;
+    if (const auto* multi = dynamic_cast<const dev::MultiDoorStation*>(d)) {
+      for (const dev::MultiDoorStation::DoorSpec& door : multi->doors()) {
+        if (multi->door_status(door.name) != "open") continue;
+        json::Object args;
+        args["state"] = "closed";
+        args["door"] = door.name;
+        out.push_back(make_cmd(d->id(), "set_door", std::move(args)));
+      }
+    } else if (const auto* door = dynamic_cast<const dev::DoorMixin*>(d)) {
+      if (door->door_status() != "open") continue;
+      json::Object args;
+      args["state"] = "closed";
+      out.push_back(make_cmd(d->id(), "set_door", std::move(args)));
+    }
+  }
+
+  // 3. Stop everything that heats, shakes, spins, or doses.
+  for (const dev::Device* d : registry.all()) {
+    if (skip(*d)) continue;
+    if (const auto* hp = dynamic_cast<const dev::HotplateModel*>(d)) {
+      if (hp->active() || hp->target_c() > 25.0) out.push_back(make_cmd(d->id(), "stop"));
+    } else if (const auto* ts = dynamic_cast<const dev::ThermoshakerModel*>(d)) {
+      if (ts->active()) out.push_back(make_cmd(d->id(), "stop"));
+    } else if (const auto* cf = dynamic_cast<const dev::CentrifugeModel*>(d)) {
+      if (cf->spinning()) out.push_back(make_cmd(d->id(), "stop_spin"));
+    } else if (const auto* dosing = dynamic_cast<const dev::DosingDeviceModel*>(d)) {
+      if (dosing->running()) out.push_back(make_cmd(d->id(), "stop_action"));
+    } else if (const auto* gen = dynamic_cast<const dev::GenericActionDevice*>(d)) {
+      if (gen->active()) out.push_back(make_cmd(d->id(), "stop"));
+    } else if (const auto* multi = dynamic_cast<const dev::MultiDoorStation*>(d)) {
+      if (multi->active()) out.push_back(make_cmd(d->id(), "stop"));
+    }
+  }
+  return out;
+}
+
+}  // namespace rabit::recovery

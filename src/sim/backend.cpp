@@ -167,6 +167,35 @@ double LabBackend::total_damage_cost() const {
   return total * profile_.damage_cost_factor;
 }
 
+void LabBackend::advance_clock(double seconds) {
+  modeled_clock_s_ += std::max(0.0, seconds);
+}
+
+void LabBackend::set_fault_schedule(dev::FaultSchedule schedule) {
+  fault_schedule_ = std::move(schedule);
+}
+
+LabBackend::StatusFetch LabBackend::fetch_status() {
+  StatusFetch fetch;
+  if (fault_schedule_) fault_schedule_->arm_permanent_plans(registry_, modeled_clock_s_);
+  for (const dev::Device* d : registry_.all()) {
+    const std::string& id = d->id();
+    std::optional<dev::TransientKind> fault;
+    if (fault_schedule_) fault = fault_schedule_->on_status_read(id, modeled_clock_s_);
+    if (auto cached = last_status_.find(id); fault && cached != last_status_.end()) {
+      (*fault == dev::TransientKind::StatusTimeout ? fetch.timed_out : fetch.stale).push_back(id);
+      fetch.snapshot[id] = cached->second;
+      continue;
+    }
+    // Fresh read (also taken on a fault's very first poll of a device: there
+    // is no earlier snapshot a stale read could replay).
+    dev::StateMap observed = d->observed_state();
+    last_status_[id] = observed;
+    fetch.snapshot[id] = std::move(observed);
+  }
+  return fetch;
+}
+
 // ---------------------------------------------------------------------------
 // Command execution
 // ---------------------------------------------------------------------------
@@ -179,6 +208,22 @@ ExecResult LabBackend::execute(const Command& cmd) {
   dev::Device* d = registry_.find(cmd.device);
   if (d == nullptr) {
     throw std::out_of_range("LabBackend: unknown device '" + cmd.device + "'");
+  }
+
+  if (fault_schedule_) {
+    fault_schedule_->arm_permanent_plans(registry_, modeled_clock_s_);
+    if (auto kind = fault_schedule_->on_command_attempt(cmd.device, cmd.action,
+                                                        modeled_clock_s_)) {
+      ++commands_executed_;
+      if (*kind == dev::TransientKind::FirmwareBusy) {
+        r.executed = false;
+        r.transient_busy = true;
+        r.firmware_error = cmd.device + ": firmware busy, command temporarily rejected";
+      } else {  // DeadAction: accepted, but nothing physically happens.
+        r.executed = true;
+      }
+      return r;
+    }
   }
 
   try {

@@ -16,6 +16,7 @@
 
 #include "devices/containers.hpp"
 #include "devices/device.hpp"
+#include "devices/fault.hpp"
 #include "devices/robot_arm.hpp"
 #include "devices/stations.hpp"
 #include "sim/world.hpp"
@@ -47,6 +48,7 @@ struct DamageEvent {
 struct ExecResult {
   bool executed = false;          ///< false when firmware rejected the command
   bool silently_skipped = false;  ///< arm controller quietly ignored the move
+  bool transient_busy = false;    ///< rejection was a firmware-busy transient
   std::string firmware_error;    ///< non-empty when executed == false
   std::vector<DamageEvent> damage;
   double modeled_latency_s = 0.0;
@@ -106,6 +108,31 @@ class LabBackend {
   [[nodiscard]] std::size_t commands_executed() const { return commands_executed_; }
   [[nodiscard]] double modeled_clock_s() const { return modeled_clock_s_; }
 
+  /// Advances the modeled clock without executing anything (recovery
+  /// backoff waits and status re-poll intervals).
+  void advance_clock(double seconds);
+
+  /// Installs a transient/scheduled fault timetable consulted on every
+  /// command and status read. Replaces any previous schedule.
+  void set_fault_schedule(dev::FaultSchedule schedule);
+  void clear_fault_schedule() { fault_schedule_.reset(); }
+  [[nodiscard]] const dev::FaultSchedule* fault_schedule() const {
+    return fault_schedule_ ? &*fault_schedule_ : nullptr;
+  }
+
+  /// One whole-lab status poll (the paper's FetchState) subject to the
+  /// fault schedule: a StatusTimeout device gets no response (last-known
+  /// data is substituted and the device listed in `timed_out`); a
+  /// StaleStatus device silently reports its previous snapshot (`stale`
+  /// is ground-truth annotation for benches — a real caller cannot see it).
+  struct StatusFetch {
+    dev::LabStateSnapshot snapshot;
+    std::vector<std::string> timed_out;
+    std::vector<std::string> stale;
+    [[nodiscard]] bool complete() const { return timed_out.empty(); }
+  };
+  [[nodiscard]] StatusFetch fetch_status();
+
   /// Positioning-error magnitudes sampled per arm move (Table I precision).
   [[nodiscard]] const std::vector<double>& position_error_samples() const {
     return position_errors_;
@@ -157,6 +184,9 @@ class LabBackend {
   std::size_t commands_executed_ = 0;
   double modeled_clock_s_ = 0.0;
   std::mt19937 rng_;
+  std::optional<dev::FaultSchedule> fault_schedule_;
+  /// Last successfully read status per device (what a stale read replays).
+  std::map<std::string, dev::StateMap, std::less<>> last_status_;
 };
 
 /// Severity for a physical collision, from what was hit (paper Table V).

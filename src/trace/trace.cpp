@@ -11,19 +11,87 @@ std::string_view to_string(Outcome o) {
     case Outcome::FirmwareError: return "firmware_error";
     case Outcome::Blocked: return "blocked";
     case Outcome::MalfunctionFlagged: return "malfunction_flagged";
+    case Outcome::TransientRetry: return "transient_retry";
+    case Outcome::StatusRepoll: return "status_repoll";
+    case Outcome::SafeState: return "safe_state";
+    case Outcome::Quarantined: return "quarantined";
   }
   return "unknown";
 }
 
 namespace {
 
-Outcome outcome_from_name(const std::string& name) {
+std::optional<Outcome> outcome_from_name(const std::string& name) {
   if (name == "executed") return Outcome::Executed;
   if (name == "silently_skipped") return Outcome::SilentlySkipped;
   if (name == "firmware_error") return Outcome::FirmwareError;
   if (name == "blocked") return Outcome::Blocked;
   if (name == "malfunction_flagged") return Outcome::MalfunctionFlagged;
-  throw std::runtime_error("TraceLog: unknown outcome '" + name + "'");
+  if (name == "transient_retry") return Outcome::TransientRetry;
+  if (name == "status_repoll") return Outcome::StatusRepoll;
+  if (name == "safe_state") return Outcome::SafeState;
+  if (name == "quarantined") return Outcome::Quarantined;
+  return std::nullopt;
+}
+
+std::string require_string(const json::Object& obj, const char* key, std::size_t line_no) {
+  const json::Value* v = obj.find(key);
+  if (v == nullptr) {
+    throw TraceParseError(std::string("missing required field '") + key + "'", line_no);
+  }
+  if (!v->is_string()) {
+    throw TraceParseError(std::string("field '") + key + "' must be a string, got " +
+                              std::string(json::to_string(v->type())),
+                          line_no);
+  }
+  return v->as_string();
+}
+
+std::int64_t optional_int(const json::Object& obj, const char* key, std::size_t line_no) {
+  const json::Value* v = obj.find(key);
+  if (v == nullptr) return 0;
+  if (!v->is_int()) {
+    throw TraceParseError(std::string("field '") + key + "' must be an integer, got " +
+                              std::string(json::to_string(v->type())),
+                          line_no);
+  }
+  return v->as_int();
+}
+
+TraceRecord parse_record(std::string_view line, std::size_t line_no) {
+  json::Value doc;
+  try {
+    doc = json::parse(line);
+  } catch (const json::ParseError& e) {
+    throw TraceParseError(std::string("malformed JSON: ") + e.what(), line_no);
+  }
+  if (!doc.is_object()) {
+    throw TraceParseError("record must be a JSON object, got " +
+                              std::string(json::to_string(doc.type())),
+                          line_no);
+  }
+  const json::Object& obj = doc.as_object();
+
+  TraceRecord r;
+  r.command.device = require_string(obj, "device", line_no);
+  r.command.action = require_string(obj, "action", line_no);
+  if (const json::Value* args = obj.find("args")) r.command.args = *args;
+  r.command.source_line = static_cast<int>(optional_int(obj, "line", line_no));
+
+  std::string outcome_name = require_string(obj, "outcome", line_no);
+  std::optional<Outcome> outcome = outcome_from_name(outcome_name);
+  if (!outcome) {
+    throw TraceParseError("unknown outcome '" + outcome_name + "'", line_no);
+  }
+  r.outcome = *outcome;
+
+  if (obj.contains("alert_rule")) r.alert_rule = require_string(obj, "alert_rule", line_no);
+  if (obj.contains("alert_message")) {
+    r.alert_message = require_string(obj, "alert_message", line_no);
+  }
+  r.damage_events = static_cast<std::size_t>(optional_int(obj, "damage_events", line_no));
+  r.attempt = static_cast<std::size_t>(optional_int(obj, "attempt", line_no));
+  return r;
 }
 
 }  // namespace
@@ -42,33 +110,32 @@ std::string TraceLog::to_jsonl() const {
       line["alert_message"] = r.alert_message;
     }
     if (r.damage_events > 0) line["damage_events"] = r.damage_events;
+    if (r.attempt > 0) line["attempt"] = r.attempt;
     out += json::serialize(json::Value(std::move(line)));
     out += '\n';
   }
   return out;
 }
 
-TraceLog TraceLog::from_jsonl(std::string_view text) {
+TraceLog TraceLog::from_jsonl(std::string_view text, bool strict, std::size_t* skipped_lines) {
   TraceLog log;
+  if (skipped_lines != nullptr) *skipped_lines = 0;
   std::size_t start = 0;
+  std::size_t line_no = 0;
   while (start < text.size()) {
     std::size_t end = text.find('\n', start);
     if (end == std::string_view::npos) end = text.size();
     std::string_view line = text.substr(start, end - start);
     start = end + 1;
+    ++line_no;
     if (line.empty()) continue;
 
-    json::Value doc = json::parse(line);
-    TraceRecord r;
-    r.command.device = doc.as_object().at("device").as_string();
-    r.command.action = doc.as_object().at("action").as_string();
-    r.command.args = doc.as_object().at("args");
-    r.command.source_line = static_cast<int>(doc.get_or("line", std::int64_t{0}));
-    r.outcome = outcome_from_name(doc.as_object().at("outcome").as_string());
-    r.alert_rule = doc.get_or("alert_rule", std::string());
-    r.alert_message = doc.get_or("alert_message", std::string());
-    r.damage_events = static_cast<std::size_t>(doc.get_or("damage_events", std::int64_t{0}));
-    log.append(std::move(r));
+    try {
+      log.append(parse_record(line, line_no));
+    } catch (const TraceParseError&) {
+      if (strict) throw;
+      if (skipped_lines != nullptr) ++*skipped_lines;
+    }
   }
   return log;
 }
@@ -98,16 +165,197 @@ std::optional<dev::Severity> RunReport::max_damage_severity() const {
 // ---------------------------------------------------------------------------
 
 Supervisor::Supervisor(core::RabitEngine* engine, sim::LabBackend* backend, Options options)
-    : engine_(engine), backend_(backend), options_(options) {
+    : engine_(engine), backend_(backend), options_(std::move(options)) {
   if (backend_ == nullptr) throw std::invalid_argument("Supervisor: null backend");
+  if (options_.recovery) backoff_.emplace(*options_.recovery);
 }
 
 void Supervisor::start() {
   halted_ = false;
   log_.clear();
+  recovery_report_ = recovery::RecoveryReport{};
+  quarantined_.clear();
+  if (backoff_) backoff_->reset();
   if (engine_ != nullptr) {
-    engine_->initialize(backend_->registry().fetch_observed_state());
+    engine_->initialize(backend_->fetch_status().snapshot);
   }
+}
+
+void Supervisor::append_recovery_record(const dev::Command& cmd, Outcome outcome,
+                                        std::size_t attempt, const std::string& note) {
+  TraceRecord r;
+  r.command = cmd;
+  r.outcome = outcome;
+  r.attempt = attempt;
+  if (!note.empty()) {
+    r.alert_rule = "RECOVERY";
+    r.alert_message = note;
+  }
+  log_.append(std::move(r));
+}
+
+void Supervisor::escalate(const dev::Command& cmd, bool quarantine_device) {
+  if (!options_.recovery) return;
+  const recovery::RecoveryPolicy& pol = *options_.recovery;
+
+  if (quarantine_device && quarantined_.insert(cmd.device).second) {
+    recovery_report_.quarantined.push_back(cmd.device);
+    recovery_report_.events.push_back({recovery::RecoveryEvent::Kind::Quarantine, cmd.device,
+                                       cmd.action, 0, backend_->modeled_clock_s(),
+                                       "device removed from service"});
+    append_recovery_record(cmd, Outcome::Quarantined, 0, "device removed from service");
+  }
+
+  if (pol.safe_state_on_escalation && !recovery_report_.safe_state_executed) {
+    recovery_report_.safe_state_executed = true;
+    recovery_report_.events.push_back({recovery::RecoveryEvent::Kind::SafeState, cmd.device,
+                                       cmd.action, 0, backend_->modeled_clock_s(),
+                                       "safe-state sequence started"});
+    // The safe-state sequence is open-loop by design: the deck is in an
+    // unknown state and a quarantined controller may reject commands, so
+    // each is attempted once and failures are only counted.
+    for (const dev::Command& safe_cmd : recovery::safe_state_sequence(*backend_, quarantined_)) {
+      sim::ExecResult exec = backend_->execute(safe_cmd);
+      ++recovery_report_.safe_state_commands;
+      bool ok = exec.executed && !exec.silently_skipped;
+      if (!ok) ++recovery_report_.safe_state_failures;
+      append_recovery_record(safe_cmd, Outcome::SafeState, 0,
+                             ok ? std::string() : "safe-state command failed");
+    }
+  }
+
+  recovery_report_.halted = true;
+  recovery_report_.events.push_back({recovery::RecoveryEvent::Kind::Halt, cmd.device, cmd.action,
+                                     0, backend_->modeled_clock_s(), "experiment halted"});
+}
+
+void Supervisor::execute_with_recovery(const dev::Command& cmd, SupervisedStep& result,
+                                       TraceRecord& record) {
+  const recovery::RecoveryPolicy& pol = *options_.recovery;
+  const double deadline = backend_->modeled_clock_s() + pol.watchdog_timeout_s;
+  std::size_t attempts_used = 0;
+  bool watchdog_logged = false;
+  bool used_ladder = false;
+  std::vector<sim::DamageEvent> all_damage;
+
+  auto watchdog_ok = [&] { return backend_->modeled_clock_s() < deadline; };
+  auto note_watchdog = [&] {
+    if (watchdog_logged) return;
+    watchdog_logged = true;
+    ++recovery_report_.watchdog_expirations;
+    recovery_report_.events.push_back({recovery::RecoveryEvent::Kind::WatchdogExpired,
+                                       cmd.device, cmd.action, attempts_used,
+                                       backend_->modeled_clock_s(),
+                                       "per-command watchdog expired"});
+  };
+
+  // One rung of the retry ladder: backoff wait + bookkeeping. Returns false
+  // once the per-command budget or the watchdog is exhausted.
+  auto take_retry = [&](const std::string& note) -> bool {
+    if (attempts_used >= pol.max_retries) return false;
+    if (!watchdog_ok()) {
+      note_watchdog();
+      return false;
+    }
+    ++attempts_used;
+    ++result.retries;
+    double wait = backoff_->wait_s(attempts_used);
+    backend_->advance_clock(wait);
+    ++recovery_report_.retries;
+    recovery_report_.recovery_time_s += wait;
+    recovery_report_.events.push_back({recovery::RecoveryEvent::Kind::Retry, cmd.device,
+                                       cmd.action, attempts_used, backend_->modeled_clock_s(),
+                                       note});
+    append_recovery_record(cmd, Outcome::TransientRetry, attempts_used, note);
+    return true;
+  };
+
+  // Line 12 with busy-retry absorption: a firmware-busy rejection is waited
+  // out rather than surfaced, until the budget runs dry.
+  auto execute_once = [&] {
+    sim::ExecResult exec = backend_->execute(cmd);
+    while (exec.transient_busy) {
+      used_ladder = true;
+      if (!take_retry("firmware busy")) break;
+      exec = backend_->execute(cmd);
+    }
+    for (const sim::DamageEvent& e : exec.damage) all_damage.push_back(e);
+    return exec;
+  };
+
+  sim::ExecResult exec = execute_once();
+
+  std::optional<core::Alert> malfunction;
+  if (engine_ != nullptr) {
+    for (;;) {
+      sim::LabBackend::StatusFetch fetched = backend_->fetch_status();
+      std::vector<std::string> diffs = engine_->postcondition_mismatches(fetched.snapshot);
+
+      // Stale-read filter: a divergence may be a status artifact (timeout
+      // substituting a cached snapshot, stale firmware report), not damage.
+      // Re-poll before judging.
+      std::size_t repoll = 0;
+      while (!diffs.empty() && repoll < pol.max_status_repolls && watchdog_ok()) {
+        used_ladder = true;
+        ++repoll;
+        ++result.repolls;
+        backend_->advance_clock(pol.repoll_interval_s);
+        ++recovery_report_.repolls;
+        recovery_report_.recovery_time_s += pol.repoll_interval_s;
+        engine_->note_status_repoll();
+        recovery_report_.events.push_back({recovery::RecoveryEvent::Kind::Repoll, cmd.device,
+                                           cmd.action, repoll, backend_->modeled_clock_s(),
+                                           "status re-poll"});
+        append_recovery_record(cmd, Outcome::StatusRepoll, repoll, std::string());
+        fetched = backend_->fetch_status();
+        diffs = engine_->postcondition_mismatches(fetched.snapshot);
+      }
+
+      if (diffs.empty()) {
+        engine_->resync_observed(fetched.snapshot);  // line 16
+        break;
+      }
+
+      // The divergence survived re-polling: adopt reality (line 16), then
+      // either retry the command with a re-armed expectation or declare the
+      // malfunction the paper's line 14 would have declared immediately.
+      used_ladder = true;
+      engine_->resync_observed(fetched.snapshot);
+      if (!take_retry("postcondition divergence")) {
+        malfunction = engine_->declare_malfunction(cmd, diffs);
+        break;
+      }
+      engine_->apply_expected(cmd);
+      exec = execute_once();
+    }
+  }
+
+  result.exec = exec;
+  result.exec->damage = all_damage;
+  record.damage_events = all_damage.size();
+  if (!exec.executed) {
+    record.outcome = Outcome::FirmwareError;
+  } else if (exec.silently_skipped) {
+    record.outcome = Outcome::SilentlySkipped;
+  } else {
+    record.outcome = Outcome::Executed;
+  }
+
+  if (malfunction) {
+    result.alert = malfunction;
+    record.outcome = Outcome::MalfunctionFlagged;
+    record.alert_rule = malfunction->rule;
+    record.alert_message = malfunction->message;
+    if (options_.halt_on_alert) {
+      halted_ = true;
+      result.halted = true;
+    }
+  } else if (used_ladder) {
+    ++recovery_report_.transients_absorbed;
+  }
+
+  log_.append(std::move(record));
+  if (result.halted) escalate(cmd, /*quarantine_device=*/true);
 }
 
 SupervisedStep Supervisor::step(const dev::Command& cmd) {
@@ -127,21 +375,60 @@ SupervisedStep Supervisor::step(const dev::Command& cmd) {
     return result;
   }
 
-  // Lines 6-10: pre-execution checks.
+  if (options_.recovery && quarantined_.count(cmd.device) > 0) {
+    // A quarantined device is out of service until a human clears it.
+    record.outcome = Outcome::Blocked;
+    record.alert_rule = "QUARANTINE";
+    record.alert_message = cmd.device + " is quarantined; command refused";
+    log_.append(std::move(record));
+    return result;
+  }
+
+  // Lines 6-10: pre-execution checks. Precondition and trajectory alerts
+  // flag *script* bugs — retrying the same command cannot fix those. The one
+  // ladder rung that does apply is the status re-poll: the check runs
+  // against the last fetched snapshot, and a stale or timed-out status
+  // channel can make a safe script look unsafe. A genuine script bug
+  // re-checks identically on fresh data, so re-polling never masks one.
   if (engine_ != nullptr) {
-    if (auto alert = engine_->check_command(cmd)) {
+    std::optional<core::Alert> pre_alert = engine_->check_command(cmd);
+    if (pre_alert && options_.recovery) {
+      const recovery::RecoveryPolicy& pol = *options_.recovery;
+      for (std::size_t repoll = 1; pre_alert && repoll <= pol.max_status_repolls; ++repoll) {
+        backend_->advance_clock(pol.repoll_interval_s);
+        engine_->resync_observed(backend_->fetch_status().snapshot);
+        engine_->note_status_repoll();
+        ++result.repolls;
+        ++recovery_report_.repolls;
+        recovery_report_.events.push_back({recovery::RecoveryEvent::Kind::Repoll, cmd.device,
+                                           cmd.action, repoll, backend_->modeled_clock_s(),
+                                           "re-polling status before declaring " +
+                                               pre_alert->rule + " violation"});
+        append_recovery_record(cmd, Outcome::StatusRepoll, repoll, "");
+        pre_alert = engine_->check_command(cmd);
+      }
+      if (!pre_alert) ++recovery_report_.transients_absorbed;
+    }
+    if (pre_alert) {
+      core::Alert alert = *pre_alert;
       result.alert = alert;
       record.outcome = Outcome::Blocked;
-      record.alert_rule = alert->rule;
-      record.alert_message = alert->message;
+      record.alert_rule = alert.rule;
+      record.alert_message = alert.message;
       if (options_.halt_on_alert) {
         halted_ = true;
         result.halted = true;
       }
       log_.append(std::move(record));
+      if (result.halted) escalate(cmd, /*quarantine_device=*/false);
       return result;
     }
     engine_->apply_expected(cmd);  // line 11
+  }
+
+  if (options_.recovery) {
+    execute_with_recovery(cmd, result, record);
+    return result;
   }
 
   // Line 12: forward to the device.
@@ -158,7 +445,7 @@ SupervisedStep Supervisor::step(const dev::Command& cmd) {
 
   // Lines 13-16: postcondition verification.
   if (engine_ != nullptr) {
-    auto observed = backend_->registry().fetch_observed_state();
+    auto observed = backend_->fetch_status().snapshot;
     if (auto alert = engine_->verify_postconditions(cmd, observed)) {
       result.alert = alert;
       record.outcome = Outcome::MalfunctionFlagged;
@@ -207,6 +494,8 @@ RunReport Supervisor::run(const std::vector<dev::Command>& workflow) {
   report.modeled_runtime_s = backend_->modeled_clock_s() - backend_clock_before;
   report.modeled_overhead_s =
       (engine_ != nullptr ? engine_->modeled_overhead_s() : 0.0) - overhead_before;
+  if (options_.recovery) report.recovery = recovery_report_;
+  if (engine_ != nullptr) report.degraded_checks = engine_->stats().degraded_checks;
   return report;
 }
 

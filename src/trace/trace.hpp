@@ -6,25 +6,40 @@
 // device. This module provides the same intercept-check-forward pipeline
 // (Supervisor), plus trace recording and replay in a JSONL format shared
 // with the RAD dataset tooling.
+//
+// On top of the paper's alert-and-stop policy, the Supervisor can drive the
+// recovery::RecoveryPolicy ladder: transient firmware rejections and
+// postcondition divergences are retried with backoff in modeled time,
+// suspicious status reads are re-polled before a malfunction is declared,
+// and exhausted recovery escalates (quarantine → safe state → halt). Every
+// retry and re-poll is a first-class trace record, so a replayed JSONL
+// shows exactly what the ladder did.
 #pragma once
 
 #include <optional>
+#include <set>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
 #include "core/engine.hpp"
 #include "devices/device.hpp"
+#include "recovery/recovery.hpp"
 #include "sim/backend.hpp"
 
 namespace rabit::trace {
 
-/// What happened to one intercepted command.
+/// What happened to one intercepted command (or recovery sub-step).
 enum class Outcome {
   Executed,        ///< forwarded and executed normally
   SilentlySkipped, ///< controller quietly ignored it (unreachable target)
   FirmwareError,   ///< the device's own firmware refused it
   Blocked,         ///< RABIT alerted before execution; never forwarded
   MalfunctionFlagged,  ///< executed, then the postcondition check alerted
+  TransientRetry,  ///< recovery ladder re-attempted the command
+  StatusRepoll,    ///< recovery ladder re-polled status before judging
+  SafeState,       ///< command issued by the safe-state escalation sequence
+  Quarantined,     ///< the command's device was removed from service
 };
 
 [[nodiscard]] std::string_view to_string(Outcome o);
@@ -35,6 +50,21 @@ struct TraceRecord {
   std::string alert_rule;     ///< rule id when RABIT alerted
   std::string alert_message;
   std::size_t damage_events = 0;  ///< ground-truth damage caused by this command
+  std::size_t attempt = 0;  ///< recovery attempt / re-poll ordinal (1-based; 0 = n/a)
+};
+
+/// Raised by TraceLog::from_jsonl in strict mode: carries the 1-based JSONL
+/// line number of the offending record so tools can point at it.
+class TraceParseError : public std::runtime_error {
+ public:
+  TraceParseError(const std::string& message, std::size_t line_number)
+      : std::runtime_error("line " + std::to_string(line_number) + ": " + message),
+        line_number_(line_number) {}
+
+  [[nodiscard]] std::size_t line_number() const { return line_number_; }
+
+ private:
+  std::size_t line_number_;
 };
 
 /// An append-only command trace, serializable to JSON-lines.
@@ -46,7 +76,13 @@ class TraceLog {
   void clear() { records_.clear(); }
 
   [[nodiscard]] std::string to_jsonl() const;
-  [[nodiscard]] static TraceLog from_jsonl(std::string_view text);
+
+  /// Parses a JSONL trace. In strict mode (the default) any malformed line
+  /// raises TraceParseError naming the line and what is wrong with it; with
+  /// strict=false malformed lines are skipped and counted into
+  /// `*skipped_lines` (when non-null) so callers can report data loss.
+  [[nodiscard]] static TraceLog from_jsonl(std::string_view text, bool strict = true,
+                                           std::size_t* skipped_lines = nullptr);
 
  private:
   std::vector<TraceRecord> records_;
@@ -58,6 +94,8 @@ struct SupervisedStep {
   std::optional<core::Alert> alert;
   std::optional<sim::ExecResult> exec;  ///< absent when blocked pre-execution
   bool halted = false;                  ///< the experiment was stopped
+  std::size_t retries = 0;              ///< recovery re-attempts this command consumed
+  std::size_t repolls = 0;              ///< recovery status re-polls this command consumed
 };
 
 /// Full-workflow report, with the indices benches need to score detection:
@@ -72,6 +110,11 @@ struct RunReport {
   std::vector<sim::DamageEvent> damage;
   double modeled_runtime_s = 0.0;   ///< backend execution time
   double modeled_overhead_s = 0.0;  ///< RABIT + simulator check time
+  /// What the recovery ladder did, when Options::recovery was set.
+  std::optional<recovery::RecoveryReport> recovery;
+  /// Motion commands checked at V2 level because the V3 simulator was
+  /// detached (degraded mode).
+  std::size_t degraded_checks = 0;
 
   /// Damage that RABIT prevented or at least flagged in time.
   [[nodiscard]] bool alert_preceded_damage() const;
@@ -85,13 +128,18 @@ class Supervisor {
  public:
   struct Options {
     bool halt_on_alert = true;  ///< the Hein Lab's preemptive-stop policy
+    /// When set, transient faults are absorbed by the recovery ladder
+    /// instead of stopping the run; exhausted recovery escalates to
+    /// quarantine + safe state before halting.
+    std::optional<recovery::RecoveryPolicy> recovery;
   };
 
   Supervisor(core::RabitEngine* engine, sim::LabBackend* backend)
       : Supervisor(engine, backend, Options{}) {}
   Supervisor(core::RabitEngine* engine, sim::LabBackend* backend, Options options);
 
-  /// Fig. 2 line 3: fetches the initial state and primes the engine.
+  /// Fig. 2 line 3: fetches the initial state and primes the engine. Also
+  /// resets the recovery ladder (jitter stream, quarantine set, report).
   void start();
 
   /// Intercepts one command.
@@ -104,13 +152,28 @@ class Supervisor {
   [[nodiscard]] sim::LabBackend& backend() { return *backend_; }
   [[nodiscard]] core::RabitEngine* engine() { return engine_; }
   [[nodiscard]] bool halted() const { return halted_; }
+  [[nodiscard]] const recovery::RecoveryReport& recovery_report() const {
+    return recovery_report_;
+  }
+  [[nodiscard]] const std::set<std::string>& quarantined() const { return quarantined_; }
 
  private:
+  /// Line 12 with the recovery ladder wrapped around it; fills result/record.
+  void execute_with_recovery(const dev::Command& cmd, SupervisedStep& result,
+                             TraceRecord& record);
+  /// Quarantine (optionally) + safe state + halt, recording every action.
+  void escalate(const dev::Command& cmd, bool quarantine_device);
+  void append_recovery_record(const dev::Command& cmd, Outcome outcome, std::size_t attempt,
+                              const std::string& note);
+
   core::RabitEngine* engine_;
   sim::LabBackend* backend_;
   Options options_;
   TraceLog log_;
   bool halted_ = false;
+  std::optional<recovery::BackoffClock> backoff_;
+  recovery::RecoveryReport recovery_report_;
+  std::set<std::string> quarantined_;
 };
 
 }  // namespace rabit::trace

@@ -178,7 +178,7 @@ TEST_F(SensorTest, ClearedSensorUnblocks) {
   Command approach =
       move_as(ids::kViperX, "move_to", site_local(ids::kViperX, "dosing_device"));
   trace::Supervisor relaxed(&engine, &backend,
-                            trace::Supervisor::Options{/*halt_on_alert=*/false});
+                            trace::Supervisor::Options{/*halt_on_alert=*/false, /*recovery=*/{}});
   trace::SupervisedStep blocked = relaxed.step(approach);
   ASSERT_TRUE(blocked.alert.has_value());
   EXPECT_EQ(blocked.alert->rule, "S1");

@@ -1,0 +1,183 @@
+// FaultPlan coverage across every concrete station type: a status command
+// that lies (reported_overrides) must be caught by the postcondition check,
+// and an action that silently does nothing (dead_actions) must surface as a
+// MalfunctionFlagged step — for the dosing device, syringe pump, hotplate,
+// centrifuge, and thermoshaker alike (Fig. 2 lines 13-15).
+#include <gtest/gtest.h>
+
+#include "core/engine.hpp"
+#include "sim/deck.hpp"
+#include "trace/trace.hpp"
+
+namespace rabit::trace {
+namespace {
+
+using dev::Command;
+namespace ids = sim::deck_ids;
+
+Command make_cmd(std::string device, std::string action, json::Object args = {}) {
+  Command c;
+  c.device = std::move(device);
+  c.action = std::move(action);
+  c.args = json::Value(std::move(args));
+  return c;
+}
+
+json::Object num_arg(const char* key, double value) {
+  json::Object o;
+  o[key] = value;
+  return o;
+}
+
+json::Object door_arg(const char* state) {
+  json::Object o;
+  o["state"] = std::string(state);
+  return o;
+}
+
+/// One fault scenario: a command that normally succeeds, plus the fault
+/// plan under which its postconditions must diverge.
+struct FaultCase {
+  const char* name;
+  const char* device;
+  Command command;
+  dev::FaultPlan plan;
+};
+
+std::vector<FaultCase> reported_override_cases() {
+  std::vector<FaultCase> cases;
+  {
+    dev::FaultPlan plan;
+    plan.reported_overrides["doorStatus"] = std::string("closed");
+    cases.push_back({"dosing_door_lies", ids::kDosingDevice,
+                     make_cmd(ids::kDosingDevice, "set_door", door_arg("open")), plan});
+  }
+  {
+    dev::FaultPlan plan;
+    plan.reported_overrides["heldMl"] = 0.0;
+    cases.push_back({"pump_held_lies", ids::kSyringePump,
+                     make_cmd(ids::kSyringePump, "draw_solvent", num_arg("volume", 10.0)),
+                     plan});
+  }
+  {
+    dev::FaultPlan plan;
+    plan.reported_overrides["targetC"] = 25.0;
+    cases.push_back({"hotplate_target_lies", ids::kHotplate,
+                     make_cmd(ids::kHotplate, "set_temperature", num_arg("celsius", 80.0)),
+                     plan});
+  }
+  {
+    dev::FaultPlan plan;
+    plan.reported_overrides["doorStatus"] = std::string("closed");
+    cases.push_back({"centrifuge_door_lies", ids::kCentrifuge,
+                     make_cmd(ids::kCentrifuge, "set_door", door_arg("open")), plan});
+  }
+  {
+    dev::FaultPlan plan;
+    plan.reported_overrides["targetC"] = 25.0;
+    cases.push_back({"thermoshaker_target_lies", ids::kThermoshaker,
+                     make_cmd(ids::kThermoshaker, "set_temperature", num_arg("celsius", 50.0)),
+                     plan});
+  }
+  return cases;
+}
+
+std::vector<FaultCase> dead_action_cases() {
+  std::vector<FaultCase> cases;
+  {
+    dev::FaultPlan plan;
+    plan.dead_actions = {"set_door"};
+    cases.push_back({"dosing_dead_door", ids::kDosingDevice,
+                     make_cmd(ids::kDosingDevice, "set_door", door_arg("open")), plan});
+  }
+  {
+    dev::FaultPlan plan;
+    plan.dead_actions = {"draw_solvent"};
+    cases.push_back({"pump_dead_draw", ids::kSyringePump,
+                     make_cmd(ids::kSyringePump, "draw_solvent", num_arg("volume", 10.0)),
+                     plan});
+  }
+  {
+    dev::FaultPlan plan;
+    plan.dead_actions = {"set_temperature"};
+    cases.push_back({"hotplate_dead_heater", ids::kHotplate,
+                     make_cmd(ids::kHotplate, "set_temperature", num_arg("celsius", 80.0)),
+                     plan});
+  }
+  {
+    dev::FaultPlan plan;
+    plan.dead_actions = {"set_door"};
+    cases.push_back({"centrifuge_dead_door", ids::kCentrifuge,
+                     make_cmd(ids::kCentrifuge, "set_door", door_arg("open")), plan});
+  }
+  {
+    dev::FaultPlan plan;
+    plan.dead_actions = {"set_temperature"};
+    cases.push_back({"thermoshaker_dead_heater", ids::kThermoshaker,
+                     make_cmd(ids::kThermoshaker, "set_temperature", num_arg("celsius", 50.0)),
+                     plan});
+  }
+  return cases;
+}
+
+class FaultInjection : public ::testing::Test {
+ protected:
+  FaultInjection() : backend(sim::testbed_profile()) {
+    sim::build_hein_testbed_deck(backend);
+  }
+
+  /// Runs the case's command under a fresh Modified engine with the fault
+  /// plan installed; returns the supervised step.
+  SupervisedStep run_case(const FaultCase& fc) {
+    backend.registry().at(fc.device).set_fault_plan(fc.plan);
+    engine = std::make_unique<core::RabitEngine>(
+        core::config_from_backend(backend, core::Variant::Modified));
+    Supervisor sup(engine.get(), &backend);
+    sup.start();
+    return sup.step(fc.command);
+  }
+
+  sim::LabBackend backend;
+  std::unique_ptr<core::RabitEngine> engine;
+};
+
+TEST_F(FaultInjection, ReportedOverridesCaughtByPostconditions) {
+  for (const FaultCase& fc : reported_override_cases()) {
+    SCOPED_TRACE(fc.name);
+    SupervisedStep step = run_case(fc);
+    ASSERT_TRUE(step.alert.has_value()) << fc.device << " divergence went unnoticed";
+    EXPECT_EQ(step.alert->kind, core::AlertKind::DeviceMalfunction);
+    EXPECT_TRUE(step.halted);
+    backend.registry().at(fc.device).clear_fault_plan();
+  }
+}
+
+TEST_F(FaultInjection, DeadActionsFlaggedAsMalfunction) {
+  for (const FaultCase& fc : dead_action_cases()) {
+    SCOPED_TRACE(fc.name);
+    SupervisedStep step = run_case(fc);
+    ASSERT_TRUE(step.alert.has_value()) << fc.device << " dead action went unnoticed";
+    EXPECT_EQ(step.alert->kind, core::AlertKind::DeviceMalfunction);
+    EXPECT_TRUE(step.halted);
+    backend.registry().at(fc.device).clear_fault_plan();
+  }
+}
+
+TEST_F(FaultInjection, HealthyDevicesRaiseNoAlerts) {
+  // The same commands on an un-faulted deck all pass — the alerts above are
+  // caused by the faults, not by the commands.
+  std::vector<FaultCase> cases = reported_override_cases();
+  engine = std::make_unique<core::RabitEngine>(
+      core::config_from_backend(backend, core::Variant::Modified));
+  Supervisor sup(engine.get(), &backend);
+  sup.start();
+  for (const FaultCase& fc : cases) {
+    SCOPED_TRACE(fc.name);
+    SupervisedStep step = sup.step(fc.command);
+    EXPECT_FALSE(step.alert.has_value());
+    EXPECT_FALSE(step.halted);
+  }
+}
+
+}  // namespace
+}  // namespace rabit::trace

@@ -122,7 +122,7 @@ TEST_F(MultiDoorPipeline, EntryRequiresTheFacingDoor) {
       make_cmd("mixing_station", "set_door", door_arg("east", "open")));
   EXPECT_FALSE(east_only.alert.has_value());
   trace::Supervisor relaxed(engine.get(), &backend,
-                            trace::Supervisor::Options{/*halt_on_alert=*/false});
+                            trace::Supervisor::Options{/*halt_on_alert=*/false, /*recovery=*/{}});
   trace::SupervisedStep blocked = relaxed.step(move_to(ids::kViperX, entry_local(ids::kViperX)));
   ASSERT_TRUE(blocked.alert.has_value());
   EXPECT_EQ(blocked.alert->rule, "G1");

@@ -80,7 +80,7 @@ TEST_F(SupervisorTest, AlertBlocksExecutionAndHalts) {
 }
 
 TEST_F(SupervisorTest, HaltOnAlertCanBeDisabled) {
-  Supervisor sup(engine.get(), &backend, Supervisor::Options{/*halt_on_alert=*/false});
+  Supervisor sup(engine.get(), &backend, Supervisor::Options{/*halt_on_alert=*/false, /*recovery=*/{}});
   sup.start();
   SupervisedStep step = sup.step(move(ids::kViperX, site_local(ids::kViperX, "dosing_device")));
   ASSERT_TRUE(step.alert.has_value());
@@ -209,6 +209,70 @@ TEST(OutcomeNames, AllDistinct) {
   EXPECT_EQ(to_string(Outcome::FirmwareError), "firmware_error");
   EXPECT_EQ(to_string(Outcome::Blocked), "blocked");
   EXPECT_EQ(to_string(Outcome::MalfunctionFlagged), "malfunction_flagged");
+  EXPECT_EQ(to_string(Outcome::TransientRetry), "transient_retry");
+  EXPECT_EQ(to_string(Outcome::StatusRepoll), "status_repoll");
+  EXPECT_EQ(to_string(Outcome::SafeState), "safe_state");
+  EXPECT_EQ(to_string(Outcome::Quarantined), "quarantined");
+}
+
+TEST(TraceLog, StrictModeNamesTheOffendingLine) {
+  const char* text =
+      "{\"device\":\"d\",\"action\":\"a\",\"outcome\":\"executed\"}\n"
+      "{not json at all\n";
+  try {
+    (void)TraceLog::from_jsonl(text);
+    FAIL() << "expected TraceParseError";
+  } catch (const TraceParseError& e) {
+    EXPECT_EQ(e.line_number(), 2u);
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+}
+
+TEST(TraceLog, StrictModeDescribesMissingFields) {
+  try {
+    (void)TraceLog::from_jsonl(R"({"action":"a","outcome":"executed"})");
+    FAIL() << "expected TraceParseError";
+  } catch (const TraceParseError& e) {
+    EXPECT_EQ(e.line_number(), 1u);
+    EXPECT_NE(std::string(e.what()).find("'device'"), std::string::npos);
+  }
+}
+
+TEST(TraceLog, StrictModeDescribesTypeMismatches) {
+  try {
+    (void)TraceLog::from_jsonl(R"({"device":42,"action":"a","outcome":"executed"})");
+    FAIL() << "expected TraceParseError";
+  } catch (const TraceParseError& e) {
+    EXPECT_NE(std::string(e.what()).find("'device'"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("string"), std::string::npos);
+  }
+}
+
+TEST(TraceLog, LenientModeSkipsAndCounts) {
+  const char* text =
+      "{\"device\":\"d\",\"action\":\"a\",\"outcome\":\"executed\"}\n"
+      "garbage\n"
+      "{\"device\":\"d\",\"action\":\"b\",\"outcome\":\"blocked\"}\n"
+      "{\"device\":\"d\",\"action\":\"c\",\"outcome\":\"vanished\"}\n";
+  std::size_t skipped = 0;
+  TraceLog log = TraceLog::from_jsonl(text, /*strict=*/false, &skipped);
+  EXPECT_EQ(log.size(), 2u);
+  EXPECT_EQ(skipped, 2u);
+  EXPECT_EQ(log.records()[1].command.action, "b");
+}
+
+TEST(TraceLog, AttemptFieldRoundTrips) {
+  TraceLog log;
+  TraceRecord r;
+  r.command = make_cmd("dosing_device", "set_door", door("open"));
+  r.outcome = Outcome::TransientRetry;
+  r.attempt = 3;
+  log.append(r);
+
+  TraceLog round = TraceLog::from_jsonl(log.to_jsonl());
+  ASSERT_EQ(round.size(), 1u);
+  EXPECT_EQ(round.records()[0].outcome, Outcome::TransientRetry);
+  EXPECT_EQ(round.records()[0].attempt, 3u);
 }
 
 }  // namespace

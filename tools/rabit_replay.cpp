@@ -5,6 +5,9 @@
 // variant and reports what would have been blocked — the "test yesterday's
 // experiment against today's rulebase" workflow.
 //
+// Exit codes match rabit_validate: 0 = clean replay, 1 = alerts or damage,
+// 2 = usage or parse error.
+//
 //   usage: rabit_replay <trace.jsonl> [initial|modified|modified+sim]
 #include <cstdio>
 #include <fstream>
@@ -15,44 +18,100 @@
 
 using namespace rabit;
 
+namespace {
+
+void print_usage(std::FILE* out, const char* argv0) {
+  std::fprintf(out,
+               "usage: %s [--lenient] <trace.jsonl> [initial|modified|modified+sim]\n"
+               "       %s --help\n"
+               "\n"
+               "Replays the commands of a recorded JSONL trace on a fresh testbed deck\n"
+               "under the chosen RABIT variant (default: modified) and reports what the\n"
+               "current rulebase would have blocked.\n"
+               "\n"
+               "  --lenient   skip malformed trace lines (reported with their line\n"
+               "              numbers) instead of aborting on the first one\n"
+               "\n"
+               "exit codes: 0 = clean replay, 1 = alerts or damage, 2 = usage/parse error\n",
+               argv0, argv0);
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
-  if (argc < 2 || argc > 3) {
-    std::fprintf(stderr, "usage: %s <trace.jsonl> [initial|modified|modified+sim]\n", argv[0]);
-    return 2;
-  }
+  bool lenient = false;
+  std::string trace_path;
   core::Variant variant = core::Variant::Modified;
-  if (argc == 3) {
-    std::string name = argv[2];
-    if (name == "initial") {
-      variant = core::Variant::Initial;
-    } else if (name == "modified") {
-      variant = core::Variant::Modified;
-    } else if (name == "modified+sim") {
-      variant = core::Variant::ModifiedWithSim;
+  bool variant_given = false;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      print_usage(stdout, argv[0]);
+      return 0;
+    }
+    if (arg == "--lenient") {
+      lenient = true;
+    } else if (trace_path.empty()) {
+      trace_path = arg;
+    } else if (!variant_given) {
+      variant_given = true;
+      if (arg == "initial") {
+        variant = core::Variant::Initial;
+      } else if (arg == "modified") {
+        variant = core::Variant::Modified;
+      } else if (arg == "modified+sim") {
+        variant = core::Variant::ModifiedWithSim;
+      } else {
+        std::fprintf(stderr, "error: unknown variant '%s'\n", arg.c_str());
+        return 2;
+      }
     } else {
-      std::fprintf(stderr, "error: unknown variant '%s'\n", name.c_str());
+      print_usage(stderr, argv[0]);
       return 2;
     }
   }
+  if (trace_path.empty()) {
+    print_usage(stderr, argv[0]);
+    return 2;
+  }
 
-  std::ifstream in(argv[1]);
+  std::ifstream in(trace_path);
   if (!in) {
-    std::fprintf(stderr, "error: cannot open '%s'\n", argv[1]);
+    std::fprintf(stderr, "error: cannot open '%s'\n", trace_path.c_str());
     return 2;
   }
   std::ostringstream buffer;
   buffer << in.rdbuf();
 
   trace::TraceLog log;
+  std::size_t skipped = 0;
   try {
-    log = trace::TraceLog::from_jsonl(buffer.str());
-  } catch (const std::exception& e) {
-    std::fprintf(stderr, "error: malformed trace: %s\n", e.what());
-    return 1;
+    log = trace::TraceLog::from_jsonl(buffer.str(), /*strict=*/!lenient, &skipped);
+  } catch (const trace::TraceParseError& e) {
+    std::fprintf(stderr, "error: %s: %s\n", trace_path.c_str(), e.what());
+    std::fprintf(stderr, "hint: re-run with --lenient to skip malformed lines\n");
+    return 2;
+  }
+  if (skipped > 0) {
+    std::fprintf(stderr, "warning: skipped %zu malformed trace line%s\n", skipped,
+                 skipped == 1 ? "" : "s");
   }
   std::vector<dev::Command> commands;
   commands.reserve(log.size());
-  for (const trace::TraceRecord& r : log.records()) commands.push_back(r.command);
+  for (const trace::TraceRecord& r : log.records()) {
+    switch (r.outcome) {
+      case trace::Outcome::TransientRetry:
+      case trace::Outcome::StatusRepoll:
+      case trace::Outcome::SafeState:
+      case trace::Outcome::Quarantined:
+        // Recovery-ladder artifacts, not script commands: the script command
+        // itself has its own record with the final outcome.
+        continue;
+      default:
+        commands.push_back(r.command);
+    }
+  }
 
   bugs::BugOutcome outcome = bugs::evaluate_stream(commands, variant);
   std::printf("replayed %zu commands under '%s'\n", commands.size(),
