@@ -87,6 +87,39 @@ void BM_RealCheckCost_NoSim(benchmark::State& state) {
 }
 BENCHMARK(BM_RealCheckCost_NoSim);
 
+// Indexed hot path vs the seed engine's linear device/action scan, on the
+// same precondition check. The index is the only toggle that differs, so
+// the delta is pure lookup cost.
+void BM_RealCheckCost_Indexed(benchmark::State& state) {
+  auto backend = make_production();
+  core::EngineConfig config = core::config_from_backend(*backend, core::Variant::Modified);
+  core::HotPathConfig hot;  // defaults: everything on
+  core::RabitEngine engine(std::move(config), hot);
+  engine.initialize(backend->registry().fetch_observed_state());
+  dev::Command cmd = move_cmd(ids::kUr3e, geom::Vec3(0.25, 0.1, 0.30));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.check_command(cmd));
+  }
+}
+BENCHMARK(BM_RealCheckCost_Indexed);
+
+void BM_RealCheckCost_LinearScan(benchmark::State& state) {
+  auto backend = make_production();
+  core::EngineConfig config = core::config_from_backend(*backend, core::Variant::Modified);
+  core::HotPathConfig hot;
+  hot.index_lookups = false;
+  hot.memoize_rule_world = false;
+  hot.broad_phase = false;
+  hot.verdict_cache = false;
+  core::RabitEngine engine(std::move(config), hot);
+  engine.initialize(backend->registry().fetch_observed_state());
+  dev::Command cmd = move_cmd(ids::kUr3e, geom::Vec3(0.25, 0.1, 0.30));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.check_command(cmd));
+  }
+}
+BENCHMARK(BM_RealCheckCost_LinearScan);
+
 void BM_RealCheckCost_WithSimHeadless(benchmark::State& state) {
   auto backend = make_production();
   EngineBundle bundle = make_engine(*backend, core::Variant::ModifiedWithSim,

@@ -502,6 +502,12 @@ BugOutcome evaluate_stream(const std::vector<Command>& commands, core::Variant v
 
 BugOutcome evaluate_stream(const std::vector<Command>& commands, core::Variant variant,
                            const trace::Supervisor::Options& options) {
+  return evaluate_stream(commands, variant, options, core::HotPathConfig{});
+}
+
+BugOutcome evaluate_stream(const std::vector<Command>& commands, core::Variant variant,
+                           const trace::Supervisor::Options& options,
+                           const core::HotPathConfig& hot_path) {
   sim::LabBackend backend(sim::testbed_profile());
   sim::build_hein_testbed_deck(backend);
 
@@ -515,7 +521,10 @@ BugOutcome evaluate_stream(const std::vector<Command>& commands, core::Variant v
         world.add_box(m.id, *m.sleep_box, sim::ObstacleKind::ParkedArm);
       }
     }
-    simulator.emplace(std::move(world));
+    sim::ExtendedSimulator::Options sim_options;
+    sim_options.use_broad_phase = hot_path.broad_phase;
+    sim_options.use_verdict_cache = hot_path.verdict_cache;
+    simulator.emplace(std::move(world), sim_options);
     simulator->set_arm_state_provider(
         [&backend](std::string_view arm_id) -> std::optional<Vec3> {
           const auto* arm =
@@ -525,7 +534,7 @@ BugOutcome evaluate_stream(const std::vector<Command>& commands, core::Variant v
         });
   }
 
-  core::RabitEngine engine(std::move(config));
+  core::RabitEngine engine(std::move(config), hot_path);
   if (simulator) engine.attach_simulator(&*simulator);
 
   trace::Supervisor supervisor(&engine, &backend, options);

@@ -117,6 +117,14 @@ struct BugOutcome {
                                          core::Variant variant,
                                          const trace::Supervisor::Options& options);
 
+/// Same, with explicit hot-path toggles — the verdict-parity tests and
+/// bench_throughput run every catalogue bug with the optimizations on and
+/// off and require identical outcomes.
+[[nodiscard]] BugOutcome evaluate_stream(const std::vector<dev::Command>& commands,
+                                         core::Variant variant,
+                                         const trace::Supervisor::Options& options,
+                                         const core::HotPathConfig& hot_path);
+
 /// Convenience: builds the bug's stream and evaluates it.
 [[nodiscard]] BugOutcome evaluate_bug(const BugSpec& bug, core::Variant variant);
 

@@ -20,8 +20,20 @@ std::string Alert::describe() const {
   return out;
 }
 
-RabitEngine::RabitEngine(EngineConfig config)
-    : config_(std::move(config)), tracker_(&config_) {}
+RabitEngine::RabitEngine(EngineConfig config, const HotPathConfig& hot_path)
+    : config_(std::move(config)), tracker_(&config_) {
+  set_hot_path(hot_path);
+}
+
+void RabitEngine::set_hot_path(const HotPathConfig& hot_path) {
+  hot_path_ = hot_path;
+  config_.use_indexed_lookup = hot_path.index_lookups;
+  for (DeviceMeta& d : config_.devices) d.use_indexed_lookup = hot_path.index_lookups;
+  // Warm eagerly so post-construction const lookups never rebuild (and are
+  // therefore safe to issue concurrently across fleet streams).
+  if (hot_path.index_lookups) config_.warm_index();
+  rule_world_cache_ = RuleWorldCache{};
+}
 
 void RabitEngine::attach_simulator(sim::ExtendedSimulator* simulator) {
   simulator_ = simulator;
@@ -37,12 +49,15 @@ namespace {
 
 /// Rewrites aliased command names to their canonical action (the §V-C
 /// multiple-commands-per-action extension): the rulebase and tracker only
-/// ever reason about canonical names.
-dev::Command canonicalize(const EngineConfig& config, const dev::Command& cmd) {
+/// ever reason about canonical names. Returns nullopt when the command is
+/// already canonical — the common case — so the hot path never copies a
+/// Command just to inspect it.
+std::optional<dev::Command> canonicalize_aliased(const EngineConfig& config,
+                                                 const dev::Command& cmd) {
   const DeviceMeta* meta = config.find_device(cmd.device);
-  if (meta == nullptr) return cmd;
+  if (meta == nullptr) return std::nullopt;
   std::string_view canonical = meta->canonical_action(cmd.action);
-  if (canonical == cmd.action) return cmd;
+  if (canonical == cmd.action) return std::nullopt;
   dev::Command rewritten = cmd;
   rewritten.action = std::string(canonical);
   return rewritten;
@@ -53,10 +68,12 @@ dev::Command canonicalize(const EngineConfig& config, const dev::Command& cmd) {
 std::optional<Alert> RabitEngine::check_command(const dev::Command& raw) {
   ++stats_.commands_checked;
   base_overhead_s_ += kBaseCheckCost_s;
-  dev::Command cmd = canonicalize(config_, raw);
+  std::optional<dev::Command> aliased = canonicalize_aliased(config_, raw);
+  const dev::Command& cmd = aliased ? *aliased : raw;
 
   // Lines 6-7: precondition validation against the tracked state.
-  if (auto hit = check_preconditions(config_, tracker_, cmd)) {
+  RuleWorldCache* cache = hot_path_.memoize_rule_world ? &rule_world_cache_ : nullptr;
+  if (auto hit = check_preconditions(config_, tracker_, cmd, cache)) {
     ++stats_.precondition_alerts;
     return Alert{AlertKind::InvalidCommand, hit->rule, hit->message, cmd};
   }
@@ -67,21 +84,6 @@ std::optional<Alert> RabitEngine::check_command(const dev::Command& raw) {
       is_motion_command(cmd)) {
     if (auto motion = analyze_motion(config_, tracker_, cmd)) {
       ++stats_.trajectory_checks;
-      sim::PathCheckOptions ignore_opts;  // ignores applied inside the sim call
-      (void)ignore_opts;
-      // Deliberate-entry boxes must not be treated as obstacles here either.
-      std::vector<sim::NamedBox> removed;
-      sim::WorldModel& world = simulator_->world();
-      for (auto it = world.boxes.begin(); it != world.boxes.end();) {
-        bool ignored = std::find(motion->ignores.begin(), motion->ignores.end(), it->name) !=
-                       motion->ignores.end();
-        if (ignored) {
-          removed.push_back(*it);
-          it = world.boxes.erase(it);
-        } else {
-          ++it;
-        }
-      }
       // The simulator polls the robot's real position when it can (URSim
       // style); RABIT's tracked position is only the fallback. This is what
       // catches a preceding silently-skipped move (footnote 2).
@@ -89,12 +91,14 @@ std::optional<Alert> RabitEngine::check_command(const dev::Command& raw) {
       if (auto actual = simulator_->polled_arm_position(motion->arm_id)) {
         waypoints.front() = *actual;
       }
+      // Deliberate-entry boxes are skipped via the read-only ignore filter —
+      // the world itself is never mutated by a check, so a throwing
+      // validation can no longer lose boxes and concurrent checks are safe.
       std::optional<sim::CollisionReport> hit;
       for (std::size_t i = 1; i < waypoints.size() && !hit; ++i) {
         hit = simulator_->validate_trajectory(waypoints[i - 1], waypoints[i],
-                                              motion->held_clearance);
+                                              motion->held_clearance, motion->ignores);
       }
-      for (sim::NamedBox& b : removed) world.boxes.push_back(std::move(b));
       if (hit) {
         ++stats_.trajectory_alerts;
         return Alert{AlertKind::InvalidTrajectory, "SIM",
@@ -113,7 +117,8 @@ std::optional<Alert> RabitEngine::check_command(const dev::Command& raw) {
 }
 
 void RabitEngine::apply_expected(const dev::Command& cmd) {
-  tracker_.apply_postconditions(canonicalize(config_, cmd));
+  std::optional<dev::Command> aliased = canonicalize_aliased(config_, cmd);
+  tracker_.apply_postconditions(aliased ? *aliased : cmd);
 }
 
 std::optional<Alert> RabitEngine::verify_postconditions(const dev::Command& cmd,

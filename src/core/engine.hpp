@@ -20,9 +20,21 @@
 
 namespace rabit::core {
 
+/// Ablation toggles for the fleet-scale hot path. All on by default; the
+/// benches and the verdict-parity tests flip them off to compare against the
+/// seed-equivalent slow path. Every toggle is transparent — it may change
+/// the cost of a check, never its verdict.
+struct HotPathConfig {
+  bool index_lookups = true;       ///< EngineConfig/DeviceMeta hash indexes
+  bool memoize_rule_world = true;  ///< RuleWorldCache for assemble_rule_world
+  bool broad_phase = true;         ///< simulator uniform-grid pruning
+  bool verdict_cache = true;       ///< simulator collision-verdict cache
+};
+
 class RabitEngine {
  public:
-  explicit RabitEngine(EngineConfig config);
+  explicit RabitEngine(EngineConfig config) : RabitEngine(std::move(config), HotPathConfig{}) {}
+  RabitEngine(EngineConfig config, const HotPathConfig& hot_path);
 
   /// Attaches the Extended Simulator (non-owning) — the V3 deployment.
   /// Pass nullptr to detach.
@@ -31,6 +43,15 @@ class RabitEngine {
 
   [[nodiscard]] const EngineConfig& config() const { return config_; }
   [[nodiscard]] const StateTracker& tracker() const { return tracker_; }
+
+  [[nodiscard]] const HotPathConfig& hot_path() const { return hot_path_; }
+  /// Re-applies the hot-path toggles (and re-warms or disables the config
+  /// indexes accordingly). Verdicts are unaffected.
+  void set_hot_path(const HotPathConfig& hot_path);
+
+  /// Times the memoized rule world was actually assembled (0 until the first
+  /// motion command; stays flat while no arm changes pose).
+  [[nodiscard]] std::size_t rule_world_rebuilds() const { return rule_world_cache_.rebuilds(); }
 
   /// Fig. 2 line 3: seeds the symbolic state from the initial FetchState().
   void initialize(const dev::LabStateSnapshot& observed);
@@ -104,6 +125,8 @@ class RabitEngine {
   sim::ExtendedSimulator* simulator_ = nullptr;
   Stats stats_;
   double base_overhead_s_ = 0.0;
+  HotPathConfig hot_path_;
+  RuleWorldCache rule_world_cache_;
 };
 
 }  // namespace rabit::core

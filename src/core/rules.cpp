@@ -155,6 +155,33 @@ sim::WorldModel assemble_rule_world(const EngineConfig& config, const StateTrack
   return world;
 }
 
+namespace {
+
+}  // namespace
+
+const RuleWorldCache::Entry& RuleWorldCache::world_for(const EngineConfig& config,
+                                                       const StateTracker& tracker,
+                                                       std::string_view moving_arm) {
+  // The tracker bumps pose revisions whenever an arm's believed pose
+  // changes; nothing else it tracks (doors, volumes, occupancy) can alter
+  // the assembled world. The world for `moving_arm` excludes that arm, so
+  // subtracting its own share leaves exactly the revisions that matter —
+  // the arm's own per-move pose churn never invalidates its cached world.
+  // revision + 1 as the "valid" stamp keeps a fresh entry distinguishable
+  // from one built at revision 0.
+  std::uint64_t others = tracker.pose_revision() - tracker.pose_revision(moving_arm);
+  auto it = by_arm_.find(moving_arm);
+  if (it == by_arm_.end()) it = by_arm_.emplace(std::string(moving_arm), CachedWorld{}).first;
+  CachedWorld& cached = it->second;
+  if (cached.pose_revision != others + 1) {
+    cached.entry.world = assemble_rule_world(config, tracker, moving_arm);
+    cached.entry.grid.rebuild(cached.entry.world);
+    cached.pose_revision = others + 1;
+    ++rebuilds_;
+  }
+  return cached.entry;
+}
+
 // ---------------------------------------------------------------------------
 // Preconditions
 // ---------------------------------------------------------------------------
@@ -163,7 +190,7 @@ namespace {
 
 std::optional<RuleHit> check_motion_rules(const EngineConfig& config,
                                           const StateTracker& tracker, const Command& cmd,
-                                          const DeviceMeta& meta) {
+                                          const DeviceMeta& meta, RuleWorldCache* world_cache) {
   auto motion = analyze_motion(config, tracker, cmd);
   if (!motion) {
     return RuleHit{"G3", cmd.device + "." + cmd.action + ": unresolvable motion target"};
@@ -247,8 +274,8 @@ std::optional<RuleHit> check_motion_rules(const EngineConfig& config,
     if (station != nullptr && is_centrifuge(config, *station, tracker)) {
       std::string held = tracker.arm_holding(meta.id);
       if (!held.empty()) {
-        if (tracked_number(tracker, held, "solidMg") <= 0.0 ||
-            tracked_number(tracker, held, "liquidMl") <= 0.0) {
+        if (tracked_number(tracker, held, "solidMg") <= kVolumeEpsilon ||
+            tracked_number(tracker, held, "liquidMl") <= kVolumeEpsilon) {
           return RuleHit{"C2", "container '" + held +
                                    "' must contain both a solid and a liquid before "
                                    "entering the centrifuge"};
@@ -265,10 +292,18 @@ std::optional<RuleHit> check_motion_rules(const EngineConfig& config,
   }
 
   // G3 (geometric form) — the target must not lie inside any modeled object.
-  sim::WorldModel world = assemble_rule_world(config, tracker, meta.id);
   sim::PathCheckOptions opts;
   opts.ignore = motion->ignores;
-  if (auto hit = sim::check_point(world, motion->target_lab, motion->held_clearance, opts)) {
+  std::optional<sim::CollisionReport> hit;
+  if (world_cache != nullptr) {
+    const RuleWorldCache::Entry& entry = world_cache->world_for(config, tracker, meta.id);
+    hit = sim::check_point(entry.world, motion->target_lab, motion->held_clearance, opts,
+                           &entry.grid);
+  } else {
+    sim::WorldModel world = assemble_rule_world(config, tracker, meta.id);
+    hit = sim::check_point(world, motion->target_lab, motion->held_clearance, opts);
+  }
+  if (hit) {
     std::string rule = hit->kind == sim::ObstacleKind::SoftWall ? "M2" : "G3";
     return RuleHit{rule, meta.id + " target location is occupied: " + hit->describe()};
   }
@@ -303,8 +338,8 @@ std::optional<RuleHit> check_gripper_rules(const EngineConfig& config,
   if (config.hein_custom_rules && site->is_receptacle()) {
     const DeviceMeta* station = config.find_device(site->receptacle_device);
     if (station != nullptr && is_centrifuge(config, *station, tracker)) {
-      if (tracked_number(tracker, held, "solidMg") <= 0.0 ||
-          tracked_number(tracker, held, "liquidMl") <= 0.0) {
+      if (tracked_number(tracker, held, "solidMg") <= kVolumeEpsilon ||
+          tracked_number(tracker, held, "liquidMl") <= kVolumeEpsilon) {
         return RuleHit{"C2", "container '" + held +
                                  "' must contain both a solid and a liquid before entering "
                                  "the centrifuge"};
@@ -371,8 +406,8 @@ std::optional<RuleHit> check_active_action_rules(const EngineConfig& config,
                                  "' without a container inside"};
       }
       // G6 — and that container must not be empty.
-      if (tracked_number(tracker, occupant, "solidMg") <= 0.0 &&
-          tracked_number(tracker, occupant, "liquidMl") <= 0.0) {
+      if (tracked_number(tracker, occupant, "solidMg") <= kVolumeEpsilon &&
+          tracked_number(tracker, occupant, "liquidMl") <= kVolumeEpsilon) {
         return RuleHit{"G6", meta.id + " cannot perform '" + cmd.action + "' on empty '" +
                                  occupant + "'"};
       }
@@ -393,7 +428,7 @@ std::optional<RuleHit> check_active_action_rules(const EngineConfig& config,
       const DeviceMeta* vial_meta = config.find_device(occupant);
       if (quantity && vial_meta != nullptr && vial_meta->capacity_mg > 0) {
         double current = tracked_number(tracker, occupant, "solidMg");
-        if (current + *quantity > vial_meta->capacity_mg) {
+        if (current + *quantity > vial_meta->capacity_mg + kVolumeEpsilon) {
           std::ostringstream os;
           os << "dose of " << *quantity << " mg exceeds remaining capacity of '" << occupant
              << "' (" << vial_meta->capacity_mg - current << " mg free)";
@@ -414,7 +449,7 @@ std::optional<RuleHit> check_pump_rules(const EngineConfig& config, const StateT
   if (!volume || !target) return std::nullopt;
 
   // G8 — the delivering syringe must actually hold enough.
-  if (tracked_number(tracker, meta.id, "heldMl") + 1e-9 < *volume) {
+  if (tracked_number(tracker, meta.id, "heldMl") + kVolumeEpsilon < *volume) {
     return RuleHit{"G8", meta.id + " has not drawn enough solvent to dispense " +
                              std::to_string(*volume) + " mL"};
   }
@@ -429,13 +464,14 @@ std::optional<RuleHit> check_pump_rules(const EngineConfig& config, const StateT
   // G8 — receiving container must have room.
   if (vial_meta->capacity_ml > 0) {
     double current = tracked_number(tracker, *target, "liquidMl");
-    if (current + *volume > vial_meta->capacity_ml) {
+    if (current + *volume > vial_meta->capacity_ml + kVolumeEpsilon) {
       return RuleHit{"G8", "dose of " + std::to_string(*volume) + " mL overflows '" + *target +
                                "'"};
     }
   }
   // C1 — Hein custom: liquid goes in only after solid.
-  if (config.hein_custom_rules && tracked_number(tracker, *target, "solidMg") <= 0.0) {
+  if (config.hein_custom_rules &&
+      tracked_number(tracker, *target, "solidMg") <= kVolumeEpsilon) {
     return RuleHit{"C1", "liquid may be added to '" + *target +
                              "' only after it already contains solid"};
   }
@@ -446,6 +482,12 @@ std::optional<RuleHit> check_pump_rules(const EngineConfig& config, const StateT
 
 std::optional<RuleHit> check_preconditions(const EngineConfig& config,
                                            const StateTracker& tracker, const Command& cmd) {
+  return check_preconditions(config, tracker, cmd, nullptr);
+}
+
+std::optional<RuleHit> check_preconditions(const EngineConfig& config,
+                                           const StateTracker& tracker, const Command& cmd,
+                                           RuleWorldCache* cache) {
   const DeviceMeta* meta = config.find_device(cmd.device);
   if (meta == nullptr) {
     return RuleHit{"G3", "command addresses unknown device '" + cmd.device + "'"};
@@ -462,7 +504,7 @@ std::optional<RuleHit> check_preconditions(const EngineConfig& config,
   }
 
   if (meta->is_arm) {
-    if (is_motion_command(cmd)) return check_motion_rules(config, tracker, cmd, *meta);
+    if (is_motion_command(cmd)) return check_motion_rules(config, tracker, cmd, *meta, cache);
     if (cmd.action == "open_gripper" || cmd.action == "close_gripper") {
       return check_gripper_rules(config, tracker, cmd, *meta);
     }

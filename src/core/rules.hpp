@@ -8,8 +8,10 @@
 // detection misses reported in the paper.
 #pragma once
 
+#include <cstdint>
 #include <optional>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "core/config.hpp"
@@ -43,6 +45,12 @@ struct MotionAnalysis {
 /// Height composites lift to above a site before traversing.
 inline constexpr double kCompositeSafeLift = 0.22;
 
+/// Tolerance for comparing tracked volumes and masses (mg/mL) against
+/// capacities and doses. Tracked quantities accumulate through repeated
+/// double additions, so exact comparisons would flag phantom shortfalls or
+/// overflows one ulp past a boundary; every volume rule shares this epsilon.
+inline constexpr double kVolumeEpsilon = 1e-9;
+
 /// True for the commands that physically move an arm's tip.
 [[nodiscard]] bool is_motion_command(const dev::Command& cmd);
 
@@ -62,11 +70,48 @@ inline constexpr double kCompositeSafeLift = 0.22;
                                                   const StateTracker& tracker,
                                                   std::string_view moving_arm);
 
+/// Memoizes assemble_rule_world between commands. The assembled world only
+/// depends on static config geometry plus which arms are believed parked, so
+/// the tracker's pose revision counter decides whether the cached world (and
+/// its broad-phase grid) can be reused — an O(1) comparison per motion. The
+/// cache assumes the config it is handed does not change between calls —
+/// RabitEngine owns one per (config, tracker) pair for exactly that reason.
+class RuleWorldCache {
+ public:
+  struct Entry {
+    sim::WorldModel world;
+    sim::BroadPhaseGrid grid;
+  };
+
+  /// The rule world for `moving_arm`, rebuilt only when some arm's believed
+  /// pose changed since the previous call for this arm.
+  [[nodiscard]] const Entry& world_for(const EngineConfig& config, const StateTracker& tracker,
+                                       std::string_view moving_arm);
+
+  /// Times the world was actually assembled (memo-effectiveness metric).
+  [[nodiscard]] std::size_t rebuilds() const { return rebuilds_; }
+
+ private:
+  struct CachedWorld {
+    std::uint64_t pose_revision = 0;
+    Entry entry;
+  };
+  std::unordered_map<std::string, CachedWorld, detail::StringViewHash, std::equal_to<>> by_arm_;
+  std::size_t rebuilds_ = 0;
+};
+
 /// Valid(S_current, a_next): first violated precondition, or nullopt when
 /// the command is allowed.
 [[nodiscard]] std::optional<RuleHit> check_preconditions(const EngineConfig& config,
                                                          const StateTracker& tracker,
                                                          const dev::Command& cmd);
+
+/// Same, reusing `cache` for the per-motion rule-world assembly (nullptr
+/// falls back to assembling per command — identical verdicts either way).
+[[nodiscard]] std::optional<RuleHit> check_preconditions(const EngineConfig& config,
+                                                         const StateTracker& tracker,
+                                                         const dev::Command& cmd,
+                                                         RuleWorldCache* cache);
 
 /// One row of the state-transition table (paper Table II): an action with
 /// its preconditions and postconditions, in human-readable form. Used for

@@ -45,6 +45,7 @@ void StateTracker::initialize(const dev::LabStateSnapshot& observed) {
   state_.clear();
   arm_lab_positions_.clear();
   site_occupancy_.clear();
+  ++pose_revision_;  // wholesale reset: every cached rule world is stale
 
   // Symbolic baseline from the researcher-entered configuration...
   for (const DeviceMeta& meta : config_->devices) {
@@ -90,12 +91,22 @@ const json::Value* StateTracker::find_var(std::string_view device, std::string_v
 }
 
 void StateTracker::set_var(std::string_view device, std::string_view name, json::Value value) {
-  state_[std::string(device)][std::string(name)] = std::move(value);
+  json::Value& slot = state_[std::string(device)][std::string(name)];
+  if (name == "pose" && !(slot == value)) {
+    ++pose_revision_;
+    ++pose_revisions_[std::string(device)];
+  }
+  slot = std::move(value);
 }
 
 std::string StateTracker::arm_holding(std::string_view arm) const {
   const json::Value* v = find_var(arm, "holding");
   return v != nullptr && v->is_string() ? v->as_string() : std::string();
+}
+
+std::uint64_t StateTracker::pose_revision(std::string_view device) const {
+  auto it = pose_revisions_.find(device);
+  return it == pose_revisions_.end() ? 0 : it->second;
 }
 
 std::string StateTracker::arm_pose(std::string_view arm) const {
@@ -352,7 +363,14 @@ std::vector<std::string> StateTracker::mismatches(const dev::LabStateSnapshot& o
 
 void StateTracker::resync(const dev::LabStateSnapshot& observed) {
   for (const auto& [device, vars] : observed) {
-    for (const auto& [name, value] : vars) state_[device][name] = value;
+    for (const auto& [name, value] : vars) {
+      json::Value& slot = state_[device][name];
+      if (name == "pose" && !(slot == value)) {
+        ++pose_revision_;
+        ++pose_revisions_[device];
+      }
+      slot = value;
+    }
   }
 }
 

@@ -1,0 +1,157 @@
+#include "fleet/fleet.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <optional>
+#include <thread>
+
+#include "script/workflows.hpp"
+#include "sim/deck.hpp"
+
+namespace rabit::fleet {
+
+StreamSpec testbed_stream(std::string name, core::Variant variant, unsigned seed,
+                          const core::HotPathConfig& hot_path) {
+  StreamSpec spec;
+  spec.name = std::move(name);
+  spec.variant = variant;
+  spec.seed = seed;
+  spec.hot_path = hot_path;
+  // Record against a staging deck so the stream's own backend starts pristine
+  // (recording interprets the workflow, which mutates device state).
+  sim::LabBackend staging(sim::testbed_profile(), seed);
+  sim::build_hein_testbed_deck(staging);
+  spec.commands = script::record_workflow(staging, script::testbed_workflow_source());
+  return spec;
+}
+
+LatencySummary summarize_latencies(std::vector<double> latencies_us) {
+  LatencySummary s;
+  s.samples = latencies_us.size();
+  if (latencies_us.empty()) return s;
+  std::sort(latencies_us.begin(), latencies_us.end());
+  auto nearest_rank = [&](double q) {
+    auto rank = static_cast<std::size_t>(
+        std::ceil(q * static_cast<double>(latencies_us.size())));
+    if (rank == 0) rank = 1;
+    return latencies_us[rank - 1];
+  };
+  s.p50_us = nearest_rank(0.50);
+  s.p90_us = nearest_rank(0.90);
+  s.p99_us = nearest_rank(0.99);
+  s.max_us = latencies_us.back();
+  return s;
+}
+
+StreamResult FleetRunner::run_stream(const StreamSpec& spec) {
+  // Mirrors bugs::evaluate_stream: a fresh testbed deck, a config derived
+  // from it, and (for V3) an Extended Simulator over the configured world.
+  sim::LabBackend backend(sim::testbed_profile(), spec.seed);
+  sim::build_hein_testbed_deck(backend);
+  core::EngineConfig config = core::config_from_backend(backend, spec.variant);
+
+  std::optional<sim::ExtendedSimulator> simulator;
+  if (spec.variant == core::Variant::ModifiedWithSim) {
+    sim::WorldModel world = sim::deck_world_model(backend);
+    for (const core::DeviceMeta& m : config.devices) {
+      if (m.is_arm && m.sleep_box) {
+        world.add_box(m.id, *m.sleep_box, sim::ObstacleKind::ParkedArm);
+      }
+    }
+    // Shelf rack at x >= 8 m — outside every testbed motion path, so these
+    // boxes never collide; they only grow the set the narrow phase must scan.
+    for (std::size_t i = 0; i < spec.extra_obstacles; ++i) {
+      double x = 8.0 + 0.3 * static_cast<double>(i % 20);
+      double y = 0.3 * static_cast<double>((i / 20) % 20);
+      double z = 0.3 * static_cast<double>(i / 400);
+      world.add_box("shelf-" + std::to_string(i),
+                    geom::Aabb(geom::Vec3(x, y, z), geom::Vec3(x + 0.25, y + 0.25, z + 0.25)),
+                    sim::ObstacleKind::Equipment);
+    }
+    sim::ExtendedSimulator::Options sim_options;
+    sim_options.use_broad_phase = spec.hot_path.broad_phase;
+    sim_options.use_verdict_cache = spec.hot_path.verdict_cache;
+    simulator.emplace(std::move(world), sim_options);
+    simulator->set_arm_state_provider(
+        [&backend](std::string_view arm_id) -> std::optional<geom::Vec3> {
+          const auto* arm =
+              dynamic_cast<const dev::RobotArmDevice*>(backend.registry().find(arm_id));
+          if (arm == nullptr) return std::nullopt;
+          return arm->position_lab();
+        });
+  }
+
+  core::RabitEngine engine(std::move(config), spec.hot_path);
+  if (simulator) engine.attach_simulator(&*simulator);
+
+  trace::Supervisor::Options sup_options;
+  sup_options.halt_on_alert = spec.halt_on_alert;
+  trace::Supervisor supervisor(&engine, &backend, sup_options);
+
+  StreamResult result;
+  result.name = spec.name;
+  result.seed = spec.seed;
+  result.report = supervisor.run(spec.commands);
+  result.engine_stats = engine.stats();
+  result.trace_jsonl = supervisor.log().to_jsonl();
+  result.check_wall_s = result.report.check_wall_s;
+  return result;
+}
+
+FleetReport FleetRunner::run(const std::vector<StreamSpec>& streams) const {
+  FleetReport report;
+  report.streams.resize(streams.size());
+  if (streams.empty()) return report;
+
+  std::size_t workers = std::max<std::size_t>(1, std::min(options_.workers, streams.size()));
+
+  auto t0 = std::chrono::steady_clock::now();
+  // Work-stealing by atomic index: each worker claims the next unstarted
+  // stream. Results land in per-stream slots, so the outcome is independent
+  // of which worker ran what and in what order.
+  std::atomic<std::size_t> next{0};
+  auto worker_loop = [&] {
+    for (;;) {
+      std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= streams.size()) return;
+      report.streams[i] = run_stream(streams[i]);
+    }
+  };
+  if (workers == 1) {
+    worker_loop();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (std::size_t w = 0; w < workers; ++w) pool.emplace_back(worker_loop);
+    for (std::thread& t : pool) t.join();
+  }
+  auto t1 = std::chrono::steady_clock::now();
+  report.wall_s = std::chrono::duration<double>(t1 - t0).count();
+
+  std::vector<double> latencies_us;
+  for (const StreamResult& s : report.streams) {
+    const core::RabitEngine::Stats& st = s.engine_stats;
+    report.totals.commands_checked += st.commands_checked;
+    report.totals.precondition_alerts += st.precondition_alerts;
+    report.totals.trajectory_alerts += st.trajectory_alerts;
+    report.totals.malfunction_alerts += st.malfunction_alerts;
+    report.totals.trajectory_checks += st.trajectory_checks;
+    report.totals.degraded_checks += st.degraded_checks;
+    report.totals.status_repolls += st.status_repolls;
+    report.totals.resyncs += st.resyncs;
+    report.commands_checked += st.commands_checked;
+    report.alerts += s.report.alerts;
+    for (const trace::SupervisedStep& step : s.report.steps) {
+      if (step.check_wall_us > 0) latencies_us.push_back(step.check_wall_us);
+    }
+  }
+  report.check_latency = summarize_latencies(std::move(latencies_us));
+  if (report.wall_s > 0) {
+    report.commands_per_s = static_cast<double>(report.commands_checked) / report.wall_s;
+  }
+  return report;
+}
+
+}  // namespace rabit::fleet

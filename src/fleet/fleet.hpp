@@ -1,0 +1,99 @@
+// rabit::fleet — multi-stream checking at production scale.
+//
+// The paper evaluates RABIT on one experiment stream; the ROADMAP north-star
+// is a middleware validating many concurrent streams. This layer shards N
+// fully independent streams — each with its own backend, engine, simulator,
+// and Supervisor — across a worker pool. Streams share no mutable state, so
+// results (and the trace JSONL each stream emits) are byte-identical for a
+// given seed regardless of how many workers the pool runs or how the
+// scheduler interleaves them.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "trace/trace.hpp"
+
+namespace rabit::fleet {
+
+/// One independent experiment stream: a command workflow plus everything
+/// needed to rebuild its lab from scratch.
+struct StreamSpec {
+  std::string name;  ///< e.g. "stream-03"; used in reports and filenames
+  core::Variant variant = core::Variant::ModifiedWithSim;
+  unsigned seed = 42;  ///< backend RNG seed; determinism is per-seed
+  std::vector<dev::Command> commands;
+  core::HotPathConfig hot_path;
+  bool halt_on_alert = true;
+  /// Dense-lab load: adds this many static equipment boxes to the simulator
+  /// world (V3 only), in a shelf region far from every motion path, so
+  /// verdicts are unchanged while collision checks see a production-density
+  /// world instead of the sparse testbed.
+  std::size_t extra_obstacles = 0;
+};
+
+/// Builds the standard testbed stream: a Hein-testbed deck seeded with
+/// `seed` and the Fig. 5 safe workflow recorded against it.
+[[nodiscard]] StreamSpec testbed_stream(std::string name, core::Variant variant, unsigned seed,
+                                        const core::HotPathConfig& hot_path = {});
+
+/// Percentiles over per-command check latencies (real wall time, nearest-
+/// rank method).
+struct LatencySummary {
+  std::size_t samples = 0;
+  double p50_us = 0.0;
+  double p90_us = 0.0;
+  double p99_us = 0.0;
+  double max_us = 0.0;
+};
+
+[[nodiscard]] LatencySummary summarize_latencies(std::vector<double> latencies_us);
+
+struct StreamResult {
+  std::string name;
+  unsigned seed = 0;
+  trace::RunReport report;
+  core::RabitEngine::Stats engine_stats;
+  std::string trace_jsonl;  ///< the stream's full Supervisor trace
+  /// Real wall-clock spent inside engine checks for this stream.
+  double check_wall_s = 0.0;
+};
+
+struct FleetReport {
+  std::vector<StreamResult> streams;  ///< in StreamSpec order, not finish order
+  /// Aggregated engine stats across all streams.
+  core::RabitEngine::Stats totals;
+  std::size_t commands_checked = 0;
+  std::size_t alerts = 0;
+  double wall_s = 0.0;  ///< fleet wall-clock, pool start to last stream done
+  double commands_per_s = 0.0;  ///< commands_checked / wall_s
+  LatencySummary check_latency;
+};
+
+/// Runs stream specs to completion over a fixed-size worker pool. run() is
+/// synchronous; the runner holds no state between calls.
+class FleetRunner {
+ public:
+  struct Options {
+    /// Worker threads; clamped to the stream count, minimum 1.
+    std::size_t workers = 1;
+  };
+
+  FleetRunner() = default;
+  explicit FleetRunner(Options options) : options_(options) {}
+
+  [[nodiscard]] const Options& options() const { return options_; }
+
+  /// Runs every stream and aggregates. Stream i's result lands at index i.
+  [[nodiscard]] FleetReport run(const std::vector<StreamSpec>& streams) const;
+
+  /// Runs one stream in isolation (what each pool worker executes).
+  [[nodiscard]] static StreamResult run_stream(const StreamSpec& spec);
+
+ private:
+  Options options_;
+};
+
+}  // namespace rabit::fleet

@@ -24,7 +24,26 @@ geom::Vec3 vec3_from_json(const json::Value& v, const char* what) {
   return geom::Vec3(a[0].as_double(), a[1].as_double(), a[2].as_double());
 }
 
+void hash_combine(std::size_t& seed, std::size_t v) {
+  seed ^= v + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2);
+}
+
 }  // namespace
+
+std::size_t ExtendedSimulator::VerdictKeyHash::operator()(const VerdictKey& k) const {
+  std::size_t seed = 0;
+  std::hash<double> hd;
+  std::hash<std::string> hs;
+  hash_combine(seed, hd(k.start.x));
+  hash_combine(seed, hd(k.start.y));
+  hash_combine(seed, hd(k.start.z));
+  hash_combine(seed, hd(k.goal.x));
+  hash_combine(seed, hd(k.goal.y));
+  hash_combine(seed, hd(k.goal.z));
+  hash_combine(seed, hd(k.clearance));
+  for (const std::string& s : k.ignore) hash_combine(seed, hs(s));
+  return seed;
+}
 
 ExtendedSimulator::ExtendedSimulator(WorldModel world, Options options)
     : world_(std::move(world)), options_(options) {
@@ -56,25 +75,88 @@ WorldModel ExtendedSimulator::world_from_json(const json::Value& config) {
   return world;
 }
 
-void ExtendedSimulator::charge_latency() {
-  ++checks_;
-  modeled_latency_s_ += options_.gui_enabled ? options_.gui_latency_s
-                                             : options_.headless_latency_s;
+void ExtendedSimulator::charge_latency() const {
+  checks_.fetch_add(1, std::memory_order_relaxed);
+  double cost = options_.gui_enabled ? options_.gui_latency_s : options_.headless_latency_s;
+  std::lock_guard<std::mutex> lock(cache_mutex_);
+  modeled_latency_s_ += cost;
 }
 
-std::optional<CollisionReport> ExtendedSimulator::validate_trajectory(const geom::Vec3& start,
-                                                                      const geom::Vec3& goal,
-                                                                      double held_clearance) {
-  charge_latency();
+double ExtendedSimulator::modeled_latency_s() const {
+  std::lock_guard<std::mutex> lock(cache_mutex_);
+  return modeled_latency_s_;
+}
+
+std::uint64_t ExtendedSimulator::world_revision() const {
+  // Element counts are folded in so a direct boxes.push_back that forgot
+  // bump_epoch() still invalidates; in-place coordinate edits need the bump.
+  return world_.epoch() * 0x100000001b3ULL + world_.boxes.size() * 8191 +
+         world_.arm_segments.size();
+}
+
+std::optional<CollisionReport> ExtendedSimulator::cached_path_check(
+    const geom::Vec3& start, const geom::Vec3& goal, double held_clearance,
+    const std::vector<std::string>& ignore) const {
   PathCheckOptions opts;
   opts.step = options_.polling_step_m;
-  return check_path(world_, start, goal, held_clearance, opts);
+  opts.ignore = ignore;
+
+  if (!options_.use_broad_phase && !options_.use_verdict_cache) {
+    narrow_runs_.fetch_add(1, std::memory_order_relaxed);
+    return check_path(world_, start, goal, held_clearance, opts);
+  }
+
+  std::lock_guard<std::mutex> lock(cache_mutex_);
+  std::uint64_t revision = world_revision();
+  if (revision != cache_revision_) {
+    if (options_.use_broad_phase) grid_.rebuild(world_);
+    verdicts_.clear();
+    cache_revision_ = revision;
+  }
+
+  VerdictKey key{start, goal, held_clearance, ignore};
+  if (options_.use_verdict_cache) {
+    if (auto it = verdicts_.find(key); it != verdicts_.end()) {
+      cache_hits_.fetch_add(1, std::memory_order_relaxed);
+      return it->second;
+    }
+  }
+
+  narrow_runs_.fetch_add(1, std::memory_order_relaxed);
+  std::optional<CollisionReport> verdict = check_path(
+      world_, start, goal, held_clearance, opts, options_.use_broad_phase ? &grid_ : nullptr);
+  if (options_.use_verdict_cache) {
+    if (verdicts_.size() >= options_.verdict_cache_capacity) verdicts_.clear();
+    verdicts_.emplace(std::move(key), verdict);
+  }
+  return verdict;
 }
 
-std::optional<CollisionReport> ExtendedSimulator::validate_target(const geom::Vec3& target,
-                                                                  double held_clearance) {
+std::optional<CollisionReport> ExtendedSimulator::validate_trajectory(
+    const geom::Vec3& start, const geom::Vec3& goal, double held_clearance) const {
+  static const std::vector<std::string> kNoIgnores;
+  return validate_trajectory(start, goal, held_clearance, kNoIgnores);
+}
+
+std::optional<CollisionReport> ExtendedSimulator::validate_trajectory(
+    const geom::Vec3& start, const geom::Vec3& goal, double held_clearance,
+    const std::vector<std::string>& ignore) const {
   charge_latency();
-  return check_point(world_, target, held_clearance);
+  return cached_path_check(start, goal, held_clearance, ignore);
+}
+
+std::optional<CollisionReport> ExtendedSimulator::validate_target(
+    const geom::Vec3& target, double held_clearance) const {
+  charge_latency();
+  std::lock_guard<std::mutex> lock(cache_mutex_);
+  std::uint64_t revision = world_revision();
+  if (revision != cache_revision_) {
+    if (options_.use_broad_phase) grid_.rebuild(world_);
+    verdicts_.clear();
+    cache_revision_ = revision;
+  }
+  return check_point(world_, target, held_clearance, PathCheckOptions{},
+                     options_.use_broad_phase ? &grid_ : nullptr);
 }
 
 }  // namespace rabit::sim

@@ -10,9 +10,19 @@
 // simulator GUI runs in a virtual machine; a planned deployment mode
 // bypasses the GUI. Both modes are modeled with a virtual latency meter so
 // benches can report the paper's overhead numbers without real sleeps.
+//
+// Fleet-scale hot path: trajectory queries are const and thread-safe. A
+// uniform-grid broad phase prunes the per-sample narrow phase to candidate
+// boxes, and an epoch-versioned verdict cache keyed on (start, goal,
+// clearance, ignore set, world epoch) short-circuits repeated checks of the
+// same motion against an unchanged world. Both are transparent: verdicts are
+// byte-identical to the unpruned, uncached scan.
 #pragma once
 
+#include <atomic>
 #include <functional>
+#include <mutex>
+#include <unordered_map>
 
 #include "json/json.hpp"
 #include "sim/world.hpp"
@@ -31,6 +41,9 @@ class ExtendedSimulator {
     bool gui_enabled = true;       ///< GUI round trip per check (the 2 s mode)
     double gui_latency_s = 2.0;    ///< modeled cost of one GUI invocation
     double headless_latency_s = 0.02;  ///< modeled cost with the GUI bypassed
+    bool use_broad_phase = true;   ///< uniform-grid candidate pruning
+    bool use_verdict_cache = true; ///< epoch-versioned collision-verdict cache
+    std::size_t verdict_cache_capacity = 1024;  ///< entries before a flush
   };
 
   explicit ExtendedSimulator(WorldModel world) : ExtendedSimulator(std::move(world), Options{}) {}
@@ -43,6 +56,10 @@ class ExtendedSimulator {
   [[nodiscard]] static WorldModel world_from_json(const json::Value& config);
 
   [[nodiscard]] const WorldModel& world() const { return world_; }
+  /// Mutable world access. Mutations through add_box/add_solid/
+  /// set_arm_segment bump the epoch automatically; direct edits to the
+  /// `boxes`/`arm_segments` vectors must be followed by bump_epoch() so the
+  /// verdict cache and broad phase notice.
   [[nodiscard]] WorldModel& world() { return world_; }
   [[nodiscard]] const Options& options() const { return options_; }
   void set_gui_enabled(bool enabled) { options_.gui_enabled = enabled; }
@@ -54,27 +71,76 @@ class ExtendedSimulator {
   }
 
   /// Validates a planned tip motion; nullopt means the trajectory is clear.
-  /// This is the paper's ValidTrajectory() (Fig. 2 line 9).
-  [[nodiscard]] std::optional<CollisionReport> validate_trajectory(const geom::Vec3& start,
-                                                                   const geom::Vec3& goal,
-                                                                   double held_clearance);
+  /// This is the paper's ValidTrajectory() (Fig. 2 line 9). Const and safe
+  /// to call from multiple threads (counters are atomic; the caches are
+  /// internally locked).
+  [[nodiscard]] std::optional<CollisionReport> validate_trajectory(
+      const geom::Vec3& start, const geom::Vec3& goal, double held_clearance) const;
+
+  /// Same, with boxes named in `ignore` skipped (the deliberate-entry set
+  /// computed by motion analysis). Replaces the engine's former
+  /// erase-and-reinsert mutation of the world: the query is read-only.
+  [[nodiscard]] std::optional<CollisionReport> validate_trajectory(
+      const geom::Vec3& start, const geom::Vec3& goal, double held_clearance,
+      const std::vector<std::string>& ignore) const;
 
   /// Target-only variant (what RABIT falls back to without a simulator).
   [[nodiscard]] std::optional<CollisionReport> validate_target(const geom::Vec3& target,
-                                                               double held_clearance);
+                                                               double held_clearance) const;
 
-  [[nodiscard]] std::size_t checks_performed() const { return checks_; }
+  [[nodiscard]] std::size_t checks_performed() const {
+    return checks_.load(std::memory_order_relaxed);
+  }
   /// Modeled wall-clock spent inside the simulator so far.
-  [[nodiscard]] double modeled_latency_s() const { return modeled_latency_s_; }
+  [[nodiscard]] double modeled_latency_s() const;
+
+  /// Verdict-cache instrumentation (for benches and invalidation tests).
+  [[nodiscard]] std::size_t verdict_cache_hits() const {
+    return cache_hits_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::size_t narrow_phase_runs() const {
+    return narrow_runs_.load(std::memory_order_relaxed);
+  }
 
  private:
-  void charge_latency();
+  struct VerdictKey {
+    geom::Vec3 start;
+    geom::Vec3 goal;
+    double clearance = 0.0;
+    std::vector<std::string> ignore;
+
+    bool operator==(const VerdictKey& o) const {
+      return start.x == o.start.x && start.y == o.start.y && start.z == o.start.z &&
+             goal.x == o.goal.x && goal.y == o.goal.y && goal.z == o.goal.z &&
+             clearance == o.clearance && ignore == o.ignore;
+    }
+  };
+  struct VerdictKeyHash {
+    std::size_t operator()(const VerdictKey& k) const;
+  };
+
+  void charge_latency() const;
+  /// Fingerprint of the world revision the caches were built against: the
+  /// explicit epoch plus element counts (the counts catch direct vector
+  /// mutation that forgot to bump the epoch).
+  [[nodiscard]] std::uint64_t world_revision() const;
+  [[nodiscard]] std::optional<CollisionReport> cached_path_check(
+      const geom::Vec3& start, const geom::Vec3& goal, double held_clearance,
+      const std::vector<std::string>& ignore) const;
 
   WorldModel world_;
   Options options_;
   ArmStateProvider provider_;
-  std::size_t checks_ = 0;
-  double modeled_latency_s_ = 0.0;
+  mutable std::atomic<std::size_t> checks_{0};
+  mutable std::atomic<std::size_t> cache_hits_{0};
+  mutable std::atomic<std::size_t> narrow_runs_{0};
+  mutable double modeled_latency_s_ = 0.0;  ///< guarded by cache_mutex_
+
+  mutable std::mutex cache_mutex_;
+  mutable BroadPhaseGrid grid_;                 ///< guarded by cache_mutex_
+  mutable std::uint64_t cache_revision_ = ~0ULL;
+  mutable std::unordered_map<VerdictKey, std::optional<CollisionReport>, VerdictKeyHash>
+      verdicts_;                                ///< guarded by cache_mutex_
 };
 
 }  // namespace rabit::sim

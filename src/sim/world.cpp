@@ -21,11 +21,27 @@ std::string_view to_string(ObstacleKind k) {
 
 void WorldModel::add_box(std::string name, const geom::Aabb& box, ObstacleKind kind) {
   boxes.push_back(NamedBox{std::move(name), box, kind, std::nullopt});
+  bump_epoch();
 }
 
 void WorldModel::add_solid(std::string name, geom::Solid solid, ObstacleKind kind) {
   geom::Aabb bounds = solid.bounding_box();
   boxes.push_back(NamedBox{std::move(name), bounds, kind, std::move(solid)});
+  bump_epoch();
+}
+
+void WorldModel::set_arm_segment(std::string arm_id, const geom::Segment& segment,
+                                 double radius) {
+  for (ArmSegmentObstacle& seg : arm_segments) {
+    if (seg.arm_id == arm_id) {
+      seg.segment = segment;
+      seg.radius = radius;
+      bump_epoch();
+      return;
+    }
+  }
+  arm_segments.push_back(ArmSegmentObstacle{std::move(arm_id), segment, radius});
+  bump_epoch();
 }
 
 const NamedBox* WorldModel::find_box(std::string_view name) const {
@@ -40,6 +56,102 @@ const NamedBox* WorldModel::box_containing(const geom::Vec3& p) const {
     if (b.contains(p)) return &b;
   }
   return nullptr;
+}
+
+// ---------------------------------------------------------------------------
+// BroadPhaseGrid
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Cells per axis. Deck worlds hold tens of boxes over a ~2 m table; 8^3
+/// cells keeps occupancy lists short without a per-rebuild allocation storm.
+constexpr int kGridCellsPerAxis = 8;
+
+}  // namespace
+
+void BroadPhaseGrid::rebuild(const WorldModel& world) {
+  cells_.clear();
+  oversize_.clear();
+  box_count_ = world.boxes.size();
+  nx_ = ny_ = nz_ = 0;
+  if (world.boxes.empty()) return;
+
+  geom::Aabb bounds = world.boxes.front().box;
+  for (const NamedBox& b : world.boxes) bounds = bounds.united(b.box);
+  // Pad slightly so boundary queries never fall outside the grid range.
+  bounds = bounds.inflated(1e-6);
+  origin_ = bounds.min;
+  geom::Vec3 extent = bounds.size();
+
+  auto axis_cells = [](double e) { return e <= 0 ? 1 : kGridCellsPerAxis; };
+  nx_ = axis_cells(extent.x);
+  ny_ = axis_cells(extent.y);
+  nz_ = axis_cells(extent.z);
+  cell_size_ = geom::Vec3(extent.x > 0 ? extent.x / nx_ : 1.0,
+                          extent.y > 0 ? extent.y / ny_ : 1.0,
+                          extent.z > 0 ? extent.z / nz_ : 1.0);
+  inv_cell_ = geom::Vec3(1.0 / cell_size_.x, 1.0 / cell_size_.y, 1.0 / cell_size_.z);
+  cells_.assign(static_cast<std::size_t>(nx_) * static_cast<std::size_t>(ny_) *
+                    static_cast<std::size_t>(nz_),
+                {});
+
+  const std::size_t total_cells = cells_.size();
+  for (std::size_t i = 0; i < world.boxes.size(); ++i) {
+    int x0, x1, y0, y1, z0, z1;
+    cell_range(world.boxes[i].box, x0, x1, y0, y1, z0, z1);
+    std::size_t covered = static_cast<std::size_t>(x1 - x0 + 1) *
+                          static_cast<std::size_t>(y1 - y0 + 1) *
+                          static_cast<std::size_t>(z1 - z0 + 1);
+    // Room-scale boxes (ground plane, walls) would land in nearly every
+    // cell; keeping them in a flat always-checked list is cheaper.
+    if (covered * 2 > total_cells) {
+      oversize_.push_back(static_cast<std::uint32_t>(i));
+      continue;
+    }
+    for (int z = z0; z <= z1; ++z) {
+      for (int y = y0; y <= y1; ++y) {
+        for (int x = x0; x <= x1; ++x) {
+          cells_[cell_index(x, y, z)].push_back(static_cast<std::uint32_t>(i));
+        }
+      }
+    }
+  }
+}
+
+void BroadPhaseGrid::cell_range(const geom::Aabb& box, int& x0, int& x1, int& y0, int& y1,
+                                int& z0, int& z1) const {
+  auto clamp_cell = [](double v, int n) {
+    if (v < 0) return 0;
+    if (v >= n) return n - 1;
+    return static_cast<int>(v);
+  };
+  x0 = clamp_cell(std::floor((box.min.x - origin_.x) * inv_cell_.x), nx_);
+  x1 = clamp_cell(std::floor((box.max.x - origin_.x) * inv_cell_.x), nx_);
+  y0 = clamp_cell(std::floor((box.min.y - origin_.y) * inv_cell_.y), ny_);
+  y1 = clamp_cell(std::floor((box.max.y - origin_.y) * inv_cell_.y), ny_);
+  z0 = clamp_cell(std::floor((box.min.z - origin_.z) * inv_cell_.z), nz_);
+  z1 = clamp_cell(std::floor((box.max.z - origin_.z) * inv_cell_.z), nz_);
+}
+
+void BroadPhaseGrid::candidates(const geom::Aabb& query, std::vector<std::size_t>& out) const {
+  out.clear();
+  if (box_count_ == 0) return;
+  out.insert(out.end(), oversize_.begin(), oversize_.end());
+  if (!cells_.empty()) {
+    int x0, x1, y0, y1, z0, z1;
+    cell_range(query, x0, x1, y0, y1, z0, z1);
+    for (int z = z0; z <= z1; ++z) {
+      for (int y = y0; y <= y1; ++y) {
+        for (int x = x0; x <= x1; ++x) {
+          const std::vector<std::uint32_t>& cell = cells_[cell_index(x, y, z)];
+          out.insert(out.end(), cell.begin(), cell.end());
+        }
+      }
+    }
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
 }
 
 std::string CollisionReport::describe() const {
@@ -60,10 +172,25 @@ bool is_ignored(const PathCheckOptions& options, const std::string& name) {
   return std::find(options.ignore.begin(), options.ignore.end(), name) != options.ignore.end();
 }
 
-/// Checks a single tip sample against the world.
+/// The axis-aligned volume a tip sample can touch: the tip itself plus the
+/// held-object box hanging below it.
+geom::Aabb sample_volume(const geom::Vec3& tip, double held_clearance,
+                         const PathCheckOptions& options) {
+  if (held_clearance > 0) {
+    return geom::Aabb(
+        tip - geom::Vec3(options.held_half_width, options.held_half_width, held_clearance),
+        tip + geom::Vec3(options.held_half_width, options.held_half_width, 0.0));
+  }
+  return geom::Aabb(tip, tip);
+}
+
+/// Checks a single tip sample against the world. When `candidates` is
+/// non-null, only those box indices (ascending — same visit order as the
+/// full scan) are narrow-phase tested.
 std::optional<CollisionReport> check_sample(const WorldModel& world, const geom::Vec3& tip,
                                             double held_clearance,
-                                            const PathCheckOptions& options) {
+                                            const PathCheckOptions& options,
+                                            const std::vector<std::size_t>* candidates) {
   // The volume occupied by a held object: a slim box hanging below the tip.
   std::optional<geom::Aabb> held_box;
   if (held_clearance > 0) {
@@ -72,7 +199,9 @@ std::optional<CollisionReport> check_sample(const WorldModel& world, const geom:
         tip + geom::Vec3(options.held_half_width, options.held_half_width, 0.0));
   }
 
-  for (const NamedBox& b : world.boxes) {
+  const std::size_t count = candidates != nullptr ? candidates->size() : world.boxes.size();
+  for (std::size_t c = 0; c < count; ++c) {
+    const NamedBox& b = world.boxes[candidates != nullptr ? (*candidates)[c] : c];
     if (b.kind == ObstacleKind::SoftWall && !options.include_soft_walls) continue;
     if (is_ignored(options, b.name)) continue;
     if (b.contains(tip)) {
@@ -107,8 +236,25 @@ std::optional<CollisionReport> check_sample(const WorldModel& world, const geom:
 
 std::optional<CollisionReport> check_path(const WorldModel& world, const geom::Vec3& start,
                                           const geom::Vec3& goal, double held_clearance,
-                                          const PathCheckOptions& options) {
+                                          const PathCheckOptions& options,
+                                          const BroadPhaseGrid* grid) {
   if (options.step <= 0) throw std::invalid_argument("check_path: step must be positive");
+
+  // Broad phase: one swept-volume query covers every sample on the segment,
+  // so the per-sample narrow phase only sees boxes near the motion. A grid
+  // built for a different world (box count mismatch) is ignored — a wrong
+  // candidate set would silently change verdicts.
+  std::vector<std::size_t> candidate_storage;
+  const std::vector<std::size_t>* candidates = nullptr;
+  if (grid != nullptr && grid->box_count() == world.boxes.size()) {
+    geom::Aabb swept = geom::Aabb(start, start).united(geom::Aabb(goal, goal));
+    swept = swept.united(sample_volume(start, held_clearance, options))
+                .united(sample_volume(goal, held_clearance, options))
+                .inflated(geom::kEpsilon);
+    grid->candidates(swept, candidate_storage);
+    candidates = &candidate_storage;
+  }
+
   double length = start.distance_to(goal);
   auto samples = static_cast<std::size_t>(std::ceil(length / options.step)) + 1;
   for (std::size_t i = 0; i <= samples; ++i) {
@@ -117,15 +263,24 @@ std::optional<CollisionReport> check_path(const WorldModel& world, const geom::V
     // Skip the departure point itself: the arm is allowed to *leave* a spot
     // that brushes an obstacle boundary (e.g. lifting out of a grid slot).
     if (i == 0) continue;
-    if (auto hit = check_sample(world, tip, held_clearance, options)) return hit;
+    if (auto hit = check_sample(world, tip, held_clearance, options, candidates)) return hit;
   }
   return std::nullopt;
 }
 
 std::optional<CollisionReport> check_point(const WorldModel& world, const geom::Vec3& point,
                                            double held_clearance,
-                                           const PathCheckOptions& options) {
-  return check_sample(world, point, held_clearance, options);
+                                           const PathCheckOptions& options,
+                                           const BroadPhaseGrid* grid) {
+  std::vector<std::size_t> candidate_storage;
+  const std::vector<std::size_t>* candidates = nullptr;
+  if (grid != nullptr && grid->box_count() == world.boxes.size()) {
+    geom::Aabb query =
+        sample_volume(point, held_clearance, options).inflated(geom::kEpsilon);
+    grid->candidates(query, candidate_storage);
+    candidates = &candidate_storage;
+  }
+  return check_sample(world, point, held_clearance, options, candidates);
 }
 
 }  // namespace rabit::sim

@@ -10,6 +10,7 @@
 //     how detection gaps arise in §IV).
 #pragma once
 
+#include <cstdint>
 #include <optional>
 #include <string>
 #include <vector>
@@ -68,6 +69,64 @@ struct WorldModel {
 
   /// First box (if any) containing the point.
   [[nodiscard]] const NamedBox* box_containing(const geom::Vec3& p) const;
+
+  /// Mutation counter consumed by the collision-verdict cache and the broad
+  /// phase. add_box/add_solid/set_arm_segment bump it automatically; code
+  /// that mutates `boxes`/`arm_segments` directly must call bump_epoch()
+  /// afterwards or cached verdicts may go stale (element-count changes are
+  /// additionally caught by the cache's size fingerprint).
+  [[nodiscard]] std::uint64_t epoch() const { return epoch_; }
+  void bump_epoch() { ++epoch_; }
+
+  /// Updates (or inserts) another arm's link obstacle, bumping the epoch.
+  void set_arm_segment(std::string arm_id, const geom::Segment& segment, double radius);
+
+ private:
+  std::uint64_t epoch_ = 0;
+};
+
+/// Uniform-grid broad phase over a WorldModel's box AABBs. Queries return a
+/// conservative superset of the boxes intersecting an axis-aligned region,
+/// in ascending box-index order, so narrow-phase iteration visits boxes in
+/// exactly the order a full scan would — verdicts stay byte-identical.
+///
+/// The grid snapshots the world at build time; rebuild() after the world's
+/// epoch changes. Queries are const and touch no mutable state, so a built
+/// grid is safe to share across threads.
+class BroadPhaseGrid {
+ public:
+  BroadPhaseGrid() = default;
+  explicit BroadPhaseGrid(const WorldModel& world) { rebuild(world); }
+
+  void rebuild(const WorldModel& world);
+
+  /// Number of boxes indexed at build time (sanity check against the world).
+  [[nodiscard]] std::size_t box_count() const { return box_count_; }
+
+  /// Appends the indices (ascending, deduplicated) of all boxes whose AABB
+  /// may intersect `query` to `out` (cleared first).
+  void candidates(const geom::Aabb& query, std::vector<std::size_t>& out) const;
+
+ private:
+  [[nodiscard]] std::size_t cell_index(int x, int y, int z) const {
+    return (static_cast<std::size_t>(z) * static_cast<std::size_t>(ny_) +
+            static_cast<std::size_t>(y)) *
+               static_cast<std::size_t>(nx_) +
+           static_cast<std::size_t>(x);
+  }
+  void cell_range(const geom::Aabb& box, int& x0, int& x1, int& y0, int& y1, int& z0,
+                  int& z1) const;
+
+  geom::Vec3 origin_;
+  geom::Vec3 inv_cell_;             ///< 1 / cell size, per axis
+  geom::Vec3 cell_size_;
+  int nx_ = 0, ny_ = 0, nz_ = 0;
+  std::vector<std::vector<std::uint32_t>> cells_;
+  std::size_t box_count_ = 0;
+  /// Boxes with no spatial extent overlap possible are still kept in an
+  /// "oversize" list when they span most of the grid (cheaper than flooding
+  /// every cell with the ground plane / wall indices).
+  std::vector<std::uint32_t> oversize_;
 };
 
 struct CollisionReport {
@@ -96,11 +155,17 @@ struct PathCheckOptions {
 /// world. `held_clearance` extends the checked volume below the tip by the
 /// held object's length (the Bug D fix: arm dimensions change when holding).
 /// Returns the first collision, or nullopt for a clear path.
+///
+/// When `grid` is a broad phase built from this world (same box count), only
+/// boxes whose AABB overlaps the swept volume are narrow-phase tested; a
+/// mismatched or null grid falls back to the full scan. Either way the
+/// verdict is identical.
 [[nodiscard]] std::optional<CollisionReport> check_path(const WorldModel& world,
                                                         const geom::Vec3& start,
                                                         const geom::Vec3& goal,
                                                         double held_clearance,
-                                                        const PathCheckOptions& options = {});
+                                                        const PathCheckOptions& options = {},
+                                                        const BroadPhaseGrid* grid = nullptr);
 
 /// Point-in-world query with the same held-object semantics, for validating
 /// a single target location (the fallback when no simulator is available:
@@ -108,6 +173,7 @@ struct PathCheckOptions {
 [[nodiscard]] std::optional<CollisionReport> check_point(const WorldModel& world,
                                                          const geom::Vec3& point,
                                                          double held_clearance,
-                                                         const PathCheckOptions& options = {});
+                                                         const PathCheckOptions& options = {},
+                                                         const BroadPhaseGrid* grid = nullptr);
 
 }  // namespace rabit::sim

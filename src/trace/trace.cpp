@@ -1,8 +1,23 @@
 #include "trace/trace.hpp"
 
+#include <chrono>
 #include <sstream>
 
 namespace rabit::trace {
+
+namespace {
+
+/// Times one engine check call, accumulating real microseconds into `out`.
+template <typename Fn>
+auto timed_check(double& out, Fn&& fn) {
+  auto t0 = std::chrono::steady_clock::now();
+  auto result = fn();
+  auto t1 = std::chrono::steady_clock::now();
+  out += std::chrono::duration<double, std::micro>(t1 - t0).count();
+  return result;
+}
+
+}  // namespace
 
 std::string_view to_string(Outcome o) {
   switch (o) {
@@ -391,7 +406,8 @@ SupervisedStep Supervisor::step(const dev::Command& cmd) {
   // channel can make a safe script look unsafe. A genuine script bug
   // re-checks identically on fresh data, so re-polling never masks one.
   if (engine_ != nullptr) {
-    std::optional<core::Alert> pre_alert = engine_->check_command(cmd);
+    std::optional<core::Alert> pre_alert =
+        timed_check(result.check_wall_us, [&] { return engine_->check_command(cmd); });
     if (pre_alert && options_.recovery) {
       const recovery::RecoveryPolicy& pol = *options_.recovery;
       for (std::size_t repoll = 1; pre_alert && repoll <= pol.max_status_repolls; ++repoll) {
@@ -405,7 +421,8 @@ SupervisedStep Supervisor::step(const dev::Command& cmd) {
                                            "re-polling status before declaring " +
                                                pre_alert->rule + " violation"});
         append_recovery_record(cmd, Outcome::StatusRepoll, repoll, "");
-        pre_alert = engine_->check_command(cmd);
+        pre_alert =
+            timed_check(result.check_wall_us, [&] { return engine_->check_command(cmd); });
       }
       if (!pre_alert) ++recovery_report_.transients_absorbed;
     }
@@ -472,6 +489,7 @@ RunReport Supervisor::run(const std::vector<dev::Command>& workflow) {
   for (const dev::Command& cmd : workflow) {
     SupervisedStep step_result = step(cmd);
     std::size_t index = report.steps.size();
+    report.check_wall_s += step_result.check_wall_us * 1e-6;
 
     if (step_result.alert) {
       ++report.alerts;

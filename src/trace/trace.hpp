@@ -96,6 +96,9 @@ struct SupervisedStep {
   bool halted = false;                  ///< the experiment was stopped
   std::size_t retries = 0;              ///< recovery re-attempts this command consumed
   std::size_t repolls = 0;              ///< recovery status re-polls this command consumed
+  /// Real (wall-clock, not modeled) time spent inside engine check calls for
+  /// this command — what bench_throughput aggregates into p50/p99.
+  double check_wall_us = 0.0;
 };
 
 /// Full-workflow report, with the indices benches need to score detection:
@@ -110,6 +113,9 @@ struct RunReport {
   std::vector<sim::DamageEvent> damage;
   double modeled_runtime_s = 0.0;   ///< backend execution time
   double modeled_overhead_s = 0.0;  ///< RABIT + simulator check time
+  /// Real wall-clock spent inside engine check calls across the whole run
+  /// (sum of the per-step check_wall_us samples).
+  double check_wall_s = 0.0;
   /// What the recovery ladder did, when Options::recovery was set.
   std::optional<recovery::RecoveryReport> recovery;
   /// Motion commands checked at V2 level because the V3 simulator was

@@ -1,0 +1,120 @@
+// Fleet-layer tests: latency percentile math, per-seed byte-identical
+// determinism, worker-count independence, aggregation arithmetic, and the
+// dense-world knob leaving verdicts untouched.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "fleet/fleet.hpp"
+
+namespace rabit {
+namespace {
+
+TEST(SummarizeLatencies, NearestRankPercentiles) {
+  std::vector<double> samples;
+  for (int i = 100; i >= 1; --i) samples.push_back(static_cast<double>(i));
+
+  fleet::LatencySummary s = fleet::summarize_latencies(samples);
+  EXPECT_EQ(s.samples, 100u);
+  EXPECT_DOUBLE_EQ(s.p50_us, 50.0);
+  EXPECT_DOUBLE_EQ(s.p90_us, 90.0);
+  EXPECT_DOUBLE_EQ(s.p99_us, 99.0);
+  EXPECT_DOUBLE_EQ(s.max_us, 100.0);
+}
+
+TEST(SummarizeLatencies, EmptyInputYieldsZeroes) {
+  fleet::LatencySummary s = fleet::summarize_latencies({});
+  EXPECT_EQ(s.samples, 0u);
+  EXPECT_DOUBLE_EQ(s.p50_us, 0.0);
+  EXPECT_DOUBLE_EQ(s.p99_us, 0.0);
+  EXPECT_DOUBLE_EQ(s.max_us, 0.0);
+}
+
+TEST(FleetDeterminism, SameSeedProducesByteIdenticalTrace) {
+  fleet::StreamSpec spec =
+      fleet::testbed_stream("repro", core::Variant::ModifiedWithSim, 42);
+
+  fleet::StreamResult first = fleet::FleetRunner::run_stream(spec);
+  fleet::StreamResult second = fleet::FleetRunner::run_stream(spec);
+
+  ASSERT_FALSE(first.trace_jsonl.empty());
+  EXPECT_EQ(first.trace_jsonl, second.trace_jsonl);
+  EXPECT_EQ(first.engine_stats.commands_checked, second.engine_stats.commands_checked);
+  EXPECT_EQ(first.report.alerts, second.report.alerts);
+}
+
+TEST(FleetDeterminism, WorkerCountDoesNotChangeResults) {
+  std::vector<fleet::StreamSpec> specs;
+  for (unsigned i = 0; i < 4; ++i) {
+    specs.push_back(fleet::testbed_stream("stream-" + std::to_string(i),
+                                          core::Variant::ModifiedWithSim, 100 + i));
+  }
+
+  fleet::FleetReport serial = fleet::FleetRunner({.workers = 1}).run(specs);
+  fleet::FleetReport pooled = fleet::FleetRunner({.workers = 4}).run(specs);
+
+  ASSERT_EQ(serial.streams.size(), specs.size());
+  ASSERT_EQ(pooled.streams.size(), specs.size());
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    SCOPED_TRACE(specs[i].name);
+    // Stream i lands at index i regardless of finish order.
+    EXPECT_EQ(serial.streams[i].name, specs[i].name);
+    EXPECT_EQ(pooled.streams[i].name, specs[i].name);
+    EXPECT_EQ(serial.streams[i].trace_jsonl, pooled.streams[i].trace_jsonl);
+    EXPECT_EQ(serial.streams[i].engine_stats.commands_checked,
+              pooled.streams[i].engine_stats.commands_checked);
+    EXPECT_EQ(serial.streams[i].report.alerts, pooled.streams[i].report.alerts);
+  }
+}
+
+TEST(FleetAggregation, TotalsSumPerStreamStats) {
+  std::vector<fleet::StreamSpec> specs;
+  for (unsigned i = 0; i < 3; ++i) {
+    specs.push_back(fleet::testbed_stream("agg-" + std::to_string(i),
+                                          core::Variant::ModifiedWithSim, 7 + i));
+  }
+
+  fleet::FleetReport report = fleet::FleetRunner({.workers = 2}).run(specs);
+
+  std::size_t commands = 0;
+  std::size_t alerts = 0;
+  std::size_t trajectory_checks = 0;
+  for (const fleet::StreamResult& stream : report.streams) {
+    commands += stream.engine_stats.commands_checked;
+    alerts += stream.report.alerts;
+    trajectory_checks += stream.engine_stats.trajectory_checks;
+  }
+  EXPECT_GT(commands, 0u);
+  EXPECT_EQ(report.commands_checked, commands);
+  EXPECT_EQ(report.totals.commands_checked, commands);
+  EXPECT_EQ(report.alerts, alerts);
+  EXPECT_EQ(report.totals.trajectory_checks, trajectory_checks);
+
+  EXPECT_GT(report.wall_s, 0.0);
+  EXPECT_GT(report.commands_per_s, 0.0);
+  EXPECT_GT(report.check_latency.samples, 0u);
+  EXPECT_LE(report.check_latency.p50_us, report.check_latency.p90_us);
+  EXPECT_LE(report.check_latency.p90_us, report.check_latency.p99_us);
+  EXPECT_LE(report.check_latency.p99_us, report.check_latency.max_us);
+}
+
+TEST(DenseWorld, ExtraObstaclesDoNotChangeVerdicts) {
+  fleet::StreamSpec sparse =
+      fleet::testbed_stream("density", core::Variant::ModifiedWithSim, 42);
+  fleet::StreamSpec dense = sparse;
+  dense.extra_obstacles = 400;
+
+  fleet::StreamResult sparse_result = fleet::FleetRunner::run_stream(sparse);
+  fleet::StreamResult dense_result = fleet::FleetRunner::run_stream(dense);
+
+  // The shelf rack sits outside every motion path: same trace, same alerts.
+  ASSERT_FALSE(sparse_result.trace_jsonl.empty());
+  EXPECT_EQ(sparse_result.trace_jsonl, dense_result.trace_jsonl);
+  EXPECT_EQ(sparse_result.report.alerts, dense_result.report.alerts);
+  EXPECT_EQ(sparse_result.engine_stats.commands_checked,
+            dense_result.engine_stats.commands_checked);
+}
+
+}  // namespace
+}  // namespace rabit

@@ -1,0 +1,426 @@
+// Hot-path equivalence and invalidation: the indexed config lookups, the
+// memoized rule world, the broad-phase grid, and the collision-verdict cache
+// are pure accelerations — every test here pins the invariant that they can
+// change the cost of an answer but never the answer, and that every mutation
+// of the underlying config/world/state invalidates what it must.
+#include <gtest/gtest.h>
+
+#include <random>
+#include <vector>
+
+#include "bugs/bugs.hpp"
+#include "core/engine.hpp"
+#include "core/rules.hpp"
+#include "sim/deck.hpp"
+#include "sim/extended_sim.hpp"
+
+namespace rabit::core {
+namespace {
+
+using dev::Command;
+using geom::Aabb;
+using geom::Vec3;
+namespace ids = sim::deck_ids;
+
+Command make_cmd(std::string device, std::string action, json::Object args = {}) {
+  Command c;
+  c.device = std::move(device);
+  c.action = std::move(action);
+  c.args = json::Value(std::move(args));
+  return c;
+}
+
+constexpr HotPathConfig kAllOff{/*index_lookups=*/false, /*memoize_rule_world=*/false,
+                                /*broad_phase=*/false, /*verdict_cache=*/false};
+
+// ---------------------------------------------------------------------------
+// Config lookup index
+// ---------------------------------------------------------------------------
+
+class ConfigIndexTest : public ::testing::Test {
+ protected:
+  ConfigIndexTest() : backend(sim::testbed_profile()) {
+    sim::build_hein_testbed_deck(backend);
+    config = config_from_backend(backend, Variant::Modified);
+    config.warm_index();
+  }
+
+  void set_indexed(EngineConfig& c, bool on) {
+    c.use_indexed_lookup = on;
+    for (DeviceMeta& d : c.devices) d.use_indexed_lookup = on;
+  }
+
+  sim::LabBackend backend;
+  EngineConfig config;
+};
+
+TEST_F(ConfigIndexTest, IndexedAndLinearLookupsAgree) {
+  EngineConfig linear = config;
+  set_indexed(linear, false);
+
+  for (const DeviceMeta& d : linear.devices) {
+    const DeviceMeta* via_index = config.find_device(d.id);
+    ASSERT_NE(via_index, nullptr) << d.id;
+    EXPECT_EQ(via_index->id, d.id);
+
+    const DeviceMeta& plain = *linear.find_device(d.id);
+    for (const auto& [alias, canonical] : d.action_aliases) {
+      EXPECT_EQ(via_index->canonical_action(alias), plain.canonical_action(alias));
+    }
+    for (const ThresholdSpec& t : d.thresholds) {
+      const ThresholdSpec* a = via_index->threshold_for(t.action);
+      const ThresholdSpec* b = plain.threshold_for(t.action);
+      ASSERT_NE(a, nullptr);
+      ASSERT_NE(b, nullptr);
+      EXPECT_EQ(a->max, b->max);
+    }
+    for (const std::string& action : d.active_actions) {
+      EXPECT_EQ(via_index->is_active_action(action), plain.is_active_action(action));
+    }
+    // Unknown names answer identically too.
+    EXPECT_EQ(via_index->canonical_action("no_such_action"),
+              plain.canonical_action("no_such_action"));
+    EXPECT_EQ(via_index->threshold_for("no_such_action"), nullptr);
+    EXPECT_FALSE(via_index->is_active_action("no_such_action"));
+  }
+  for (const SiteMeta& s : linear.sites) {
+    const SiteMeta* via_index = config.find_site(s.name);
+    ASSERT_NE(via_index, nullptr) << s.name;
+    EXPECT_EQ(via_index->name, s.name);
+  }
+  EXPECT_EQ(config.find_device("no_such_device"), nullptr);
+  EXPECT_EQ(config.find_site("no_such_site"), nullptr);
+}
+
+TEST_F(ConfigIndexTest, IndexSurvivesVectorGrowth) {
+  ASSERT_NE(config.find_device(ids::kViperX), nullptr);
+
+  DeviceMeta late;
+  late.id = "late_device";
+  config.devices.push_back(late);  // likely reallocates the backing vector
+  const DeviceMeta* found = config.find_device("late_device");
+  ASSERT_NE(found, nullptr);
+  EXPECT_EQ(found, &config.devices.back());
+  // The pre-existing entries still resolve after the reallocation.
+  EXPECT_NE(config.find_device(ids::kViperX), nullptr);
+
+  SiteMeta site;
+  site.name = "late_site";
+  config.sites.push_back(site);
+  EXPECT_EQ(config.find_site("late_site"), &config.sites.back());
+}
+
+TEST_F(ConfigIndexTest, IndexSurvivesInPlaceRename) {
+  std::string old_id = config.devices.front().id;
+  ASSERT_NE(config.find_device(old_id), nullptr);
+
+  // In-place id edit: vector data pointer and size are unchanged, so only
+  // the verify-on-hit / linear-fallback protocol can keep answers right.
+  config.devices.front().id = "renamed_device";
+  EXPECT_EQ(config.find_device("renamed_device"), &config.devices.front());
+  EXPECT_EQ(config.find_device(old_id), nullptr);
+}
+
+// ---------------------------------------------------------------------------
+// Memoized rule world
+// ---------------------------------------------------------------------------
+
+TEST(RuleWorldMemo, RebuildsOnlyWhenOtherArmsMove) {
+  sim::LabBackend backend(sim::testbed_profile());
+  sim::build_hein_testbed_deck(backend);
+  EngineConfig config = config_from_backend(backend, Variant::Modified);
+  StateTracker tracker(&config);
+  tracker.initialize(backend.registry().fetch_observed_state());
+
+  RuleWorldCache cache;
+  ASSERT_EQ(tracker.arm_pose(ids::kNed2), "sleep");
+  const RuleWorldCache::Entry& first = cache.world_for(config, tracker, ids::kViperX);
+  EXPECT_EQ(cache.rebuilds(), 1u);
+  // Ned2 is asleep, so its parked cuboid is part of ViperX's world.
+  EXPECT_NE(first.world.find_box(ids::kNed2), nullptr);
+
+  // Repeat and own-pose churn: both served from the memo.
+  (void)cache.world_for(config, tracker, ids::kViperX);
+  EXPECT_EQ(cache.rebuilds(), 1u);
+  tracker.set_var(ids::kViperX, "pose", "custom");
+  (void)cache.world_for(config, tracker, ids::kViperX);
+  EXPECT_EQ(cache.rebuilds(), 1u);
+
+  // Another arm waking up must invalidate: its parked box disappears.
+  tracker.set_var(ids::kNed2, "pose", "home");
+  const RuleWorldCache::Entry& rebuilt = cache.world_for(config, tracker, ids::kViperX);
+  EXPECT_EQ(cache.rebuilds(), 2u);
+  EXPECT_EQ(rebuilt.world.find_box(ids::kNed2), nullptr);
+}
+
+// ---------------------------------------------------------------------------
+// Broad phase
+// ---------------------------------------------------------------------------
+
+TEST(BroadPhase, PathAndPointVerdictsMatchFullScan) {
+  // A deterministic pseudo-random world: clustered boxes plus a ground plane
+  // big enough to land on the grid's oversize list.
+  sim::WorldModel world;
+  std::mt19937 rng(20240806);
+  std::uniform_real_distribution<double> pos(-1.0, 2.0);
+  std::uniform_real_distribution<double> size(0.02, 0.30);
+  for (int i = 0; i < 120; ++i) {
+    Vec3 center(pos(rng), pos(rng), pos(rng));
+    Vec3 extent(size(rng), size(rng), size(rng));
+    world.add_box("box_" + std::to_string(i), Aabb::from_center(center, extent),
+                  sim::ObstacleKind::Equipment);
+  }
+  world.add_box("ground", Aabb(Vec3(-5, -5, -1), Vec3(5, 5, -0.5)), sim::ObstacleKind::Ground);
+  sim::BroadPhaseGrid grid(world);
+  ASSERT_EQ(grid.box_count(), world.boxes.size());
+
+  sim::PathCheckOptions opts;
+  int collisions = 0;
+  for (int i = 0; i < 200; ++i) {
+    Vec3 start(pos(rng), pos(rng), pos(rng));
+    Vec3 goal(pos(rng), pos(rng), pos(rng));
+    if (i % 5 == 0) {
+      opts.ignore = {"box_" + std::to_string(i % 120)};
+    } else {
+      opts.ignore.clear();
+    }
+    auto full = sim::check_path(world, start, goal, 0.05, opts, nullptr);
+    auto pruned = sim::check_path(world, start, goal, 0.05, opts, &grid);
+    ASSERT_EQ(full.has_value(), pruned.has_value()) << "segment " << i;
+    if (full) {
+      ++collisions;
+      // Byte-identical: same first-hit box at exactly the same sample.
+      EXPECT_EQ(full->obstacle, pruned->obstacle);
+      EXPECT_EQ(full->position.x, pruned->position.x);
+      EXPECT_EQ(full->position.y, pruned->position.y);
+      EXPECT_EQ(full->position.z, pruned->position.z);
+      EXPECT_EQ(full->via_held_object, pruned->via_held_object);
+    }
+
+    auto full_pt = sim::check_point(world, start, 0.05, opts, nullptr);
+    auto pruned_pt = sim::check_point(world, start, 0.05, opts, &grid);
+    ASSERT_EQ(full_pt.has_value(), pruned_pt.has_value());
+    if (full_pt) {
+      EXPECT_EQ(full_pt->obstacle, pruned_pt->obstacle);
+    }
+  }
+  // The world is dense enough that the equivalence was actually exercised.
+  EXPECT_GT(collisions, 10);
+}
+
+TEST(BroadPhase, StaleGridFallsBackToFullScan) {
+  sim::WorldModel world;
+  world.add_box("a", Aabb(Vec3(0.4, -0.1, -0.1), Vec3(0.6, 0.1, 0.1)),
+                sim::ObstacleKind::Equipment);
+  sim::BroadPhaseGrid grid(world);
+  // Grow the world without rebuilding: the grid's box count no longer
+  // matches, so check_path must ignore it and still see the new box.
+  world.add_box("b", Aabb(Vec3(-0.6, -0.1, -0.1), Vec3(-0.4, 0.1, 0.1)),
+                sim::ObstacleKind::Equipment);
+  auto hit = sim::check_path(world, Vec3(0, 0, 0), Vec3(-1, 0, 0), 0.0, {}, &grid);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->obstacle, "b");
+}
+
+// ---------------------------------------------------------------------------
+// Collision-verdict cache
+// ---------------------------------------------------------------------------
+
+class VerdictCacheTest : public ::testing::Test {
+ protected:
+  VerdictCacheTest() {
+    sim::WorldModel world;
+    world.add_box("block", Aabb(Vec3(0.45, -0.05, 0.0), Vec3(0.55, 0.05, 0.2)),
+                  sim::ObstacleKind::Equipment);
+    sim::ExtendedSimulator::Options options;
+    options.gui_enabled = false;
+    simulator = std::make_unique<sim::ExtendedSimulator>(std::move(world), options);
+  }
+
+  std::unique_ptr<sim::ExtendedSimulator> simulator;
+  const Vec3 start{0.0, 0.0, 0.1};
+  const Vec3 goal{1.0, 0.0, 0.1};
+};
+
+TEST_F(VerdictCacheTest, RepeatQueryHitsCache) {
+  auto first = simulator->validate_trajectory(start, goal, 0.0);
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(first->obstacle, "block");
+  EXPECT_EQ(simulator->narrow_phase_runs(), 1u);
+  EXPECT_EQ(simulator->verdict_cache_hits(), 0u);
+
+  auto second = simulator->validate_trajectory(start, goal, 0.0);
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(second->obstacle, first->obstacle);
+  EXPECT_EQ(simulator->narrow_phase_runs(), 1u);
+  EXPECT_EQ(simulator->verdict_cache_hits(), 1u);
+}
+
+TEST_F(VerdictCacheTest, AddBoxInvalidates) {
+  Vec3 high_goal(1.0, 0.0, 0.5);
+  ASSERT_FALSE(simulator->validate_trajectory(start, high_goal, 0.0).has_value());
+  ASSERT_EQ(simulator->narrow_phase_runs(), 1u);
+
+  // add_box bumps the world epoch, so the cached clear verdict must not be
+  // served: the re-run sees the new obstacle.
+  simulator->world().add_box("late", Aabb(Vec3(0.45, -0.05, 0.2), Vec3(0.55, 0.05, 0.6)),
+                             sim::ObstacleKind::Equipment);
+  auto hit = simulator->validate_trajectory(start, high_goal, 0.0);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->obstacle, "late");
+  EXPECT_EQ(simulator->narrow_phase_runs(), 2u);
+}
+
+TEST_F(VerdictCacheTest, ArmSegmentInvalidates) {
+  Vec3 high_goal(1.0, 0.0, 0.5);
+  ASSERT_FALSE(simulator->validate_trajectory(start, high_goal, 0.0).has_value());
+
+  simulator->world().set_arm_segment(
+      "other_arm", geom::Segment{Vec3(0.5, -0.5, 0.4), Vec3(0.5, 0.5, 0.4)}, 0.05);
+  auto hit = simulator->validate_trajectory(start, high_goal, 0.0);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_TRUE(hit->arm_vs_arm);
+  EXPECT_EQ(simulator->narrow_phase_runs(), 2u);
+}
+
+TEST_F(VerdictCacheTest, DirectEditNeedsEpochBumpAndIsSeen) {
+  ASSERT_TRUE(simulator->validate_trajectory(start, goal, 0.0).has_value());
+  // Move the blocking box out of the way by editing the vector directly,
+  // then bump the epoch as the WorldModel contract requires.
+  simulator->world().boxes[0].box = Aabb(Vec3(5, 5, 5), Vec3(6, 6, 6));
+  simulator->world().bump_epoch();
+  EXPECT_FALSE(simulator->validate_trajectory(start, goal, 0.0).has_value());
+  EXPECT_EQ(simulator->narrow_phase_runs(), 2u);
+}
+
+TEST_F(VerdictCacheTest, IgnoreSetsAreDistinctCacheEntries) {
+  // The deliberate-entry ignore set is part of the cache key — the door
+  // opening (which admits the device into the ignore set) must never be
+  // served a verdict cached for the closed-door query, or vice versa.
+  std::vector<std::string> ignore_block{"block"};
+  ASSERT_TRUE(simulator->validate_trajectory(start, goal, 0.0).has_value());
+  EXPECT_FALSE(simulator->validate_trajectory(start, goal, 0.0, ignore_block).has_value());
+  auto again = simulator->validate_trajectory(start, goal, 0.0);
+  ASSERT_TRUE(again.has_value());
+  EXPECT_EQ(again->obstacle, "block");
+  EXPECT_FALSE(simulator->validate_trajectory(start, goal, 0.0, ignore_block).has_value());
+  // Two distinct entries, each hit once on its second query.
+  EXPECT_EQ(simulator->narrow_phase_runs(), 2u);
+  EXPECT_EQ(simulator->verdict_cache_hits(), 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Engine-level: the world survives a trajectory alert untouched
+// ---------------------------------------------------------------------------
+
+TEST(EngineWorldPreservation, TrajectoryAlertLeavesWorldIntact) {
+  sim::LabBackend backend(sim::testbed_profile());
+  sim::build_hein_testbed_deck(backend);
+  RabitEngine engine(config_from_backend(backend, Variant::ModifiedWithSim));
+  engine.initialize(backend.registry().fetch_observed_state());
+
+  sim::WorldModel world = sim::deck_world_model(backend);
+  for (const DeviceMeta& m : engine.config().devices) {
+    if (m.is_arm && m.sleep_box) {
+      world.add_box(m.id, *m.sleep_box, sim::ObstacleKind::ParkedArm);
+    }
+  }
+  sim::ExtendedSimulator simulator(std::move(world));
+  simulator.set_arm_state_provider([&backend](std::string_view arm_id) -> std::optional<Vec3> {
+    return backend.arm(arm_id).position_lab();
+  });
+  engine.attach_simulator(&simulator);
+
+  auto snapshot_names = [&] {
+    std::vector<std::string> names;
+    for (const sim::NamedBox& b : simulator.world().boxes) names.push_back(b.name);
+    return names;
+  };
+  std::vector<std::string> before = snapshot_names();
+
+  auto move = [&](const Vec3& local) {
+    json::Object args;
+    args["position"] = json::Array{local.x, local.y, local.z};
+    return make_cmd(ids::kViperX, "move_to", std::move(args));
+  };
+  // Wake the arm west of the grid, then sweep across it: the straight path
+  // collides with the grid box and the trajectory check alerts.
+  Command to_west = move(Vec3(0.18, 0.30, 0.03));
+  ASSERT_FALSE(engine.check_command(to_west).has_value());
+  engine.apply_expected(to_west);
+  backend.execute(to_west);
+  auto alert = engine.check_command(move(Vec3(0.48, 0.30, 0.03)));
+  ASSERT_TRUE(alert.has_value());
+  EXPECT_EQ(alert->kind, AlertKind::InvalidTrajectory);
+
+  // The seed engine erased and re-inserted deliberate-entry boxes around the
+  // trajectory query; the read-only ignore filter must leave the world
+  // byte-identical after an alert.
+  EXPECT_EQ(snapshot_names(), before);
+}
+
+// ---------------------------------------------------------------------------
+// kVolumeEpsilon boundary
+// ---------------------------------------------------------------------------
+
+TEST(VolumeEpsilon, SharedConstantGovernsPumpBoundaries) {
+  EXPECT_DOUBLE_EQ(kVolumeEpsilon, 1e-9);
+
+  sim::LabBackend backend(sim::testbed_profile());
+  sim::build_hein_testbed_deck(backend);
+  EngineConfig config = config_from_backend(backend, Variant::Modified);
+  StateTracker tracker(&config);
+  tracker.initialize(backend.registry().fetch_observed_state());
+  tracker.set_var(ids::kVial1, "solidMg", 5.0);  // C1: solid before liquid
+  tracker.set_var(ids::kVial1, "liquidMl", 0.0);
+  tracker.set_var(ids::kSyringePump, "heldMl", 10.0);
+
+  auto dose = [&](double volume) {
+    json::Object args;
+    args["volume"] = volume;
+    args["target"] = std::string(ids::kVial1);
+    return check_preconditions(config, tracker, make_cmd(ids::kSyringePump, "dose_solvent",
+                                                         std::move(args)));
+  };
+
+  // A float-noise overdraw within the epsilon passes; a real overdraw trips
+  // G8 — the pump check now shares kVolumeEpsilon instead of its own 1e-9.
+  EXPECT_FALSE(dose(10.0).has_value());
+  EXPECT_FALSE(dose(10.0 + kVolumeEpsilon / 2).has_value());
+  auto overdraw = dose(10.001);
+  ASSERT_TRUE(overdraw.has_value());
+  EXPECT_EQ(overdraw->rule, "G8");
+
+  // Receiving-capacity boundary (vial capacity 15 mL): exactly full is
+  // allowed, epsilon-significant overflow is not.
+  tracker.set_var(ids::kSyringePump, "heldMl", 20.0);
+  EXPECT_FALSE(dose(15.0).has_value());
+  auto overflow = dose(15.0 + 1e-6);
+  ASSERT_TRUE(overflow.has_value());
+  EXPECT_EQ(overflow->rule, "G8");
+}
+
+// ---------------------------------------------------------------------------
+// Catalogue verdict parity
+// ---------------------------------------------------------------------------
+
+TEST(HotPathParity, CatalogueVerdictsUnchangedAtV3) {
+  for (const bugs::BugSpec& bug : bugs::bug_catalogue()) {
+    sim::LabBackend staging(sim::testbed_profile());
+    sim::build_hein_testbed_deck(staging);
+    std::vector<Command> commands = bug.build(staging);
+
+    bugs::BugOutcome off = bugs::evaluate_stream(commands, Variant::ModifiedWithSim,
+                                                 trace::Supervisor::Options{}, kAllOff);
+    bugs::BugOutcome on = bugs::evaluate_stream(commands, Variant::ModifiedWithSim,
+                                                trace::Supervisor::Options{}, HotPathConfig{});
+    EXPECT_EQ(off.detected, on.detected) << bug.id;
+    EXPECT_EQ(off.alerted, on.alerted) << bug.id;
+    EXPECT_EQ(off.alert_rule, on.alert_rule) << bug.id;
+    EXPECT_EQ(off.damaged, on.damaged) << bug.id;
+    EXPECT_EQ(off.report.first_alert_step, on.report.first_alert_step) << bug.id;
+  }
+}
+
+}  // namespace
+}  // namespace rabit::core
