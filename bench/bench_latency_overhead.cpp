@@ -9,7 +9,12 @@
 // orders of magnitude below the modeled environment constants.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+
 #include "bench_common.hpp"
+#include "obs/obs.hpp"
 
 namespace {
 
@@ -72,6 +77,84 @@ void print_latency() {
   std::printf("removes nearly all of it. Simulator latency is charged only on\n");
   std::printf("robot motion commands (Fig. 2 line 8), so the whole-workflow\n");
   std::printf("average sits below the ~2 s per-check cost.\n");
+}
+
+// --- observability overhead gate --------------------------------------------
+//
+// The obs hooks in RabitEngine::check_command must be free when disabled:
+// every hook is a single branch on a null SpanRecord*. This section measures
+// the indexed check three ways — hooks never attached (the PR 3 indexed
+// baseline path), hooks attached then detached (a supervisor that turned obs
+// off), and a live span recording every phase — and gates the detached path
+// at <2% overhead versus the never-attached baseline.
+//
+// Both gated configurations execute byte-identical machine code (the branch
+// tests the same null pointer), so the comparison measures the claim
+// directly: if "disabled" ever drifts past the gate, a hook stopped being a
+// branch. Rounds are interleaved and each round keeps its minimum, so a
+// background-load spike hits both configurations alike instead of biasing
+// whichever ran second.
+
+double min_check_us(core::RabitEngine& engine, const dev::Command& cmd, int iters) {
+  double best = 1e300;
+  for (int chunk = 0; chunk < 4; ++chunk) {
+    auto t0 = std::chrono::steady_clock::now();
+    for (int i = 0; i < iters; ++i) {
+      benchmark::DoNotOptimize(engine.check_command(cmd));
+    }
+    auto t1 = std::chrono::steady_clock::now();
+    best = std::min(
+        best, std::chrono::duration<double, std::micro>(t1 - t0).count() / iters);
+  }
+  return best;
+}
+
+int print_obs_overhead_gate() {
+  print_header("Observability hook overhead (indexed check, V2)",
+               "disabled hooks must cost <2% vs the PR 3 indexed baseline");
+
+  auto backend = make_production();
+  auto make = [&] {
+    core::EngineConfig config = core::config_from_backend(*backend, core::Variant::Modified);
+    auto engine = std::make_unique<core::RabitEngine>(std::move(config), core::HotPathConfig{});
+    engine->initialize(backend->registry().fetch_observed_state());
+    return engine;
+  };
+  auto baseline = make();   // span never attached: the PR 3 indexed path
+  auto detached = make();   // span attached once, then detached
+  auto attached = make();   // live span, phases recorded every check
+  obs::SpanRecord throwaway;
+  detached->set_span(&throwaway);
+  detached->set_span(nullptr);
+  obs::SpanRecord span;
+  attached->set_span(&span);
+
+  dev::Command cmd = move_cmd(ids::kUr3e, geom::Vec3(0.25, 0.1, 0.30));
+  constexpr int kIters = 20000;
+  constexpr int kRounds = 5;
+  double best_baseline = 1e300, best_detached = 1e300, best_attached = 1e300;
+  for (int r = 0; r < kRounds; ++r) {
+    best_baseline = std::min(best_baseline, min_check_us(*baseline, cmd, kIters));
+    best_detached = std::min(best_detached, min_check_us(*detached, cmd, kIters));
+    span.phases.clear();
+    best_attached = std::min(best_attached, min_check_us(*attached, cmd, kIters));
+  }
+
+  double disabled_pct = 100.0 * (best_detached - best_baseline) / best_baseline;
+  double enabled_pct = 100.0 * (best_attached - best_baseline) / best_baseline;
+  std::printf("%-44s %14s %10s\n", "Configuration", "us/check", "overhead");
+  print_rule();
+  std::printf("%-44s %14.4f %10s\n", "indexed baseline (hooks never attached)", best_baseline,
+              "--");
+  std::printf("%-44s %14.4f %9.2f%%\n", "obs hooks disabled (span detached)", best_detached,
+              disabled_pct);
+  std::printf("%-44s %14.4f %9.2f%%\n", "obs span attached (phases recorded)", best_attached,
+              enabled_pct);
+  print_rule();
+  bool pass = disabled_pct < 2.0;
+  std::printf("%s: obs-disabled overhead %.2f%% (gate: <2%%)\n", pass ? "PASS" : "FAIL",
+              disabled_pct);
+  return pass ? 0 : 1;
 }
 
 // --- real CPU cost of the checks (not modeled) ------------------------------
@@ -156,8 +239,14 @@ BENCHMARK(BM_FetchState);
 }  // namespace
 
 int main(int argc, char** argv) {
+  // --obs-gate: run only the observability overhead gate (fast; wired into
+  // ctest so a hook regression fails the suite, not just the nightly bench).
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--obs-gate") == 0) return print_obs_overhead_gate();
+  }
   print_latency();
+  int gate = print_obs_overhead_gate();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return gate;
 }

@@ -18,6 +18,9 @@
 //                        hot path on and off; exits 1 on any verdict
 //                        divergence (the optimizations must not change a
 //                        single verdict, Table IV progression included)
+//   --obs-out <dir>      enables per-stream observability on the final fleet
+//                        row and writes the merged events.jsonl, trace.json
+//                        (Chrome trace / Perfetto) and metrics.prom to <dir>
 #include <benchmark/benchmark.h>
 
 #include <chrono>
@@ -30,6 +33,7 @@
 #include "bench_common.hpp"
 #include "fleet/fleet.hpp"
 #include "json/json.hpp"
+#include "obs/obs.hpp"
 
 namespace {
 
@@ -84,7 +88,7 @@ std::size_t workers_for(std::size_t streams) {
   return std::min(streams, std::max<std::size_t>(hw, 4));
 }
 
-FleetRow run_fleet(const fleet::StreamSpec& base, std::size_t streams) {
+FleetRow run_fleet(const fleet::StreamSpec& base, std::size_t streams, bool obs = false) {
   std::vector<fleet::StreamSpec> specs;
   specs.reserve(streams);
   for (std::size_t i = 0; i < streams; ++i) {
@@ -93,6 +97,7 @@ FleetRow run_fleet(const fleet::StreamSpec& base, std::size_t streams) {
     std::snprintf(buf, sizeof(buf), "stream-%03zu", i);
     spec.name = buf;
     spec.seed = 1000 + static_cast<unsigned>(i);
+    spec.obs = obs;
     specs.push_back(std::move(spec));
   }
   FleetRow row;
@@ -229,6 +234,7 @@ BENCHMARK(BM_SingleStream_Baseline)->Unit(benchmark::kMillisecond);
 int main(int argc, char** argv) {
   bool smoke = false;
   bool verify = false;
+  std::string obs_dir;
   std::vector<char*> passthrough;
   passthrough.push_back(argv[0]);
   for (int i = 1; i < argc; ++i) {
@@ -236,6 +242,8 @@ int main(int argc, char** argv) {
       smoke = true;
     } else if (std::strcmp(argv[i], "--verify-catalogue") == 0) {
       verify = true;
+    } else if (std::strcmp(argv[i], "--obs-out") == 0 && i + 1 < argc) {
+      obs_dir = argv[++i];
     } else {
       passthrough.push_back(argv[i]);
     }
@@ -276,9 +284,26 @@ int main(int argc, char** argv) {
   std::vector<std::size_t> counts = smoke ? std::vector<std::size_t>{16}
                                           : std::vector<std::size_t>{1, 4, 16, 64};
   std::vector<FleetRow> rows;
-  for (std::size_t n : counts) rows.push_back(run_fleet(dense, n));
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    // With --obs-out, the last (largest) row runs observed so the export
+    // covers the full fleet; the other rows stay unobserved to keep the
+    // throughput numbers comparable with earlier runs.
+    bool obs = !obs_dir.empty() && i + 1 == counts.size();
+    rows.push_back(run_fleet(dense, counts[i], obs));
+  }
   std::printf("fleet throughput (dense lab world, hot path on):\n");
   print_fleet_table(rows);
+
+  if (!obs_dir.empty() && rows.back().report.obs_events != nullptr) {
+    std::string error;
+    if (!obs::write_export_dir(obs_dir, *rows.back().report.obs_events,
+                               *rows.back().report.obs_metrics, &error)) {
+      std::fprintf(stderr, "error: %s\n", error.c_str());
+      return 1;
+    }
+    std::printf("observability written to %s/{events.jsonl,trace.json,metrics.prom}\n",
+                obs_dir.c_str());
+  }
 
   write_json("BENCH_throughput.json", smoke, baseline, optimized, rows);
 

@@ -1,5 +1,6 @@
 #include "core/engine.hpp"
 
+#include <chrono>
 #include <sstream>
 
 namespace rabit::core {
@@ -68,13 +69,41 @@ std::optional<dev::Command> canonicalize_aliased(const EngineConfig& config,
 std::optional<Alert> RabitEngine::check_command(const dev::Command& raw) {
   ++stats_.commands_checked;
   base_overhead_s_ += kBaseCheckCost_s;
+  // Observability hook: when a span is attached, each pipeline phase records
+  // its modeled duration (deterministic, exported) and wall microseconds
+  // (histograms only). Disabled, every hook below is one branch on span_.
+  obs::SpanRecord* span = span_;
+  std::chrono::steady_clock::time_point phase_t0;
+  if (span != nullptr) phase_t0 = std::chrono::steady_clock::now();
+
   std::optional<dev::Command> aliased = canonicalize_aliased(config_, raw);
   const dev::Command& cmd = aliased ? *aliased : raw;
+  if (span != nullptr) {
+    auto t1 = std::chrono::steady_clock::now();
+    span->phases.push_back(
+        {obs::Phase::Canonicalize, 0.0,
+         std::chrono::duration<double, std::micro>(t1 - phase_t0).count()});
+    phase_t0 = t1;
+  }
+  // Modeled cost of this check: the fixed base cost plus whatever latency the
+  // simulator accrues during trajectory replay below.
+  const double sim_modeled_0 =
+      simulator_ != nullptr ? simulator_->modeled_latency_s() : 0.0;
+  auto finish_precondition_phase = [&] {
+    if (span == nullptr) return;
+    auto t1 = std::chrono::steady_clock::now();
+    double sim_delta =
+        (simulator_ != nullptr ? simulator_->modeled_latency_s() : 0.0) - sim_modeled_0;
+    span->phases.push_back(
+        {obs::Phase::Precondition, kBaseCheckCost_s + sim_delta,
+         std::chrono::duration<double, std::micro>(t1 - phase_t0).count()});
+  };
 
   // Lines 6-7: precondition validation against the tracked state.
   RuleWorldCache* cache = hot_path_.memoize_rule_world ? &rule_world_cache_ : nullptr;
   if (auto hit = check_preconditions(config_, tracker_, cmd, cache)) {
     ++stats_.precondition_alerts;
+    finish_precondition_phase();
     return Alert{AlertKind::InvalidCommand, hit->rule, hit->message, cmd};
   }
 
@@ -101,6 +130,7 @@ std::optional<Alert> RabitEngine::check_command(const dev::Command& raw) {
       }
       if (hit) {
         ++stats_.trajectory_alerts;
+        finish_precondition_phase();
         return Alert{AlertKind::InvalidTrajectory, "SIM",
                      motion->arm_id + " trajectory unsafe: " + hit->describe(), cmd};
       }
@@ -113,6 +143,7 @@ std::optional<Alert> RabitEngine::check_command(const dev::Command& raw) {
     // losing it silently.
     ++stats_.degraded_checks;
   }
+  finish_precondition_phase();
   return std::nullopt;
 }
 
@@ -146,6 +177,29 @@ Alert RabitEngine::declare_malfunction(const dev::Command& cmd,
   os << "state diverged from expectation at:";
   for (const std::string& d : diffs) os << " " << d;
   return Alert{AlertKind::DeviceMalfunction, "POST", os.str(), cmd};
+}
+
+void RabitEngine::export_stats(obs::Registry& registry) const {
+  auto add = [&](const char* family, const char* help, std::size_t value) {
+    if (value > 0) registry.counter(family, "", help).increment(value);
+  };
+  add("rabit_engine_commands_checked_total", "Commands validated by check_command",
+      stats_.commands_checked);
+  add("rabit_engine_precondition_alerts_total", "Invalid-command precondition alerts",
+      stats_.precondition_alerts);
+  add("rabit_engine_trajectory_alerts_total", "Invalid-trajectory simulator alerts",
+      stats_.trajectory_alerts);
+  add("rabit_engine_malfunction_alerts_total", "Device-malfunction postcondition alerts",
+      stats_.malfunction_alerts);
+  add("rabit_engine_trajectory_checks_total", "Trajectory replays issued to the simulator",
+      stats_.trajectory_checks);
+  add("rabit_engine_degraded_checks_total",
+      "Motion commands checked at V2 level with the V3 simulator detached",
+      stats_.degraded_checks);
+  add("rabit_engine_status_repolls_total", "Status re-polls before judging a divergence",
+      stats_.status_repolls);
+  add("rabit_engine_resyncs_total", "Line-16 resyncs of tracked state onto observed state",
+      stats_.resyncs);
 }
 
 double RabitEngine::modeled_overhead_s() const {

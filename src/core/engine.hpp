@@ -16,6 +16,7 @@
 #include "core/config.hpp"
 #include "core/rules.hpp"
 #include "core/tracker.hpp"
+#include "obs/obs.hpp"
 #include "sim/extended_sim.hpp"
 
 namespace rabit::core {
@@ -89,6 +90,14 @@ class RabitEngine {
   /// Counts one status re-poll taken before judging a divergence.
   void note_status_repoll() { ++stats_.status_repolls; }
 
+  /// Attaches the span the next check_command() annotates with its
+  /// canonicalize and precondition phase timings (modeled + wall). Null
+  /// detaches; the disabled hot path is a single pointer test per check —
+  /// the zero-cost-when-off contract bench_latency_overhead enforces.
+  /// Non-owning; the trace::Supervisor points this at its per-command span.
+  void set_span(obs::SpanRecord* span) { span_ = span; }
+  [[nodiscard]] obs::SpanRecord* span() const { return span_; }
+
   struct Stats {
     std::size_t commands_checked = 0;
     std::size_t precondition_alerts = 0;
@@ -104,6 +113,12 @@ class RabitEngine {
     std::size_t resyncs = 0;
   };
   [[nodiscard]] const Stats& stats() const { return stats_; }
+
+  /// Absorbs the ad-hoc Stats counters into a metrics registry as
+  /// `rabit_engine_*_total` counter increments. Stats reset on initialize(),
+  /// so calling this once per supervised run accumulates correctly across
+  /// runs sharing one registry.
+  void export_stats(obs::Registry& registry) const;
 
   /// True when the engine is configured for V3 checks but no simulator is
   /// attached: trajectory validation silently degrades to V2 target checks.
@@ -127,6 +142,7 @@ class RabitEngine {
   double base_overhead_s_ = 0.0;
   HotPathConfig hot_path_;
   RuleWorldCache rule_world_cache_;
+  obs::SpanRecord* span_ = nullptr;
 };
 
 }  // namespace rabit::core

@@ -32,15 +32,13 @@ LatencySummary summarize_latencies(std::vector<double> latencies_us) {
   s.samples = latencies_us.size();
   if (latencies_us.empty()) return s;
   std::sort(latencies_us.begin(), latencies_us.end());
-  auto nearest_rank = [&](double q) {
-    auto rank = static_cast<std::size_t>(
-        std::ceil(q * static_cast<double>(latencies_us.size())));
-    if (rank == 0) rank = 1;
-    return latencies_us[rank - 1];
-  };
-  s.p50_us = nearest_rank(0.50);
-  s.p90_us = nearest_rank(0.90);
-  s.p99_us = nearest_rank(0.99);
+  // One shared implementation of the nearest-rank convention (see the
+  // LatencySummary doc comment): obs::nearest_rank clamps the rank into
+  // [1, N], fixing the unclamped ceil's latent out-of-range read when
+  // floating-point round-up pushes q * N past N.
+  s.p50_us = obs::nearest_rank(latencies_us, 0.50);
+  s.p90_us = obs::nearest_rank(latencies_us, 0.90);
+  s.p99_us = obs::nearest_rank(latencies_us, 0.99);
   s.max_us = latencies_us.back();
   return s;
 }
@@ -86,13 +84,24 @@ StreamResult FleetRunner::run_stream(const StreamSpec& spec) {
   core::RabitEngine engine(std::move(config), spec.hot_path);
   if (simulator) engine.attach_simulator(&*simulator);
 
-  trace::Supervisor::Options sup_options;
-  sup_options.halt_on_alert = spec.halt_on_alert;
-  trace::Supervisor supervisor(&engine, &backend, sup_options);
-
   StreamResult result;
   result.name = spec.name;
   result.seed = spec.seed;
+
+  trace::Supervisor::Options sup_options;
+  sup_options.halt_on_alert = spec.halt_on_alert;
+  if (spec.obs) {
+    // Sharded sinks: each stream observes into its own collector/registry,
+    // so workers never contend (or race) on observability state; the fleet
+    // merges them at join, in spec order.
+    result.obs_events = std::make_shared<obs::Collector>();
+    result.obs_metrics = std::make_shared<obs::Registry>();
+    sup_options.obs_sink = result.obs_events.get();
+    sup_options.obs_metrics = result.obs_metrics.get();
+    sup_options.obs_stream = spec.name;
+  }
+  trace::Supervisor supervisor(&engine, &backend, sup_options);
+
   result.report = supervisor.run(spec.commands);
   result.engine_stats = engine.stats();
   result.trace_jsonl = supervisor.log().to_jsonl();
@@ -129,6 +138,24 @@ FleetReport FleetRunner::run(const std::vector<StreamSpec>& streams) const {
   }
   auto t1 = std::chrono::steady_clock::now();
   report.wall_s = std::chrono::duration<double>(t1 - t0).count();
+
+  // Deterministic observability merge: stream-spec order, never finish
+  // order, so the combined export bytes are independent of the worker count
+  // and of scheduler interleaving.
+  for (const StreamResult& s : report.streams) {
+    if (s.obs_events == nullptr) continue;
+    if (report.obs_events == nullptr) {
+      report.obs_events = std::make_shared<obs::Collector>();
+      report.obs_metrics = std::make_shared<obs::Registry>();
+    }
+    report.obs_events->merge_from(*s.obs_events);
+    report.obs_metrics->merge_from(*s.obs_metrics);
+  }
+  if (report.obs_metrics != nullptr) {
+    report.obs_metrics
+        ->gauge("rabit_fleet_streams", "", "Streams this fleet report aggregates")
+        .add(static_cast<double>(report.streams.size()));
+  }
 
   std::vector<double> latencies_us;
   for (const StreamResult& s : report.streams) {

@@ -10,10 +10,12 @@
 #pragma once
 
 #include <cstddef>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "core/engine.hpp"
+#include "obs/obs.hpp"
 #include "trace/trace.hpp"
 
 namespace rabit::fleet {
@@ -32,6 +34,11 @@ struct StreamSpec {
   /// verdicts are unchanged while collision checks see a production-density
   /// world instead of the sparse testbed.
   std::size_t extra_obstacles = 0;
+  /// Observe this stream: the runner attaches a per-stream obs::Collector
+  /// and obs::Registry to the Supervisor (sharded sinks — workers never
+  /// share observability state) and merges them in StreamSpec order at
+  /// join, so the combined export is byte-identical across worker counts.
+  bool obs = false;
 };
 
 /// Builds the standard testbed stream: a Hein-testbed deck seeded with
@@ -39,8 +46,14 @@ struct StreamSpec {
 [[nodiscard]] StreamSpec testbed_stream(std::string name, core::Variant variant, unsigned seed,
                                         const core::HotPathConfig& hot_path = {});
 
-/// Percentiles over per-command check latencies (real wall time, nearest-
-/// rank method).
+/// Percentiles over per-command check latencies (real wall time).
+///
+/// Convention (shared with obs::Histogram::percentile, see
+/// obs::nearest_rank): nearest-rank over ascending-sorted samples, rank =
+/// clamp(ceil(q * N), 1, N), value = sorted[rank - 1]. Consequences worth
+/// pinning: with one sample every percentile is that sample; with two,
+/// p50 is the smaller and p90/p99 the larger; all-duplicate inputs yield
+/// the duplicate everywhere.
 struct LatencySummary {
   std::size_t samples = 0;
   double p50_us = 0.0;
@@ -59,6 +72,9 @@ struct StreamResult {
   std::string trace_jsonl;  ///< the stream's full Supervisor trace
   /// Real wall-clock spent inside engine checks for this stream.
   double check_wall_s = 0.0;
+  /// Per-stream observability (null unless StreamSpec::obs was set).
+  std::shared_ptr<obs::Collector> obs_events;
+  std::shared_ptr<obs::Registry> obs_metrics;
 };
 
 struct FleetReport {
@@ -70,6 +86,12 @@ struct FleetReport {
   double wall_s = 0.0;  ///< fleet wall-clock, pool start to last stream done
   double commands_per_s = 0.0;  ///< commands_checked / wall_s
   LatencySummary check_latency;
+  /// Merged observability across all observed streams, combined at join in
+  /// StreamSpec order (never finish order): the event exports are therefore
+  /// byte-identical for a given spec list regardless of worker count. Null
+  /// when no stream had obs enabled.
+  std::shared_ptr<obs::Collector> obs_events;
+  std::shared_ptr<obs::Registry> obs_metrics;
 };
 
 /// Runs stream specs to completion over a fixed-size worker pool. run() is

@@ -190,9 +190,78 @@ void Supervisor::start() {
   log_.clear();
   recovery_report_ = recovery::RecoveryReport{};
   quarantined_.clear();
+  span_seq_ = 0;
   if (backoff_) backoff_->reset();
   if (engine_ != nullptr) {
     engine_->initialize(backend_->fetch_status().snapshot);
+  }
+}
+
+double Supervisor::modeled_now() const {
+  return backend_->modeled_clock_s() +
+         (engine_ != nullptr ? engine_->modeled_overhead_s() : 0.0);
+}
+
+void Supervisor::emit_rung(std::string_view kind, const dev::Command& cmd, std::size_t attempt,
+                           const std::string& note) {
+  if (options_.obs_sink == nullptr) return;
+  obs::RungRecord rung;
+  rung.stream = options_.obs_stream;
+  rung.span_seq = active_span_ != nullptr ? active_span_->seq : span_seq_;
+  rung.kind = std::string(kind);
+  rung.device = cmd.device;
+  rung.action = cmd.action;
+  rung.attempt = attempt;
+  rung.t_modeled_s = modeled_now();
+  rung.note = note;
+  options_.obs_sink->on_rung(std::move(rung));
+}
+
+void Supervisor::finalize_span(obs::SpanRecord& span, const SupervisedStep& result) const {
+  if (result.alert) {
+    span.rule = result.alert->rule;
+    span.verdict = result.alert->kind == core::AlertKind::DeviceMalfunction ? "malfunction"
+                                                                            : "blocked";
+  } else if (!result.exec) {
+    // Refused before any execution: the experiment had already halted or the
+    // device is quarantined; the refusal record carries the reason.
+    span.verdict = "refused";
+    if (!log_.records().empty()) span.rule = log_.records().back().alert_rule;
+  } else if (!result.exec->executed) {
+    span.verdict = "firmware_error";
+  } else if (result.exec->silently_skipped) {
+    span.verdict = "silently_skipped";
+  } else {
+    span.verdict = "pass";
+  }
+}
+
+void Supervisor::update_metrics(const obs::SpanRecord& span, const SupervisedStep& result) {
+  obs::Registry& reg = *options_.obs_metrics;
+  reg.counter("rabit_commands_total", "", "Commands intercepted by the Supervisor").increment();
+  reg.counter("rabit_verdicts_total", "verdict=\"" + span.verdict + "\"",
+              "Per-command span verdicts")
+      .increment();
+  if (result.alert) {
+    // Metric-friendly slugs, not the core::to_string banner text.
+    std::string_view kind = "invalid_command";
+    if (result.alert->kind == core::AlertKind::InvalidTrajectory) kind = "invalid_trajectory";
+    if (result.alert->kind == core::AlertKind::DeviceMalfunction) kind = "device_malfunction";
+    reg.counter("rabit_alerts_total", "kind=\"" + std::string(kind) + "\"", "Alerts by kind")
+        .increment();
+  }
+  if (result.check_wall_us > 0) {
+    reg.histogram("rabit_check_latency_us",
+                  "Real microseconds spent in pre-execution engine checks per command")
+        .observe(result.check_wall_us);
+  }
+  if (result.retries > 0) {
+    reg.counter("rabit_recovery_retries_total", "", "Recovery-ladder command re-attempts")
+        .increment(result.retries);
+  }
+  if (result.repolls > 0) {
+    reg.counter("rabit_recovery_repolls_total", "", "Recovery-ladder status re-polls")
+        .increment(result.repolls);
   }
 }
 
@@ -207,6 +276,17 @@ void Supervisor::append_recovery_record(const dev::Command& cmd, Outcome outcome
     r.alert_message = note;
   }
   log_.append(std::move(r));
+  if (options_.obs_sink != nullptr) {
+    std::string_view kind;
+    switch (outcome) {
+      case Outcome::TransientRetry: kind = "retry"; break;
+      case Outcome::StatusRepoll: kind = "repoll"; break;
+      case Outcome::SafeState: kind = "safe_state"; break;
+      case Outcome::Quarantined: kind = "quarantine"; break;
+      default: kind = "rung"; break;
+    }
+    emit_rung(kind, cmd, attempt, note);
+  }
 }
 
 void Supervisor::escalate(const dev::Command& cmd, bool quarantine_device) {
@@ -242,6 +322,7 @@ void Supervisor::escalate(const dev::Command& cmd, bool quarantine_device) {
   recovery_report_.halted = true;
   recovery_report_.events.push_back({recovery::RecoveryEvent::Kind::Halt, cmd.device, cmd.action,
                                      0, backend_->modeled_clock_s(), "experiment halted"});
+  emit_rung("halt", cmd, 0, "experiment halted");
 }
 
 void Supervisor::execute_with_recovery(const dev::Command& cmd, SupervisedStep& result,
@@ -262,7 +343,16 @@ void Supervisor::execute_with_recovery(const dev::Command& cmd, SupervisedStep& 
                                        cmd.device, cmd.action, attempts_used,
                                        backend_->modeled_clock_s(),
                                        "per-command watchdog expired"});
+    emit_rung("watchdog", cmd, attempts_used, "per-command watchdog expired");
   };
+
+  // Phase accounting for the obs span: everything the ladder waits for
+  // (backoff, re-poll intervals) is the recovery phase; the remaining
+  // modeled time (execution, status fetches) is dispatch.
+  const double span_modeled_0 = modeled_now();
+  const double span_recovery_0 = recovery_report_.recovery_time_s;
+  std::chrono::steady_clock::time_point span_wall_0;
+  if (active_span_ != nullptr) span_wall_0 = std::chrono::steady_clock::now();
 
   // One rung of the retry ladder: backoff wait + bookkeeping. Returns false
   // once the per-command budget or the watchdog is exhausted.
@@ -369,11 +459,46 @@ void Supervisor::execute_with_recovery(const dev::Command& cmd, SupervisedStep& 
     ++recovery_report_.transients_absorbed;
   }
 
+  if (active_span_ != nullptr) {
+    double wall_us = std::chrono::duration<double, std::micro>(
+                         std::chrono::steady_clock::now() - span_wall_0)
+                         .count();
+    double recovery_modeled = recovery_report_.recovery_time_s - span_recovery_0;
+    double dispatch_modeled = modeled_now() - span_modeled_0 - recovery_modeled;
+    active_span_->phases.push_back({obs::Phase::Dispatch, dispatch_modeled, wall_us});
+    if (used_ladder) {
+      active_span_->phases.push_back({obs::Phase::Recovery, recovery_modeled, 0.0});
+    }
+  }
+
   log_.append(std::move(record));
   if (result.halted) escalate(cmd, /*quarantine_device=*/true);
 }
 
 SupervisedStep Supervisor::step(const dev::Command& cmd) {
+  if (options_.obs_sink == nullptr) {
+    // Observability disabled: one branch, no span allocation, no timing.
+    if (options_.obs_metrics == nullptr) return step_impl(cmd);
+  }
+  obs::SpanRecord span;
+  span.stream = options_.obs_stream;
+  span.seq = span_seq_++;
+  span.device = cmd.device;
+  span.action = cmd.action;
+  span.source_line = cmd.source_line;
+  span.t0_modeled_s = modeled_now();
+  active_span_ = &span;
+  if (engine_ != nullptr) engine_->set_span(&span);
+  SupervisedStep result = step_impl(cmd);
+  if (engine_ != nullptr) engine_->set_span(nullptr);
+  active_span_ = nullptr;
+  finalize_span(span, result);
+  if (options_.obs_metrics != nullptr) update_metrics(span, result);
+  if (options_.obs_sink != nullptr) options_.obs_sink->on_span(std::move(span));
+  return result;
+}
+
+SupervisedStep Supervisor::step_impl(const dev::Command& cmd) {
   SupervisedStep result;
   result.command = cmd;
 
@@ -421,6 +546,9 @@ SupervisedStep Supervisor::step(const dev::Command& cmd) {
                                            "re-polling status before declaring " +
                                                pre_alert->rule + " violation"});
         append_recovery_record(cmd, Outcome::StatusRepoll, repoll, "");
+        if (active_span_ != nullptr) {
+          active_span_->phases.push_back({obs::Phase::Recovery, pol.repoll_interval_s, 0.0});
+        }
         pre_alert =
             timed_check(result.check_wall_us, [&] { return engine_->check_command(cmd); });
       }
@@ -449,7 +577,21 @@ SupervisedStep Supervisor::step(const dev::Command& cmd) {
   }
 
   // Line 12: forward to the device.
+  std::chrono::steady_clock::time_point phase_t0;
+  double phase_m0 = 0.0;
+  if (active_span_ != nullptr) {
+    phase_t0 = std::chrono::steady_clock::now();
+    phase_m0 = modeled_now();
+  }
   sim::ExecResult exec = backend_->execute(cmd);
+  if (active_span_ != nullptr) {
+    auto t1 = std::chrono::steady_clock::now();
+    active_span_->phases.push_back(
+        {obs::Phase::Dispatch, modeled_now() - phase_m0,
+         std::chrono::duration<double, std::micro>(t1 - phase_t0).count()});
+    phase_t0 = t1;
+    phase_m0 = modeled_now();
+  }
   result.exec = exec;
   record.damage_events = exec.damage.size();
   if (!exec.executed) {
@@ -472,6 +614,13 @@ SupervisedStep Supervisor::step(const dev::Command& cmd) {
         halted_ = true;
         result.halted = true;
       }
+    }
+    if (active_span_ != nullptr) {
+      active_span_->phases.push_back(
+          {obs::Phase::Postcondition, modeled_now() - phase_m0,
+           std::chrono::duration<double, std::micro>(std::chrono::steady_clock::now() -
+                                                     phase_t0)
+               .count()});
     }
   }
 
@@ -513,7 +662,12 @@ RunReport Supervisor::run(const std::vector<dev::Command>& workflow) {
   report.modeled_overhead_s =
       (engine_ != nullptr ? engine_->modeled_overhead_s() : 0.0) - overhead_before;
   if (options_.recovery) report.recovery = recovery_report_;
-  if (engine_ != nullptr) report.degraded_checks = engine_->stats().degraded_checks;
+  if (engine_ != nullptr) {
+    report.degraded_checks = engine_->stats().degraded_checks;
+    // Absorb the engine's ad-hoc Stats counters into the metrics registry
+    // (they reset on start(), so each run adds exactly its own activity).
+    if (options_.obs_metrics != nullptr) engine_->export_stats(*options_.obs_metrics);
+  }
   return report;
 }
 

@@ -24,6 +24,7 @@
 
 #include "core/engine.hpp"
 #include "devices/device.hpp"
+#include "obs/obs.hpp"
 #include "recovery/recovery.hpp"
 #include "sim/backend.hpp"
 
@@ -138,6 +139,18 @@ class Supervisor {
     /// instead of stopping the run; exhausted recovery escalates to
     /// quarantine + safe state before halting.
     std::optional<recovery::RecoveryPolicy> recovery;
+    /// Observability (all non-owning; null = disabled, a single branch per
+    /// hook). The sink receives one SpanRecord per intercepted command —
+    /// phase timeline (canonicalize → precondition → dispatch →
+    /// postcondition → recovery) plus verdict — and one RungRecord per
+    /// recovery-ladder rung. The registry accumulates counters and the
+    /// check-latency histogram; run() additionally absorbs the engine's
+    /// Stats counters into it.
+    obs::Sink* obs_sink = nullptr;
+    obs::Registry* obs_metrics = nullptr;
+    /// Stream label stamped on every span/rung (the fleet sets it to the
+    /// StreamSpec name); empty for single-stream runs.
+    std::string obs_stream;
   };
 
   Supervisor(core::RabitEngine* engine, sim::LabBackend* backend)
@@ -164,6 +177,8 @@ class Supervisor {
   [[nodiscard]] const std::set<std::string>& quarantined() const { return quarantined_; }
 
  private:
+  /// step() without the observability bracket (span open/finalize).
+  SupervisedStep step_impl(const dev::Command& cmd);
   /// Line 12 with the recovery ladder wrapped around it; fills result/record.
   void execute_with_recovery(const dev::Command& cmd, SupervisedStep& result,
                              TraceRecord& record);
@@ -171,6 +186,15 @@ class Supervisor {
   void escalate(const dev::Command& cmd, bool quarantine_device);
   void append_recovery_record(const dev::Command& cmd, Outcome outcome, std::size_t attempt,
                               const std::string& note);
+
+  /// The combined modeled lab clock: backend execution time plus RABIT's own
+  /// modeled check overhead — the deterministic timeline obs spans live on.
+  [[nodiscard]] double modeled_now() const;
+  /// Emits one recovery-ladder rung to the obs sink (no-op when disabled).
+  void emit_rung(std::string_view kind, const dev::Command& cmd, std::size_t attempt,
+                 const std::string& note);
+  void finalize_span(obs::SpanRecord& span, const SupervisedStep& result) const;
+  void update_metrics(const obs::SpanRecord& span, const SupervisedStep& result);
 
   core::RabitEngine* engine_;
   sim::LabBackend* backend_;
@@ -180,6 +204,8 @@ class Supervisor {
   std::optional<recovery::BackoffClock> backoff_;
   recovery::RecoveryReport recovery_report_;
   std::set<std::string> quarantined_;
+  obs::SpanRecord* active_span_ = nullptr;
+  std::uint64_t span_seq_ = 0;
 };
 
 }  // namespace rabit::trace

@@ -1,0 +1,109 @@
+// Differential soundness property: the pre-flight static analyzer and the
+// runtime precondition check share one rulebase (core::check_preconditions),
+// so the analyzer must never *pass* a command stream whose runtime check
+// raises an Invalid Command alert — same rule class, caught one stage
+// earlier. ~200 seeded random mutations of the testbed workflow drive both
+// sides; any violating seed is printed so the exact script can be replayed
+// with a one-line test filter + seed constant.
+#include <gtest/gtest.h>
+
+#include <random>
+#include <string>
+#include <vector>
+
+#include "analysis/analysis.hpp"
+#include "bugs/bugs.hpp"
+#include "core/config.hpp"
+#include "script/workflows.hpp"
+#include "sim/deck.hpp"
+
+namespace rabit {
+namespace {
+
+constexpr unsigned kSeedBase = 20000;
+constexpr unsigned kSeedCount = 200;
+
+core::EngineConfig testbed_config() {
+  sim::LabBackend backend(sim::testbed_profile());
+  sim::build_hein_testbed_deck(backend);
+  return core::config_from_backend(backend, core::Variant::Modified);
+}
+
+std::vector<dev::Command> base_workflow() {
+  sim::LabBackend staging(sim::testbed_profile());
+  sim::build_hein_testbed_deck(staging);
+  return script::record_workflow(staging, script::testbed_workflow_source());
+}
+
+/// The seed's script: 1-3 random mutations (delete / swap / scale / shift)
+/// chained onto the recorded testbed workflow. Deterministic per seed.
+std::vector<dev::Command> mutated_stream(const std::vector<dev::Command>& base, unsigned seed) {
+  std::mt19937 rng(seed);
+  std::vector<dev::Command> commands = base;
+  std::size_t mutations = 1 + seed % 3;
+  for (std::size_t i = 0; i < mutations; ++i) {
+    commands = bugs::random_mutation(commands, rng).commands;
+  }
+  return commands;
+}
+
+/// The runtime side: first alert of the supervised run when it is a
+/// precondition (Invalid Command) alert; nullopt otherwise.
+std::optional<std::string> runtime_precondition_rule(const std::vector<dev::Command>& commands) {
+  bugs::BugOutcome outcome = bugs::evaluate_stream(commands, core::Variant::Modified);
+  if (!outcome.report.first_alert_step) return std::nullopt;
+  const trace::SupervisedStep& step =
+      outcome.report.steps[*outcome.report.first_alert_step];
+  if (!step.alert || step.alert->kind != core::AlertKind::InvalidCommand) return std::nullopt;
+  return step.alert->rule;
+}
+
+TEST(DifferentialSoundness, AnalyzerNeverPassesWhatRuntimePreconditionsBlock) {
+  core::EngineConfig config = testbed_config();
+  std::vector<dev::Command> base = base_workflow();
+
+  std::size_t runtime_alerts = 0;
+  std::vector<std::string> failures;
+  for (unsigned seed = kSeedBase; seed < kSeedBase + kSeedCount; ++seed) {
+    std::vector<dev::Command> commands = mutated_stream(base, seed);
+    std::optional<std::string> rule = runtime_precondition_rule(commands);
+    if (!rule) continue;  // no runtime precondition alert: nothing to prove
+    ++runtime_alerts;
+
+    analysis::AnalysisReport report = analysis::analyze_stream(config, commands);
+    bool flagged_same_rule = false;
+    for (const analysis::Diagnostic& d : report.diagnostics) {
+      if (d.rule == *rule) flagged_same_rule = true;
+    }
+    if (!flagged_same_rule) {
+      failures.push_back("seed " + std::to_string(seed) + " (runtime rule " + *rule +
+                         ", analyzer diagnostics: " + std::to_string(report.diagnostics.size()) +
+                         ")");
+    }
+  }
+
+  // The mutation distribution must actually exercise the property — if no
+  // seed ever trips a runtime precondition, the test is vacuous.
+  EXPECT_GT(runtime_alerts, 10u) << "mutation distribution no longer reaches preconditions";
+
+  std::string listing;
+  for (const std::string& f : failures) listing += "\n  " + f;
+  EXPECT_TRUE(failures.empty())
+      << failures.size() << " seed(s) passed static analysis but alerted at runtime —"
+      << " replay with mutated_stream(base_workflow(), <seed>):" << listing;
+}
+
+TEST(DifferentialSoundness, MutationsAreDeterministicPerSeed) {
+  std::vector<dev::Command> base = base_workflow();
+  std::vector<dev::Command> a = mutated_stream(base, kSeedBase + 7);
+  std::vector<dev::Command> b = mutated_stream(base, kSeedBase + 7);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].device, b[i].device);
+    EXPECT_EQ(a[i].action, b[i].action);
+    EXPECT_EQ(json::serialize(a[i].args), json::serialize(b[i].args));
+  }
+}
+
+}  // namespace
+}  // namespace rabit

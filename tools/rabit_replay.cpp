@@ -14,6 +14,7 @@
 #include <sstream>
 
 #include "bugs/bugs.hpp"
+#include "obs/obs.hpp"
 #include "trace/trace.hpp"
 
 using namespace rabit;
@@ -22,15 +23,19 @@ namespace {
 
 void print_usage(std::FILE* out, const char* argv0) {
   std::fprintf(out,
-               "usage: %s [--lenient] <trace.jsonl> [initial|modified|modified+sim]\n"
+               "usage: %s [--lenient] [--obs-out <dir>] <trace.jsonl> "
+               "[initial|modified|modified+sim]\n"
                "       %s --help\n"
                "\n"
                "Replays the commands of a recorded JSONL trace on a fresh testbed deck\n"
                "under the chosen RABIT variant (default: modified) and reports what the\n"
                "current rulebase would have blocked.\n"
                "\n"
-               "  --lenient   skip malformed trace lines (reported with their line\n"
-               "              numbers) instead of aborting on the first one\n"
+               "  --lenient        skip malformed trace lines (reported with their line\n"
+               "                   numbers) instead of aborting on the first one\n"
+               "  --obs-out <dir>  record per-command observability and write\n"
+               "                   events.jsonl, trace.json (Chrome trace, open in\n"
+               "                   Perfetto) and metrics.prom into <dir>\n"
                "\n"
                "exit codes: 0 = clean replay, 1 = alerts or damage, 2 = usage/parse error\n",
                argv0, argv0);
@@ -41,6 +46,7 @@ void print_usage(std::FILE* out, const char* argv0) {
 int main(int argc, char** argv) {
   bool lenient = false;
   std::string trace_path;
+  std::string obs_dir;
   core::Variant variant = core::Variant::Modified;
   bool variant_given = false;
 
@@ -52,6 +58,12 @@ int main(int argc, char** argv) {
     }
     if (arg == "--lenient") {
       lenient = true;
+    } else if (arg == "--obs-out") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "error: --obs-out needs a directory argument\n");
+        return 2;
+      }
+      obs_dir = argv[++i];
     } else if (trace_path.empty()) {
       trace_path = arg;
     } else if (!variant_given) {
@@ -113,7 +125,24 @@ int main(int argc, char** argv) {
     }
   }
 
-  bugs::BugOutcome outcome = bugs::evaluate_stream(commands, variant);
+  obs::Collector events;
+  obs::Registry metrics;
+  trace::Supervisor::Options sup_options;
+  if (!obs_dir.empty()) {
+    sup_options.obs_sink = &events;
+    sup_options.obs_metrics = &metrics;
+  }
+
+  bugs::BugOutcome outcome = bugs::evaluate_stream(commands, variant, sup_options);
+  if (!obs_dir.empty()) {
+    std::string error;
+    if (!obs::write_export_dir(obs_dir, events, metrics, &error)) {
+      std::fprintf(stderr, "error: %s\n", error.c_str());
+      return 2;
+    }
+    std::printf("observability written to %s/{events.jsonl,trace.json,metrics.prom}\n",
+                obs_dir.c_str());
+  }
   std::printf("replayed %zu commands under '%s'\n", commands.size(),
               std::string(core::to_string(variant)).c_str());
   std::printf("  executed steps : %zu\n", outcome.report.steps.size());
