@@ -43,6 +43,11 @@ json::Value report_to_json(const AnalysisReport& report) {
     o["rule"] = d.rule;
     o["line"] = d.line;
     o["message"] = d.message;
+    if (!d.subjects.empty()) {
+      json::Array subjects;
+      for (const std::string& s : d.subjects) subjects.emplace_back(s);
+      o["subjects"] = std::move(subjects);
+    }
     items.emplace_back(std::move(o));
   }
   json::Object root;

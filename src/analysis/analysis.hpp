@@ -17,16 +17,22 @@
 // for semantic mistakes the JSON schema cannot express.
 #pragma once
 
+#include <functional>
 #include <map>
 #include <optional>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "core/config.hpp"
 #include "devices/device.hpp"
 #include "json/json.hpp"
 #include "script/ast.hpp"
+
+namespace rabit::core {
+class StateTracker;
+}  // namespace rabit::core
 
 namespace rabit::analysis {
 
@@ -41,12 +47,18 @@ enum class Severity { Info, Warning, Error };
 struct Diagnostic {
   Severity severity = Severity::Warning;
   /// Rulebase id ("G1".."G11", "C1".."C4", "M1", "M2", "S1"), analyzer rule
-  /// ("A1".."A8"), or config lint rule ("CFG1"..).
+  /// ("A1".."A8"), config lint rule ("CFG1"..), or interference rule
+  /// ("I1".."I6").
   std::string rule;
   std::string message;
   /// 1-based script line; for command streams the command's source_line when
-  /// recorded from a script, else the 1-based stream index.
+  /// recorded from a script, else the 1-based stream index. Interference
+  /// diagnostics are campaign-level and use line 0.
   int line = 0;
+  /// Devices / sites / entities this diagnostic is about, machine-readable.
+  /// Populated by the interference family (I1..I6), where the differential
+  /// sweep matches runtime alert devices against it; empty elsewhere.
+  std::vector<std::string> subjects;
 
   [[nodiscard]] std::string format() const;  ///< "line 14: error G7 — ..."
 };
@@ -101,6 +113,22 @@ struct AbstractValue {
 // Analyzer entry points
 // ---------------------------------------------------------------------------
 
+/// One device command the analyzer resolved (or partially resolved) on some
+/// path, with the symbolic pre-command state it was checked against. The
+/// interference layer consumes these to build per-stream effect summaries;
+/// see interference.hpp.
+struct CommandObservation {
+  const dev::Command* cmd = nullptr;          ///< args constant where foldable
+  const core::StateTracker* tracker = nullptr;  ///< state *before* the command
+  int line = 0;
+  /// True when the observation sits past a statically undecidable branch —
+  /// the command may or may not happen; summaries treat it as "may".
+  bool speculative = false;
+  /// Arguments that did not fold to constants, with their abstract values
+  /// (intervals where known, Top otherwise). Null when fully resolved.
+  const std::vector<std::pair<std::string, AbstractValue>>* unresolved = nullptr;
+};
+
 struct AnalyzeOptions {
   int loop_unroll_budget = 64;    ///< decidable-loop iterations before widening
   int unknown_loop_unroll = 2;    ///< speculative iterations of unknown loops
@@ -108,6 +136,10 @@ struct AnalyzeOptions {
   int max_diagnostics = 200;      ///< total report cap
   double parked_arm_margin = 0.05;   ///< A3: frame-calibration slack (m)
   double workspace_margin = 0.25;    ///< A4: inflation of the deck envelope (m)
+  /// Summary hook: called once per checked device command (on every path and
+  /// loop iteration), before its postconditions are applied. Diagnostics are
+  /// unaffected — the hook only feeds effect-summary construction.
+  std::function<void(const CommandObservation&)> observe_command;
 };
 
 /// Synthesizes the Fig. 6-style `locations` global from a configuration

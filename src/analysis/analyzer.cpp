@@ -218,6 +218,14 @@ class Analyzer {
   // -- command handling ----------------------------------------------------
 
   void check_and_apply(Path& p, const Command& cmd, int line) {
+    if (opts_.observe_command) {
+      CommandObservation obs;
+      obs.cmd = &cmd;
+      obs.tracker = &p.tracker;
+      obs.line = line;
+      obs.speculative = p.speculative;
+      opts_.observe_command(obs);
+    }
     if (auto hit = core::check_preconditions(config_, p.tracker, cmd)) {
       emit(Severity::Error, hit->rule, hit->message, line, p.speculative);
     }
@@ -428,6 +436,15 @@ class Analyzer {
   void check_unresolved(Path& p, const Command& cmd,
                         const std::vector<std::pair<std::string, AbstractValue>>& unresolved,
                         int line) {
+    if (opts_.observe_command) {
+      CommandObservation obs;
+      obs.cmd = &cmd;
+      obs.tracker = &p.tracker;
+      obs.line = line;
+      obs.speculative = p.speculative;
+      obs.unresolved = &unresolved;
+      opts_.observe_command(obs);
+    }
     const DeviceMeta* meta = config_.find_device(cmd.device);
     if (meta == nullptr) {
       emit(Severity::Error, "G3", "command addresses unknown device '" + cmd.device + "'",
@@ -777,6 +794,13 @@ AnalysisReport analyze_stream(const core::EngineConfig& config,
   for (std::size_t i = 0; i < commands.size(); ++i) {
     const Command& cmd = commands[i];
     int line = cmd.source_line > 0 ? cmd.source_line : static_cast<int>(i + 1);
+    if (options.observe_command) {
+      CommandObservation obs;
+      obs.cmd = &cmd;
+      obs.tracker = &tracker;
+      obs.line = line;
+      options.observe_command(obs);
+    }
     if (auto hit = core::check_preconditions(config, tracker, cmd)) {
       emit(Severity::Error, hit->rule, hit->message, line);
     }

@@ -185,6 +185,95 @@ AnalysisReport lint_config(const core::EngineConfig& config) {
     }
   }
 
+  // CFG9 — the config-level shadow of the I2 interference check: two arms
+  // whose estimated workspace envelopes overlap can collide the moment two
+  // streams move them concurrently, unless the config declares how the
+  // overlap is managed — time multiplexing (one arm moves at a time) or a
+  // soft wall keeping an arm out of the shared region.
+  if (!config.time_multiplex) {
+    std::vector<const DeviceMeta*> arms;
+    for (const DeviceMeta& d : config.devices) {
+      if (d.is_arm) arms.push_back(&d);
+    }
+    auto walled_out_of = [&config](const DeviceMeta& arm, const geom::Aabb& region) {
+      return std::any_of(config.soft_walls.begin(), config.soft_walls.end(),
+                         [&](const SoftWallSpec& w) {
+                           return w.arm_id == arm.id && w.forbidden.contains(region.min) &&
+                                  w.forbidden.contains(region.max);
+                         });
+    };
+    for (std::size_t i = 0; i < arms.size(); ++i) {
+      for (std::size_t j = i + 1; j < arms.size(); ++j) {
+        geom::Vec3 base_a = arms[i]->base.apply(geom::Vec3());
+        geom::Vec3 base_b = arms[j]->base.apply(geom::Vec3());
+        double reach_a = max_arm_reach(*arms[i]);
+        double reach_b = max_arm_reach(*arms[j]);
+        geom::Aabb ws_a(base_a - geom::Vec3(reach_a, reach_a, reach_a),
+                        base_a + geom::Vec3(reach_a, reach_a, reach_a));
+        geom::Aabb ws_b(base_b - geom::Vec3(reach_b, reach_b, reach_b),
+                        base_b + geom::Vec3(reach_b, reach_b, reach_b));
+        if (!ws_a.intersects(ws_b)) continue;
+        geom::Aabb shared(
+            geom::Vec3(std::max(ws_a.min.x, ws_b.min.x), std::max(ws_a.min.y, ws_b.min.y),
+                       std::max(ws_a.min.z, ws_b.min.z)),
+            geom::Vec3(std::min(ws_a.max.x, ws_b.max.x), std::min(ws_a.max.y, ws_b.max.y),
+                       std::min(ws_a.max.z, ws_b.max.z)));
+        if (walled_out_of(*arms[i], shared) || walled_out_of(*arms[j], shared)) continue;
+        emit(Severity::Warning, "CFG9",
+             "workspace envelopes of arms '" + arms[i]->id + "' and '" + arms[j]->id +
+                 "' overlap with neither time multiplexing nor a covering soft wall "
+                 "declared — concurrent streams can collide them (see I2)");
+      }
+    }
+  }
+
+  // CFG10 — the config-level shadow of the I3 interference check: a
+  // container whose capacity is below the *sum* of the per-device dosing
+  // thresholds can be overfilled by commands that each pass rule 11, as soon
+  // as two devices dose into it.
+  {
+    auto is_mass_dosing = [](const std::string& action) {
+      return action == "run_action" || action == "add_solid";
+    };
+    auto is_volume_dosing = [](const std::string& action) {
+      return action == "dose_solvent" || action == "add_liquid" || action == "draw_solvent";
+    };
+    double mass_sum = 0.0, volume_sum = 0.0;
+    std::set<std::string> mass_devices, volume_devices;
+    for (const DeviceMeta& d : config.devices) {
+      for (const core::ThresholdSpec& t : d.thresholds) {
+        if (t.max <= 0.0) continue;  // CFG8's problem
+        if (is_mass_dosing(t.action)) {
+          mass_sum += t.max;
+          mass_devices.insert(d.id);
+        } else if (is_volume_dosing(t.action)) {
+          volume_sum += t.max;
+          volume_devices.insert(d.id);
+        }
+      }
+    }
+    for (const DeviceMeta& d : config.devices) {
+      if (d.capacity_mg > 0.0 && mass_devices.size() >= 2 && d.capacity_mg < mass_sum) {
+        std::ostringstream os;
+        os << "container '" << d.id << "' capacity " << d.capacity_mg
+           << " mg is below the summed per-device dosing thresholds (" << mass_sum
+           << " mg across " << mass_devices.size()
+           << " devices) — each command can pass rule 11 while the campaign overfills it "
+              "(see I3)";
+        emit(Severity::Warning, "CFG10", os.str());
+      }
+      if (d.capacity_ml > 0.0 && volume_devices.size() >= 2 && d.capacity_ml < volume_sum) {
+        std::ostringstream os;
+        os << "container '" << d.id << "' capacity " << d.capacity_ml
+           << " mL is below the summed per-device dosing thresholds (" << volume_sum
+           << " mL across " << volume_devices.size()
+           << " devices) — each command can pass rule 11 while the campaign overfills it "
+              "(see I3)";
+        emit(Severity::Warning, "CFG10", os.str());
+      }
+    }
+  }
+
   return report;
 }
 

@@ -1,0 +1,628 @@
+// Summary-based static race detection over fleet campaigns. Phase 1 rides
+// the abstract interpreter's observe_command hook to fold every observed
+// device command into a per-stream effect summary; phase 2 checks summaries
+// pairwise (I1/I2/I4/I5) and campaign-wide (I3/I6). See interference.hpp for
+// the soundness model.
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <optional>
+#include <sstream>
+
+#include "analysis/interference.hpp"
+#include "core/rules.hpp"
+#include "core/tracker.hpp"
+#include "sim/world.hpp"
+
+namespace rabit::analysis {
+
+namespace {
+
+using core::DeviceMeta;
+using core::EngineConfig;
+using core::SiteMeta;
+using core::ThresholdSpec;
+using core::ValueBinding;
+using dev::Command;
+
+std::string fmt_num(double v) {
+  std::ostringstream os;
+  os << v;
+  return os.str();
+}
+
+const SiteMeta* receptacle_site_of(const EngineConfig& config, std::string_view device) {
+  for (const SiteMeta& s : config.sites) {
+    if (s.receptacle_device == device) return &s;
+  }
+  return nullptr;
+}
+
+/// The configured deck envelope (same union the A4 check uses): the fallback
+/// occupancy for an arm whose motion target cannot be resolved statically.
+std::optional<geom::Aabb> deck_envelope(const EngineConfig& config) {
+  std::optional<geom::Aabb> env;
+  auto extend = [&env](const geom::Aabb& box) { env = env ? env->united(box) : box; };
+  for (const sim::NamedBox& b : config.static_obstacles) extend(b.box);
+  for (const DeviceMeta& d : config.devices) {
+    if (d.box) extend(*d.box);
+    if (d.sleep_box) extend(*d.sleep_box);
+    if (d.sensor_zone) extend(*d.sensor_zone);
+  }
+  for (const SiteMeta& s : config.sites) extend(geom::Aabb(s.lab_position, s.lab_position));
+  return env;
+}
+
+/// Actions whose thresholded argument is *additive* across commands —
+/// repeated doses accumulate in the same container, so their campaign-wide
+/// sum is meaningful (I6). Setpoint-style thresholds (set_temperature, stir)
+/// overwrite rather than accumulate and are excluded.
+bool is_additive_action(std::string_view action) {
+  return action == "run_action" || action == "dose_solvent" || action == "draw_solvent" ||
+         action == "add_solid" || action == "add_liquid";
+}
+
+/// One named argument of an observed command, as an interval when statically
+/// known: a constant folds to a point, an unresolved argument contributes its
+/// abstract interval, Top is "present but unbounded".
+struct ArgBounds {
+  bool present = false;
+  bool bounded = false;
+  double lo = 0.0;
+  double hi = 0.0;
+};
+
+ArgBounds arg_bounds(const CommandObservation& obs, std::string_view name) {
+  ArgBounds out;
+  if (const json::Value* v = obs.cmd->args.find(name); v != nullptr && v->is_number()) {
+    out.present = out.bounded = true;
+    out.lo = out.hi = v->as_double();
+    return out;
+  }
+  if (obs.unresolved != nullptr) {
+    for (const auto& [arg, value] : *obs.unresolved) {
+      if (arg != name) continue;
+      out.present = true;
+      out.bounded = value.numeric_bounds(out.lo, out.hi);
+      return out;
+    }
+  }
+  return out;
+}
+
+const std::string* arg_string(const CommandObservation& obs, std::string_view name) {
+  const json::Value* v = obs.cmd->args.find(name);
+  return v != nullptr && v->is_string() ? &v->as_string() : nullptr;
+}
+
+// ---------------------------------------------------------------------------
+// Phase 1 — effect accumulation
+// ---------------------------------------------------------------------------
+
+/// Folds CommandObservations into a StreamSummary. Mirrors the tracker's
+/// postcondition model (tracker.cpp) as a may-analysis: where the tracker
+/// sets a value, the summary accumulates an interval; where an argument is
+/// statically unknown the summary widens (and records truncation) rather
+/// than guessing.
+class EffectAccumulator {
+ public:
+  EffectAccumulator(const EngineConfig& config, const AnalyzeOptions& opts, std::string name)
+      : config_(config), opts_(opts) {
+    sum_.name = std::move(name);
+  }
+
+  StreamSummary take() { return std::move(sum_); }
+
+  void observe(const CommandObservation& obs) {
+    const Command& cmd = *obs.cmd;
+    const DeviceMeta* meta = config_.find_device(cmd.device);
+    std::string action =
+        meta != nullptr ? std::string(meta->canonical_action(cmd.action)) : cmd.action;
+
+    DeviceFootprint& fp = sum_.devices[cmd.device];
+    fp.actions.insert(action);
+    ++fp.commands;
+    fp.speculative = fp.speculative || obs.speculative;
+    if (meta == nullptr) return;  // unknown device: G3 fires identically solo
+
+    record_threshold_total(obs, *meta, action);
+    record_setpoints(obs, *meta, action);
+    record_resources(obs, *meta, action);
+    record_entities(obs, *meta, action);
+    if (meta->is_arm && core::is_motion_command(cmd)) record_motion(obs, *meta);
+  }
+
+ private:
+  void touch_entity(const std::string& entity, const std::string& via) {
+    sum_.entities[entity].via.insert(via);
+  }
+
+  void touch_site(const SiteMeta& site, const std::string& via,
+                  const core::StateTracker& tracker) {
+    touch_entity(site.name, via);
+    std::string occupant = tracker.site_occupant(site.name);
+    if (!occupant.empty()) touch_entity(occupant, via);
+  }
+
+  void record_threshold_total(const CommandObservation& obs, const DeviceMeta& meta,
+                              const std::string& action) {
+    const ThresholdSpec* th = meta.threshold_for(action);
+    if (th == nullptr || !is_additive_action(action)) return;
+    ArgBounds b = arg_bounds(obs, th->argument);
+    if (!b.present) return;
+    if (b.bounded) {
+      sum_.threshold_totals[meta.id][action].accumulate(b.lo, b.hi);
+    } else {
+      sum_.truncated = true;  // Top-valued dose: the campaign total is unbounded
+    }
+  }
+
+  void record_setpoints(const CommandObservation& obs, const DeviceMeta& meta,
+                        const std::string& action) {
+    constexpr double kUnbounded = std::numeric_limits<double>::infinity();
+    auto write = [&](const std::string& variable, std::string_view argument) {
+      ArgBounds b = arg_bounds(obs, argument);
+      if (!b.present) return;
+      if (b.bounded) {
+        sum_.setpoints[meta.id][variable].unite(b.lo, b.hi);
+      } else {
+        sum_.setpoints[meta.id][variable].unite(-kUnbounded, kUnbounded);
+        sum_.truncated = true;
+      }
+    };
+    if (action == "set_temperature") write("targetC", "celsius");
+    if (action == "stir") write("stirRpm", "rpm");
+    if (action == "shake") write("shakeRpm", "rpm");
+    for (const ValueBinding& vb : meta.value_bindings) {
+      if (vb.action == action) write(vb.variable, vb.argument);
+    }
+  }
+
+  /// Signed mass/volume deltas, following the tracker's substance model:
+  /// run_action doses the receptacle occupant, dose_solvent moves liquid
+  /// pump -> target vial, draw_solvent fills the pump, add_solid/add_liquid
+  /// act on the container directly.
+  void record_resources(const CommandObservation& obs, const DeviceMeta& meta,
+                        const std::string& action) {
+    auto delta = [&](std::map<std::string, Interval>& table, const std::string& key,
+                     std::string_view argument, double sign) {
+      ArgBounds b = arg_bounds(obs, argument);
+      if (!b.present) return;
+      if (b.bounded) {
+        table[key].accumulate(sign * (sign < 0 ? b.hi : b.lo), sign * (sign < 0 ? b.lo : b.hi));
+      } else {
+        sum_.truncated = true;
+      }
+    };
+    if (action == "run_action") {
+      if (const SiteMeta* site = receptacle_site_of(config_, meta.id)) {
+        std::string occupant = obs.tracker->site_occupant(site->name);
+        delta(sum_.mass_delta_mg, occupant.empty() ? site->name : occupant, "quantity", +1.0);
+      }
+    } else if (action == "dose_solvent") {
+      delta(sum_.volume_delta_ml, meta.id, "volume", -1.0);
+      if (const std::string* target = arg_string(obs, "target")) {
+        delta(sum_.volume_delta_ml, *target, "volume", +1.0);
+      }
+    } else if (action == "draw_solvent") {
+      delta(sum_.volume_delta_ml, meta.id, "volume", +1.0);
+    } else if (action == "add_solid") {
+      delta(sum_.mass_delta_mg, meta.id, "amount", +1.0);
+    } else if (action == "add_liquid") {
+      delta(sum_.volume_delta_ml, meta.id, "volume", +1.0);
+    }
+  }
+
+  /// Shared entities the command acts on beyond the commanded device: sites
+  /// named by arguments, their tracked occupants, the vial a dose targets,
+  /// the receptacle feeding a station, and whatever the arm currently holds.
+  void record_entities(const CommandObservation& obs, const DeviceMeta& meta,
+                       const std::string& action) {
+    // A directly commanded container (cap/decap a vial) is itself a shared
+    // entity: arms carry it and stations dose it under other names.
+    if (meta.category == dev::DeviceCategory::Container) touch_entity(meta.id, meta.id);
+    if (const std::string* site_name = arg_string(obs, "site")) {
+      if (const SiteMeta* site = config_.find_site(*site_name)) {
+        touch_site(*site, meta.id, *obs.tracker);
+      }
+    }
+    if (const std::string* target = arg_string(obs, "target")) {
+      if (config_.find_device(*target) != nullptr) touch_entity(*target, meta.id);
+    }
+    if (!meta.is_arm) {
+      if (const SiteMeta* site = receptacle_site_of(config_, meta.id)) {
+        // Only substance-affecting actions reach into the chamber; door and
+        // query actions do not contend for the occupant.
+        if (action == "run_action" || meta.is_active_action(action)) {
+          touch_site(*site, meta.id, *obs.tracker);
+        }
+      }
+      return;
+    }
+    std::string held = obs.tracker->arm_holding(meta.id);
+    if (!held.empty()) touch_entity(held, meta.id);
+  }
+
+  void record_motion(const CommandObservation& obs, const DeviceMeta& meta) {
+    std::optional<core::MotionAnalysis> motion;
+    try {
+      motion = core::analyze_motion(config_, *obs.tracker, *obs.cmd);
+    } catch (const std::exception&) {
+      motion = std::nullopt;  // malformed/unresolved position argument
+    }
+    if (motion && !motion->waypoints.empty()) {
+      geom::Aabb env(motion->waypoints.front(), motion->waypoints.front());
+      for (const geom::Vec3& p : motion->waypoints) env = env.united(geom::Aabb(p, p));
+      env = env.united(geom::Aabb(motion->target_lab, motion->target_lab));
+      // A3 frame-calibration slack plus the held-object drop: the same
+      // margins under which the single-stream checks call a pose unsafe.
+      env = env.inflated(opts_.parked_arm_margin + motion->held_clearance);
+      unite_envelope(meta.id, env);
+      for (const std::string& ig : motion->ignores) {
+        // analyze_motion always lists the arm itself (its parked cuboid is
+        // not an obstacle for its own motion) — that is not an interaction.
+        if (ig != meta.id) sum_.ignores[meta.id].insert(ig);
+      }
+      if (const SiteMeta* site = config_.site_near(motion->target_lab)) {
+        touch_site(*site, meta.id, *obs.tracker);
+      }
+    } else {
+      // Unresolvable target: the arm may occupy anywhere in the configured
+      // workspace (A4 margin). Sound, maximally imprecise — and flagged.
+      if (std::optional<geom::Aabb> ws = deck_envelope(config_)) {
+        unite_envelope(meta.id, ws->inflated(opts_.workspace_margin));
+      }
+      sum_.truncated = true;
+    }
+  }
+
+  void unite_envelope(const std::string& arm, const geom::Aabb& box) {
+    auto [it, inserted] = sum_.arm_envelopes.emplace(arm, box);
+    if (!inserted) it->second = it->second.united(box);
+  }
+
+  const EngineConfig& config_;
+  const AnalyzeOptions& opts_;
+  StreamSummary sum_;
+};
+
+// ---------------------------------------------------------------------------
+// Phase 2 — pairwise and campaign-wide checks
+// ---------------------------------------------------------------------------
+
+class InterferenceChecker {
+ public:
+  InterferenceChecker(const EngineConfig& config, const std::vector<StreamSummary>& streams,
+                      const AnalyzeOptions& opts)
+      : config_(config), streams_(streams), opts_(opts) {}
+
+  AnalysisReport run() {
+    for (const StreamSummary& s : streams_) {
+      if (s.truncated) report_.truncated = true;
+    }
+    for (std::size_t i = 0; i < streams_.size(); ++i) {
+      for (std::size_t j = i + 1; j < streams_.size(); ++j) {
+        const StreamSummary& a = streams_[i];
+        const StreamSummary& b = streams_[j];
+        check_device_races(a, b);      // I1 (same device / multiplex token / entity)
+        check_envelope_overlap(a, b);  // I2
+        check_setpoint_races(a, b);    // I4
+        check_ignore_asymmetry(a, b);  // I5
+        check_ignore_asymmetry(b, a);
+      }
+    }
+    check_consumable_budgets();  // I3
+    check_rule_capacity();       // I6
+    return std::move(report_);
+  }
+
+ private:
+  void emit(Severity severity, const std::string& rule, std::string message,
+            std::vector<std::string> subjects, bool speculative = false) {
+    std::sort(subjects.begin(), subjects.end());
+    subjects.erase(std::unique(subjects.begin(), subjects.end()), subjects.end());
+    if (speculative && severity == Severity::Error) {
+      severity = Severity::Warning;
+      message += " (may happen on some path)";
+    }
+    std::string key = rule + "|" + message;
+    for (const std::string& s : subjects) key += "|" + s;
+    if (!seen_.insert(key).second) return;
+    if (report_.diagnostics.size() >= static_cast<std::size_t>(opts_.max_diagnostics)) {
+      report_.truncated = true;
+      return;
+    }
+    Diagnostic d{severity, rule, std::move(message), 0};
+    d.subjects = std::move(subjects);
+    report_.diagnostics.push_back(std::move(d));
+  }
+
+  static std::string join(const std::set<std::string>& items, const char* sep = ", ") {
+    std::string out;
+    for (const std::string& s : items) {
+      if (!out.empty()) out += sep;
+      out += s;
+    }
+    return out;
+  }
+
+  // I1a same commanded device, I1b exclusive-motion token, I1c shared entity.
+  void check_device_races(const StreamSummary& a, const StreamSummary& b) {
+    for (const auto& [device, fa] : a.devices) {
+      auto it = b.devices.find(device);
+      if (it == b.devices.end()) continue;
+      const DeviceFootprint& fb = it->second;
+      std::set<std::string> actions = fa.actions;
+      actions.insert(fb.actions.begin(), fb.actions.end());
+      emit(Severity::Error, "I1",
+           "streams '" + a.name + "' and '" + b.name + "' both command device '" + device +
+               "' (" + join(actions) + "): the interleaving of their commands is unordered",
+           {device}, fa.speculative || fb.speculative);
+    }
+    if (config_.time_multiplex) {
+      for (const auto& [arm_a, env_a] : a.arm_envelopes) {
+        for (const auto& [arm_b, env_b] : b.arm_envelopes) {
+          if (arm_a == arm_b) continue;
+          emit(Severity::Error, "I1",
+               "streams '" + a.name + "' and '" + b.name + "' race the exclusive-motion " +
+                   "token: '" + arm_a + "' and '" + arm_b +
+                   "' cannot both hold it, so one stream's motion is rejected (M1) under " +
+                   "any interleaving where both arms are awake",
+               {arm_a, arm_b});
+        }
+      }
+    }
+    for (const auto& [entity, ta] : a.entities) {
+      auto it = b.entities.find(entity);
+      if (it == b.entities.end()) continue;
+      std::vector<std::string> subjects{entity};
+      subjects.insert(subjects.end(), ta.via.begin(), ta.via.end());
+      subjects.insert(subjects.end(), it->second.via.begin(), it->second.via.end());
+      emit(Severity::Error, "I1",
+           "streams '" + a.name + "' and '" + b.name + "' both act on '" + entity +
+               "' (via " + join(ta.via) + " / " + join(it->second.via) +
+               "): its occupancy and contents depend on the interleaving",
+           std::move(subjects));
+    }
+  }
+
+  // I2: two different arms' inflated occupancy envelopes intersect.
+  void check_envelope_overlap(const StreamSummary& a, const StreamSummary& b) {
+    for (const auto& [arm_a, env_a] : a.arm_envelopes) {
+      for (const auto& [arm_b, env_b] : b.arm_envelopes) {
+        if (arm_a == arm_b) continue;  // same arm: an I1 command race
+        if (!env_a.intersects(env_b)) continue;
+        emit(Severity::Error, "I2",
+             "workspace envelopes of '" + arm_a + "' (stream '" + a.name + "') and '" +
+                 arm_b + "' (stream '" + b.name +
+                 "') overlap: concurrent motion can collide inside the shared region",
+             {arm_a, arm_b});
+      }
+    }
+  }
+
+  // I4: both streams write the same setpoint with non-identical values.
+  void check_setpoint_races(const StreamSummary& a, const StreamSummary& b) {
+    for (const auto& [device, vars_a] : a.setpoints) {
+      auto dit = b.setpoints.find(device);
+      if (dit == b.setpoints.end()) continue;
+      for (const auto& [variable, iv_a] : vars_a) {
+        auto vit = dit->second.find(variable);
+        if (vit == dit->second.end()) continue;
+        if (iv_a.same_as(vit->second)) continue;  // identical writes commute
+        emit(Severity::Warning, "I4",
+             "conflicting setpoint writes to " + device + "." + variable + ": stream '" +
+                 a.name + "' writes " + iv_a.format() + ", stream '" + b.name + "' writes " +
+                 vit->second.format() + " — the final value depends on the interleaving",
+             {device});
+      }
+    }
+  }
+
+  // I5: `a` declares a deliberate interaction (collision checks suppressed
+  // for that box) that `b`, which also uses the device, never declares.
+  void check_ignore_asymmetry(const StreamSummary& a, const StreamSummary& b) {
+    std::set<std::string> declared_by_b;
+    for (const auto& [arm, names] : b.ignores) declared_by_b.insert(names.begin(), names.end());
+    for (const auto& [arm, names] : a.ignores) {
+      for (const std::string& name : names) {
+        if (declared_by_b.count(name) != 0) continue;
+        if (b.devices.find(name) == b.devices.end() &&
+            b.entities.find(name) == b.entities.end()) {
+          continue;
+        }
+        emit(Severity::Warning, "I5",
+             "stream '" + a.name + "' declares a deliberate interaction of '" + arm +
+                 "' with '" + name + "' (its box is excluded from collision checks) while " +
+                 "stream '" + b.name + "' also uses '" + name + "' without declaring one",
+             {arm, name});
+      }
+    }
+  }
+
+  // I3: the *sum* of per-stream deltas overflows (or overdraws) a shared
+  // container, even where each stream alone fits.
+  void check_consumable_budgets() {
+    check_budget_table([](const StreamSummary& s) { return &s.mass_delta_mg; },
+                       [](const DeviceMeta& m) { return m.capacity_mg; }, "solidMg", "mg");
+    check_budget_table([](const StreamSummary& s) { return &s.volume_delta_ml; },
+                       [](const DeviceMeta& m) { return m.capacity_ml; }, "liquidMl", "mL");
+  }
+
+  template <typename TableOf, typename CapacityOf>
+  void check_budget_table(const TableOf& table_of, const CapacityOf& capacity_of,
+                          const char* initial_var, const char* unit) {
+    std::set<std::string> keys;
+    for (const StreamSummary& s : streams_) {
+      for (const auto& [key, iv] : *table_of(s)) keys.insert(key);
+    }
+    for (const std::string& key : keys) {
+      const DeviceMeta* meta = config_.find_device(key);
+      if (meta == nullptr) continue;  // delta attributed to a site: no capacity model
+      double capacity = capacity_of(*meta);
+      double initial = 0.0;
+      if (auto it = meta->initial_state.find(initial_var);
+          it != meta->initial_state.end() && it->second.is_number()) {
+        initial = it->second.as_double();
+      }
+      Interval total;
+      std::set<std::string> contributors;
+      for (const StreamSummary& s : streams_) {
+        auto it = table_of(s)->find(key);
+        if (it == table_of(s)->end() || !it->second.set) continue;
+        total.accumulate(it->second.lo, it->second.hi);
+        contributors.insert(s.name);
+      }
+      if (contributors.size() < 2) continue;  // single-stream checks own this
+      std::vector<std::string> subjects{key};
+      subjects.insert(subjects.end(), contributors.begin(), contributors.end());
+      if (capacity > 0.0 && initial + total.hi > capacity + core::kVolumeEpsilon) {
+        emit(Severity::Error, "I3",
+             "shared container '" + key + "': the summed deltas of streams " +
+                 join(contributors) + " reach " + fmt_num(initial + total.hi) + " " + unit +
+                 ", over its capacity " + fmt_num(capacity) + " " + unit +
+                 " — each stream alone may pass, the campaign cannot",
+             subjects);
+      }
+      if (initial + total.lo < -core::kVolumeEpsilon) {
+        emit(Severity::Error, "I3",
+             "shared container '" + key + "': the summed draws of streams " +
+                 join(contributors) + " can overdraw it by " +
+                 fmt_num(-(initial + total.lo)) + " " + unit,
+             subjects);
+      }
+    }
+  }
+
+  // I6: the campaign-wide cumulative total of a thresholded additive
+  // argument exceeds the per-command cap the rulebase enforces — a budget
+  // the runtime provably cannot police one command at a time.
+  void check_rule_capacity() {
+    std::set<std::pair<std::string, std::string>> keys;
+    for (const StreamSummary& s : streams_) {
+      for (const auto& [device, actions] : s.threshold_totals) {
+        for (const auto& [action, iv] : actions) keys.emplace(device, action);
+      }
+    }
+    for (const auto& [device, action] : keys) {
+      const DeviceMeta* meta = config_.find_device(device);
+      const ThresholdSpec* th = meta != nullptr ? meta->threshold_for(action) : nullptr;
+      if (th == nullptr) continue;
+      Interval total;
+      std::set<std::string> contributors;
+      for (const StreamSummary& s : streams_) {
+        auto dit = s.threshold_totals.find(device);
+        if (dit == s.threshold_totals.end()) continue;
+        auto ait = dit->second.find(action);
+        if (ait == dit->second.end() || !ait->second.set) continue;
+        total.accumulate(ait->second.lo, ait->second.hi);
+        contributors.insert(s.name);
+      }
+      if (contributors.size() < 2) continue;
+      if (total.hi <= th->max + core::kVolumeEpsilon) continue;
+      std::vector<std::string> subjects{device};
+      subjects.insert(subjects.end(), contributors.begin(), contributors.end());
+      emit(Severity::Warning, "I6",
+           "campaign-wide " + device + "." + action + " total " + total.format() +
+               " exceeds the per-command threshold " + fmt_num(th->max) + " (" + th->argument +
+               "): the rulebase caps single commands, not the cumulative budget of streams " +
+               join(contributors),
+           std::move(subjects));
+    }
+  }
+
+  const EngineConfig& config_;
+  const std::vector<StreamSummary>& streams_;
+  const AnalyzeOptions& opts_;
+  AnalysisReport report_;
+  std::set<std::string> seen_;
+};
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Interval
+// ---------------------------------------------------------------------------
+
+void Interval::accumulate(double l, double h) {
+  if (l > h) std::swap(l, h);
+  if (!set) {
+    lo = l;
+    hi = h;
+    set = true;
+    return;
+  }
+  lo += l;
+  hi += h;
+}
+
+void Interval::unite(double l, double h) {
+  if (l > h) std::swap(l, h);
+  if (!set) {
+    lo = l;
+    hi = h;
+    set = true;
+    return;
+  }
+  lo = std::min(lo, l);
+  hi = std::max(hi, h);
+}
+
+bool Interval::same_as(const Interval& o) const {
+  return set == o.set && lo == o.lo && hi == o.hi;
+}
+
+std::string Interval::format() const {
+  if (!set) return "[]";
+  if (lo == hi) return fmt_num(lo);
+  return "[" + fmt_num(lo) + ", " + fmt_num(hi) + "]";
+}
+
+// ---------------------------------------------------------------------------
+// Entry points
+// ---------------------------------------------------------------------------
+
+StreamSummary summarize_stream(const core::EngineConfig& config, std::string name,
+                               const std::vector<dev::Command>& commands,
+                               const AnalyzeOptions& options, AnalysisReport* per_stream) {
+  EffectAccumulator acc(config, options, std::move(name));
+  AnalyzeOptions opts = options;
+  opts.observe_command = [&acc](const CommandObservation& obs) { acc.observe(obs); };
+  AnalysisReport report = analyze_stream(config, commands, opts);
+  StreamSummary summary = acc.take();
+  summary.truncated = summary.truncated || report.truncated;
+  if (per_stream != nullptr) *per_stream = std::move(report);
+  return summary;
+}
+
+StreamSummary summarize_script(const core::EngineConfig& config, std::string name,
+                               std::string_view source, const AnalyzeOptions& options,
+                               AnalysisReport* per_stream) {
+  EffectAccumulator acc(config, options, std::move(name));
+  AnalyzeOptions opts = options;
+  opts.observe_command = [&acc](const CommandObservation& obs) { acc.observe(obs); };
+  AnalysisReport report = analyze_script(config, source, opts);
+  StreamSummary summary = acc.take();
+  summary.truncated = summary.truncated || report.truncated;
+  if (per_stream != nullptr) *per_stream = std::move(report);
+  return summary;
+}
+
+AnalysisReport check_interference(const core::EngineConfig& config,
+                                  const std::vector<StreamSummary>& streams,
+                                  const AnalyzeOptions& options) {
+  return InterferenceChecker(config, streams, options).run();
+}
+
+AnalysisReport analyze_campaign(const core::EngineConfig& config,
+                                const std::vector<CampaignStream>& streams,
+                                const AnalyzeOptions& options) {
+  std::vector<StreamSummary> summaries;
+  summaries.reserve(streams.size());
+  for (const CampaignStream& s : streams) {
+    summaries.push_back(summarize_stream(config, s.name, s.commands, options));
+  }
+  return check_interference(config, summaries, options);
+}
+
+}  // namespace rabit::analysis

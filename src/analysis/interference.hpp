@@ -1,0 +1,153 @@
+// rabit::analysis interference — whole-campaign static race detection.
+//
+// The runtime checks (and the A1..A8 analyzer) validate one command stream at
+// a time, but production campaigns run many scripts concurrently against
+// shared arms, decks, and consumables. A campaign whose streams are each
+// individually safe can still collide two arms in an overlapping workspace or
+// jointly overdraw a shared vial. This module catches those *interaction*
+// hazards before dispatch, in two phases:
+//
+//   Phase 1 — effect summaries. Each stream is walked once by the existing
+//   abstract interpreter (via the AnalyzeOptions::observe_command hook) to
+//   produce a StreamSummary: devices driven with per-action footprints,
+//   workspace occupancy as inflated AABB envelopes over every trajectory
+//   segment (A3 frame-calibration margin), signed resource deltas
+//   (vial/container mass and volume) as intervals, setpoint writes, and the
+//   deliberate-interaction ignore sets each stream declares.
+//
+//   Phase 2 — pairwise interference checks over the summaries, emitting the
+//   I1..I6 diagnostic family:
+//     I1  same-device command race: two streams drive one device, race the
+//         time-multiplex exclusive-motion token with different arms, or both
+//         act on one shared entity (site, vial, receptacle station)
+//     I2  overlapping workspace envelopes of two *different* arms
+//     I3  shared-consumable budget exceedable by the *sum* of stream deltas,
+//         even when each stream alone fits (capacity overflow or overdraw)
+//     I4  conflicting setpoint writes (hotplate / thermoshaker target races)
+//     I5  a deliberate-interaction ignore set only one stream declares
+//     I6  campaign-wide rule-capacity exhaustion: the cumulative total of a
+//         G11-thresholded additive argument across streams exceeds the cap
+//
+// Soundness model: summaries are may-analyses over each stream in isolation
+// from the configured initial state. The checks therefore over-approximate
+// every interleaving in which each device is driven by the streams that
+// command it — the regime fleet::Fleet::run_campaign executes — and the
+// differential sweep asserts that every cross-stream runtime precondition
+// alert maps to an I-diagnostic whose subjects name the alerting device.
+// Limits (Top-valued quantities, unresolvable motion targets, analyzer
+// budgets) set StreamSummary::truncated, which propagates to the campaign
+// report.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "analysis/analysis.hpp"
+#include "geometry/geometry.hpp"
+
+namespace rabit::analysis {
+
+// ---------------------------------------------------------------------------
+// Stream effect summaries (phase 1)
+// ---------------------------------------------------------------------------
+
+/// A closed interval used both as a running *sum* (resource deltas,
+/// cumulative dosing totals) and as a *union* (setpoint write ranges).
+/// `set` distinguishes "never written" from [0, 0].
+struct Interval {
+  double lo = 0.0;
+  double hi = 0.0;
+  bool set = false;
+
+  /// Σ: widens the running sum by one more [l, h] contribution.
+  void accumulate(double l, double h);
+  /// ∪: smallest interval containing this one and [l, h].
+  void unite(double l, double h);
+  [[nodiscard]] bool same_as(const Interval& o) const;
+  [[nodiscard]] std::string format() const;  ///< "[lo, hi]"
+};
+
+/// What one stream does to one device it commands.
+struct DeviceFootprint {
+  std::set<std::string> actions;  ///< canonical action names issued
+  std::size_t commands = 0;
+  bool speculative = false;  ///< some touch sits past an undecidable branch
+};
+
+/// A shared entity (site, vial, receptacle station) a stream acts on without
+/// necessarily commanding it, with the devices the touches went through.
+struct EntityTouch {
+  std::set<std::string> via;  ///< commanding devices behind the touches
+};
+
+struct StreamSummary {
+  std::string name;
+  /// The summary may under-describe the stream (analysis budget, Top-valued
+  /// quantity, unresolvable motion target widened to the whole workspace).
+  bool truncated = false;
+
+  std::map<std::string, DeviceFootprint> devices;  ///< devices commanded
+  std::map<std::string, EntityTouch> entities;     ///< shared entities acted on
+  /// Per-arm workspace occupancy: union of per-segment trajectory AABBs,
+  /// inflated by the A3 frame-calibration margin. An unresolvable motion
+  /// target widens the arm to the whole configured workspace (A4 margin).
+  std::map<std::string, geom::Aabb> arm_envelopes;
+  /// Per-arm declared deliberate interactions: boxes the stream's motion
+  /// analysis excludes from collision checks (grid reached over, open-door
+  /// station entered).
+  std::map<std::string, std::set<std::string>> ignores;
+  /// Signed per-container resource deltas over the whole stream.
+  std::map<std::string, Interval> mass_delta_mg;
+  std::map<std::string, Interval> volume_delta_ml;
+  /// Setpoint writes: device -> variable -> union of written values.
+  std::map<std::string, std::map<std::string, Interval>> setpoints;
+  /// Cumulative totals of G11-thresholded *additive* arguments:
+  /// device -> action -> Σ of the thresholded argument across the stream.
+  std::map<std::string, std::map<std::string, Interval>> threshold_totals;
+};
+
+/// Summarizes a linear command stream (degenerate abstract interpretation —
+/// the fleet campaign case). `per_stream` (optional) receives the stream's
+/// own single-stream analysis report.
+[[nodiscard]] StreamSummary summarize_stream(const core::EngineConfig& config,
+                                             std::string name,
+                                             const std::vector<dev::Command>& commands,
+                                             const AnalyzeOptions& options = {},
+                                             AnalysisReport* per_stream = nullptr);
+
+/// Summarizes a script through the full path-set abstract interpreter.
+/// Forked paths contribute their union (a may-summary); loop bodies
+/// contribute once per unrolled iteration.
+[[nodiscard]] StreamSummary summarize_script(const core::EngineConfig& config,
+                                             std::string name, std::string_view source,
+                                             const AnalyzeOptions& options = {},
+                                             AnalysisReport* per_stream = nullptr);
+
+// ---------------------------------------------------------------------------
+// Interference checks (phase 2)
+// ---------------------------------------------------------------------------
+
+/// Runs the pairwise I1..I6 checks over the summaries. Diagnostics carry the
+/// devices / entities involved in `subjects`. Any truncated summary marks
+/// the report truncated (the campaign verdict may be incomplete).
+[[nodiscard]] AnalysisReport check_interference(const core::EngineConfig& config,
+                                                const std::vector<StreamSummary>& streams,
+                                                const AnalyzeOptions& options = {});
+
+/// A named command stream of a campaign (the static-analysis view; the
+/// runtime twin is fleet::CampaignStreamSpec).
+struct CampaignStream {
+  std::string name;
+  std::vector<dev::Command> commands;
+};
+
+/// One call: summarize every stream, then run the interference checks. The
+/// returned report holds only the campaign-level I-diagnostics; per-stream
+/// single-stream findings come from analyze_stream / analyze_script.
+[[nodiscard]] AnalysisReport analyze_campaign(const core::EngineConfig& config,
+                                              const std::vector<CampaignStream>& streams,
+                                              const AnalyzeOptions& options = {});
+
+}  // namespace rabit::analysis

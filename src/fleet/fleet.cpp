@@ -5,6 +5,9 @@
 #include <chrono>
 #include <cmath>
 #include <optional>
+#include <random>
+#include <set>
+#include <stdexcept>
 #include <thread>
 
 #include "script/workflows.hpp"
@@ -107,6 +110,203 @@ StreamResult FleetRunner::run_stream(const StreamSpec& spec) {
   result.trace_jsonl = supervisor.log().to_jsonl();
   result.check_wall_s = result.report.check_wall_s;
   return result;
+}
+
+// ---------------------------------------------------------------------------
+// Shared-lab campaigns
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// One fully assembled testbed lab (backend + optional V3 simulator +
+/// engine), used both for the shared interleaved run and for each solo
+/// baseline. Construct in place and do not move: the simulator's arm-state
+/// provider captures the backend by address.
+struct Lab {
+  sim::LabBackend backend;
+  std::optional<sim::ExtendedSimulator> simulator;
+  std::optional<core::RabitEngine> engine;
+
+  Lab(core::Variant variant, unsigned seed) : backend(sim::testbed_profile(), seed) {
+    sim::build_hein_testbed_deck(backend);
+    core::EngineConfig config = core::config_from_backend(backend, variant);
+    if (variant == core::Variant::ModifiedWithSim) {
+      sim::WorldModel world = sim::deck_world_model(backend);
+      for (const core::DeviceMeta& m : config.devices) {
+        if (m.is_arm && m.sleep_box) {
+          world.add_box(m.id, *m.sleep_box, sim::ObstacleKind::ParkedArm);
+        }
+      }
+      simulator.emplace(std::move(world), sim::ExtendedSimulator::Options{});
+      simulator->set_arm_state_provider(
+          [this](std::string_view arm_id) -> std::optional<geom::Vec3> {
+            const auto* arm =
+                dynamic_cast<const dev::RobotArmDevice*>(backend.registry().find(arm_id));
+            if (arm == nullptr) return std::nullopt;
+            return arm->position_lab();
+          });
+    }
+    engine.emplace(std::move(config), core::HotPathConfig{});
+    if (simulator) engine->attach_simulator(&*simulator);
+  }
+};
+
+/// Resolves a campaign stream to concrete commands: script streams are
+/// recorded against a pristine staging testbed (same convention as
+/// testbed_stream), command streams pass through.
+std::vector<dev::Command> campaign_commands(const CampaignStreamSpec& stream, unsigned seed) {
+  if (!stream.commands.empty() || stream.script.empty()) return stream.commands;
+  sim::LabBackend staging(sim::testbed_profile(), seed);
+  sim::build_hein_testbed_deck(staging);
+  return script::record_workflow(staging, stream.script);
+}
+
+}  // namespace
+
+std::size_t CampaignReport::cross_stream_alerts() const {
+  std::size_t n = 0;
+  for (const CampaignAlert& a : alerts) {
+    if (a.cross_stream) ++n;
+  }
+  return n;
+}
+
+CampaignReport Fleet::run_campaign(const CampaignSpec& spec) {
+  CampaignReport report;
+  std::vector<std::vector<dev::Command>> commands;
+  commands.reserve(spec.streams.size());
+  for (const CampaignStreamSpec& s : spec.streams) {
+    commands.push_back(campaign_commands(s, spec.seed));
+  }
+
+  // Deterministic seeded interleaving: each dispatch slot picks uniformly
+  // among the streams that still have commands. The schedule depends only on
+  // (stream lengths, seed), so a failing campaign replays from its seed.
+  std::mt19937 rng(spec.seed);
+  std::vector<std::size_t> cursor(commands.size(), 0);
+  std::vector<std::size_t> live;
+  for (std::size_t i = 0; i < commands.size(); ++i) {
+    if (!commands[i].empty()) live.push_back(i);
+  }
+  while (!live.empty()) {
+    std::size_t pick = live.size() == 1
+                           ? 0
+                           : std::uniform_int_distribution<std::size_t>(0, live.size() - 1)(rng);
+    std::size_t s = live[pick];
+    report.schedule.emplace_back(s, cursor[s]);
+    if (++cursor[s] >= commands[s].size()) live.erase(live.begin() + static_cast<long>(pick));
+  }
+
+  // The interleaved run on ONE shared lab: every stream's commands hit the
+  // same backend, engine, and tracker. Alerted commands are blocked (never
+  // forwarded) and, unless halt_on_alert, the campaign continues.
+  Lab lab(spec.variant, spec.seed);
+  trace::Supervisor::Options options;
+  options.halt_on_alert = spec.halt_on_alert;
+  trace::Supervisor supervisor(&*lab.engine, &lab.backend, options);
+  supervisor.start();
+  for (const auto& [s, k] : report.schedule) {
+    trace::SupervisedStep step = supervisor.step(commands[s][k]);
+    ++report.commands_checked;
+    if (step.alert) report.alerts.push_back(CampaignAlert{s, k, *step.alert, false});
+    if (supervisor.halted()) break;
+  }
+
+  // Solo baselines: each stream alone on an identical fresh lab. An alert
+  // present in the interleaving but absent at the same (command index, rule)
+  // solo can only come from what the other streams did to the shared state.
+  for (std::size_t s = 0; s < commands.size(); ++s) {
+    bool any = false;
+    for (const CampaignAlert& a : report.alerts) any = any || a.stream == s;
+    if (!any) continue;
+    Lab solo(spec.variant, spec.seed);
+    trace::Supervisor::Options solo_options;
+    solo_options.halt_on_alert = false;
+    trace::Supervisor solo_supervisor(&*solo.engine, &solo.backend, solo_options);
+    trace::RunReport solo_report = solo_supervisor.run(commands[s]);
+    std::set<std::pair<std::size_t, std::string>> solo_alerts;
+    for (std::size_t k = 0; k < solo_report.steps.size(); ++k) {
+      if (solo_report.steps[k].alert) solo_alerts.emplace(k, solo_report.steps[k].alert->rule);
+    }
+    for (CampaignAlert& a : report.alerts) {
+      if (a.stream != s) continue;
+      a.cross_stream = solo_alerts.count({a.command_index, a.alert.rule}) == 0;
+    }
+  }
+  return report;
+}
+
+CampaignSpec load_campaign(const json::Value& doc) {
+  if (!doc.is_object()) throw std::runtime_error("campaign: document must be a JSON object");
+  CampaignSpec spec;
+  if (const json::Value* seed = doc.find("seed")) {
+    if (!seed->is_number()) throw std::runtime_error("campaign: 'seed' must be a number");
+    spec.seed = static_cast<unsigned>(seed->as_double());
+  }
+  if (const json::Value* variant = doc.find("variant")) {
+    if (!variant->is_string()) throw std::runtime_error("campaign: 'variant' must be a string");
+    const std::string& v = variant->as_string();
+    if (v == "initial") {
+      spec.variant = core::Variant::Initial;
+    } else if (v == "modified") {
+      spec.variant = core::Variant::Modified;
+    } else if (v == "modified+sim") {
+      spec.variant = core::Variant::ModifiedWithSim;
+    } else {
+      throw std::runtime_error("campaign: unknown variant '" + v + "'");
+    }
+  }
+  if (const json::Value* halt = doc.find("halt_on_alert")) {
+    if (!halt->is_bool()) throw std::runtime_error("campaign: 'halt_on_alert' must be a bool");
+    spec.halt_on_alert = halt->as_bool();
+  }
+  const json::Value* streams = doc.find("streams");
+  if (streams == nullptr || !streams->is_array()) {
+    throw std::runtime_error("campaign: 'streams' must be an array");
+  }
+  for (const json::Value& item : streams->as_array()) {
+    if (!item.is_object()) throw std::runtime_error("campaign: each stream must be an object");
+    CampaignStreamSpec stream;
+    if (const json::Value* name = item.find("name"); name != nullptr && name->is_string()) {
+      stream.name = name->as_string();
+    } else {
+      stream.name = "stream-" + std::to_string(spec.streams.size());
+    }
+    if (const json::Value* script = item.find("script")) {
+      if (!script->is_string()) {
+        throw std::runtime_error("campaign: stream '" + stream.name +
+                                 "': 'script' must be a string");
+      }
+      stream.script = script->as_string();
+    }
+    if (const json::Value* cmds = item.find("commands")) {
+      if (!cmds->is_array()) {
+        throw std::runtime_error("campaign: stream '" + stream.name +
+                                 "': 'commands' must be an array");
+      }
+      for (const json::Value& c : cmds->as_array()) {
+        const json::Value* device = c.is_object() ? c.find("device") : nullptr;
+        const json::Value* action = c.is_object() ? c.find("action") : nullptr;
+        if (device == nullptr || !device->is_string() || action == nullptr ||
+            !action->is_string()) {
+          throw std::runtime_error("campaign: stream '" + stream.name +
+                                   "': each command needs string 'device' and 'action'");
+        }
+        dev::Command cmd;
+        cmd.device = device->as_string();
+        cmd.action = action->as_string();
+        if (const json::Value* args = c.find("args")) cmd.args = *args;
+        stream.commands.push_back(std::move(cmd));
+      }
+    }
+    if (stream.commands.empty() && stream.script.empty()) {
+      throw std::runtime_error("campaign: stream '" + stream.name +
+                               "' has neither 'commands' nor 'script'");
+    }
+    spec.streams.push_back(std::move(stream));
+  }
+  if (spec.streams.empty()) throw std::runtime_error("campaign: 'streams' is empty");
+  return spec;
 }
 
 FleetReport FleetRunner::run(const std::vector<StreamSpec>& streams) const {

@@ -94,6 +94,76 @@ struct FleetReport {
   std::shared_ptr<obs::Registry> obs_metrics;
 };
 
+// ---------------------------------------------------------------------------
+// Shared-lab campaigns
+// ---------------------------------------------------------------------------
+//
+// FleetRunner shards *independent* labs; a campaign is the opposite regime:
+// many command streams dispatched concurrently into ONE shared lab (one
+// backend, one engine, one tracker) — the production setting where
+// interference hazards live. Fleet::run_campaign executes a deterministic
+// seeded interleaving of the streams on the shared testbed, then replays
+// each stream solo on an identical fresh lab and diffs the alerts: an alert
+// the interleaved run raises that the stream's solo run does not is a
+// *cross-stream* alert — ground truth for the static interference analyzer
+// (analysis::analyze_campaign), whose differential sweep asserts every such
+// alert maps to an I-diagnostic naming the alerting device.
+
+/// One stream of a shared-lab campaign. Streams are given either as concrete
+/// commands or as DSL script source (recorded against a pristine staging
+/// testbed when commands are empty).
+struct CampaignStreamSpec {
+  std::string name;
+  std::vector<dev::Command> commands;
+  std::string script;  ///< DSL source; used when `commands` is empty
+};
+
+struct CampaignSpec {
+  core::Variant variant = core::Variant::Modified;
+  /// Seeds both the backend RNG and the interleaving scheduler; a campaign
+  /// is a pure function of (spec, seed).
+  unsigned seed = 42;
+  bool halt_on_alert = false;  ///< default: check everything, block, continue
+  std::vector<CampaignStreamSpec> streams;
+};
+
+/// One alert of the interleaved run, mapped back to its originating stream.
+struct CampaignAlert {
+  std::size_t stream = 0;         ///< index into CampaignSpec::streams
+  std::size_t command_index = 0;  ///< index into that stream's commands
+  core::Alert alert;
+  /// True when the stream's solo replay did not raise this rule at this
+  /// command index: the alert exists only because of the other streams.
+  bool cross_stream = false;
+};
+
+struct CampaignReport {
+  std::vector<CampaignAlert> alerts;
+  std::size_t commands_checked = 0;
+  /// The executed interleaving: (stream index, command index) in dispatch
+  /// order. Replayable from the spec seed alone.
+  std::vector<std::pair<std::size_t, std::size_t>> schedule;
+
+  [[nodiscard]] std::size_t cross_stream_alerts() const;
+};
+
+/// Shared-lab campaign execution (see the block comment above).
+class Fleet {
+ public:
+  /// Runs the seeded interleaving on one shared testbed lab, then classifies
+  /// every alert against per-stream solo baselines.
+  [[nodiscard]] static CampaignReport run_campaign(const CampaignSpec& spec);
+};
+
+/// Parses the rabit_lint --fleet campaign format:
+///   { "seed": 7, "variant": "modified", "halt_on_alert": false,
+///     "streams": [ { "name": "a",
+///                    "commands": [ {"device": "...", "action": "...",
+///                                   "args": {...}} ] },
+///                  { "name": "b", "script": "<DSL source>" } ] }
+/// Throws std::runtime_error naming the offending field on malformed input.
+[[nodiscard]] CampaignSpec load_campaign(const json::Value& doc);
+
 /// Runs stream specs to completion over a fixed-size worker pool. run() is
 /// synchronous; the runner holds no state between calls.
 class FleetRunner {

@@ -93,6 +93,35 @@ TEST(AbstractValue, RangeCollapsesToConst) {
   EXPECT_DOUBLE_EQ(point.constant.as_double(), 2.0);
 }
 
+TEST(AbstractValue, DivisionByZeroBearingIntervalsIsTop) {
+  AbstractValue two = AbstractValue::make_const(json::Value(2.0));
+  // Exact zero, zero-straddling interval, and zero-boundary interval all
+  // refuse to guess.
+  EXPECT_TRUE(analysis::abstract_binary("/", two, AbstractValue::make_const(json::Value(0.0)))
+                  .is_top());
+  EXPECT_TRUE(analysis::abstract_binary("/", two, AbstractValue::make_range(-1.0, 1.0)).is_top());
+  EXPECT_TRUE(analysis::abstract_binary("/", two, AbstractValue::make_range(0.0, 3.0)).is_top());
+  // A divisor interval that excludes zero divides cleanly.
+  AbstractValue safe = analysis::abstract_binary("/", AbstractValue::make_range(2.0, 4.0),
+                                                 AbstractValue::make_range(1.0, 2.0));
+  double lo = 0.0, hi = 0.0;
+  ASSERT_TRUE(safe.numeric_bounds(lo, hi));
+  EXPECT_DOUBLE_EQ(lo, 1.0);
+  EXPECT_DOUBLE_EQ(hi, 4.0);
+}
+
+TEST(AbstractValue, TopVersusPointComparisonsStayTop) {
+  AbstractValue unknown = AbstractValue::top();
+  AbstractValue point = AbstractValue::make_const(json::Value(2.0));
+  for (const char* op : {"<", "<=", ">", ">=", "==", "!="}) {
+    EXPECT_TRUE(analysis::abstract_binary(op, unknown, point).is_top()) << op;
+    EXPECT_TRUE(analysis::abstract_binary(op, point, unknown).is_top()) << op;
+  }
+  // Arithmetic with Top is equally undecided.
+  EXPECT_TRUE(analysis::abstract_binary("+", unknown, point).is_top());
+  EXPECT_TRUE(analysis::abstract_binary("*", point, unknown).is_top());
+}
+
 // --- clean scripts ------------------------------------------------------------
 
 TEST(Analyzer, TestbedWorkflowIsClean) {
@@ -260,6 +289,29 @@ TEST(Analyzer, UnboundedLoopHitsBudgetNote) {
   AnalysisReport report = analysis::analyze_script(testbed_config(), source);
   EXPECT_TRUE(report.truncated);
   EXPECT_NE(find_rule(report, "A8"), nullptr);
+}
+
+TEST(Analyzer, TightLoopBudgetWidensAndMarksTruncated) {
+  // The loop is bounded (20 iterations) but exceeds a deliberately tiny
+  // unroll budget: the analyzer must widen — note A8, set `truncated` — and
+  // still terminate, rather than either spinning or silently dropping the
+  // tail of the loop.
+  const char* source =
+      "let i = 0\n"
+      "while (i < 20) {\n"
+      "    hotplate.set_temperature(celsius=40)\n"
+      "    i = i + 1\n"
+      "}\n";
+  analysis::AnalyzeOptions options;
+  options.loop_unroll_budget = 4;
+  AnalysisReport tight = analysis::analyze_script(testbed_config(), source, options);
+  EXPECT_TRUE(tight.truncated);
+  EXPECT_NE(find_rule(tight, "A8"), nullptr);
+
+  // The default budget unrolls the same loop fully: no truncation.
+  AnalysisReport full = analysis::analyze_script(testbed_config(), source);
+  EXPECT_FALSE(full.truncated);
+  EXPECT_EQ(find_rule(full, "A8"), nullptr);
 }
 
 TEST(Analyzer, UserFunctionsAreInlined) {
@@ -451,6 +503,55 @@ TEST(ConfigLint, NonPositiveThresholdIsCFG8) {
   }
   AnalysisReport report = analysis::lint_config(config);
   ASSERT_NE(find_rule(report, "CFG8"), nullptr);
+}
+
+TEST(ConfigLint, UndeclaredArmOverlapIsCFG9) {
+  // The testbed arms' reach spheres overlap; with time multiplexing switched
+  // off and no soft wall, nothing in the config manages the shared region.
+  core::EngineConfig config = testbed_config();
+  config.time_multiplex = false;
+  AnalysisReport report = analysis::lint_config(config);
+  const analysis::Diagnostic* d = find_rule(report, "CFG9");
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->severity, Severity::Warning);
+
+  // Time multiplexing is a declared management policy: no CFG9 (this is why
+  // the canonical testbed config stays clean).
+  config.time_multiplex = true;
+  EXPECT_EQ(find_rule(analysis::lint_config(config), "CFG9"), nullptr);
+
+  // So is a soft wall keeping one arm out of the entire shared region.
+  core::EngineConfig walled = testbed_config();
+  walled.time_multiplex = false;
+  walled.soft_walls.push_back(core::SoftWallSpec{
+      "viperx", geom::Aabb(geom::Vec3(-10, -10, -10), geom::Vec3(10, 10, 10))});
+  EXPECT_EQ(find_rule(analysis::lint_config(walled), "CFG9"), nullptr);
+}
+
+TEST(ConfigLint, CapacityBelowSummedDosingThresholdsIsCFG10) {
+  core::EngineConfig config = testbed_config();
+  // Two devices with mass-dosing thresholds of 6 mg each: any single command
+  // passes rule 11, but the 10 mg vials cannot hold the 12 mg sum.
+  core::DeviceMeta second_doser;
+  second_doser.id = "dosing_device_2";
+  second_doser.category = dev::DeviceCategory::DosingSystem;
+  second_doser.thresholds.push_back({"run_action", "quantity", 6.0});
+  config.devices.push_back(second_doser);
+  for (core::DeviceMeta& d : config.devices) {
+    if (d.id == "dosing_device") d.thresholds.push_back({"run_action", "quantity", 6.0});
+  }
+  AnalysisReport report = analysis::lint_config(config);
+  const analysis::Diagnostic* d = find_rule(report, "CFG10");
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->severity, Severity::Warning);
+
+  // A single dosing device never triggers it: one device's threshold against
+  // one capacity is rule 11's own job.
+  core::EngineConfig single = testbed_config();
+  for (core::DeviceMeta& d : single.devices) {
+    if (d.id == "dosing_device") d.thresholds.push_back({"run_action", "quantity", 60.0});
+  }
+  EXPECT_EQ(find_rule(analysis::lint_config(single), "CFG10"), nullptr);
 }
 
 // --- report plumbing ----------------------------------------------------------

@@ -1,0 +1,157 @@
+// Differential soundness sweep for the whole-campaign interference analyzer:
+// seeded multi-stream campaigns run for real on one shared lab
+// (fleet::Fleet::run_campaign), and every *cross-stream* runtime precondition
+// alert — one the same stream does not raise solo — must be covered by a
+// static I1..I6 diagnostic whose subjects name the alerting device. The
+// static report may over-approximate (warn about races a particular
+// interleaving dodges) but must never miss the regime the runtime proved.
+//
+// A failing seed replays in one line:
+//   campaign_for(<seed>)  +  fleet::Fleet::run_campaign / analyze_campaign
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <random>
+#include <vector>
+
+#include "analysis/interference.hpp"
+#include "bugs/bugs.hpp"
+#include "fleet/fleet.hpp"
+#include "script/workflows.hpp"
+#include "sim/deck.hpp"
+
+using namespace rabit;
+
+namespace {
+
+constexpr unsigned kSeedBase = 31000;
+constexpr unsigned kSeedCount = 120;  // >= 100 campaigns, per the acceptance bar
+
+core::EngineConfig testbed_config() {
+  sim::LabBackend backend(sim::testbed_profile());
+  sim::build_hein_testbed_deck(backend);
+  return core::config_from_backend(backend, core::Variant::Modified);
+}
+
+const std::vector<dev::Command>& base_workflow() {
+  static const std::vector<dev::Command> base = [] {
+    sim::LabBackend staging(sim::testbed_profile());
+    sim::build_hein_testbed_deck(staging);
+    return script::record_workflow(staging, script::testbed_workflow_source());
+  }();
+  return base;
+}
+
+/// Same stacking idiom as differential_test.cpp: 1-3 seeded random mutations
+/// on the recorded Fig. 5 workflow.
+std::vector<dev::Command> mutated_stream(const std::vector<dev::Command>& base,
+                                         unsigned seed) {
+  std::mt19937 rng(seed);
+  std::vector<dev::Command> commands = base;
+  int mutations = 1 + static_cast<int>(seed % 3);
+  for (int i = 0; i < mutations; ++i) {
+    commands = bugs::random_mutation(commands, rng).commands;
+  }
+  return commands;
+}
+
+/// The campaign for one sweep seed: two or three mutated copies of the
+/// workflow racing on the shared testbed.
+fleet::CampaignSpec campaign_for(unsigned seed) {
+  fleet::CampaignSpec spec;
+  spec.variant = core::Variant::Modified;
+  spec.seed = seed;
+  std::size_t n_streams = 2 + seed % 2;
+  for (std::size_t s = 0; s < n_streams; ++s) {
+    fleet::CampaignStreamSpec stream;
+    stream.name = "s" + std::to_string(s);
+    stream.commands = mutated_stream(base_workflow(), seed * 13 + static_cast<unsigned>(s) * 7);
+    spec.streams.push_back(std::move(stream));
+  }
+  return spec;
+}
+
+bool covered_by(const analysis::AnalysisReport& report, const std::string& device) {
+  for (const analysis::Diagnostic& d : report.diagnostics) {
+    if (d.rule.empty() || d.rule[0] != 'I') continue;
+    for (const std::string& s : d.subjects) {
+      if (s == device) return true;
+    }
+  }
+  return false;
+}
+
+struct Miss {
+  unsigned seed;
+  std::size_t stream;
+  std::size_t command_index;
+  std::string rule;
+  std::string device;
+};
+
+}  // namespace
+
+TEST(InterferenceDifferential, EveryCrossStreamAlertHasAStaticCover) {
+  core::EngineConfig config = testbed_config();
+  std::vector<Miss> misses;
+  std::size_t cross_stream_alerts = 0;
+  std::size_t campaigns_with_interference = 0;
+
+  for (unsigned i = 0; i < kSeedCount; ++i) {
+    unsigned seed = kSeedBase + i;
+    fleet::CampaignSpec spec = campaign_for(seed);
+    fleet::CampaignReport runtime = fleet::Fleet::run_campaign(spec);
+
+    std::vector<analysis::CampaignStream> streams;
+    streams.reserve(spec.streams.size());
+    for (const fleet::CampaignStreamSpec& s : spec.streams) {
+      streams.push_back({s.name, s.commands});
+    }
+    analysis::AnalysisReport report = analysis::analyze_campaign(config, streams);
+
+    bool any_cross = false;
+    for (const fleet::CampaignAlert& a : runtime.alerts) {
+      if (!a.cross_stream) continue;
+      if (a.alert.kind != core::AlertKind::InvalidCommand) continue;
+      any_cross = true;
+      ++cross_stream_alerts;
+      if (!covered_by(report, a.alert.command.device)) {
+        misses.push_back(Miss{seed, a.stream, a.command_index, a.alert.rule,
+                              a.alert.command.device});
+      }
+    }
+    if (any_cross) ++campaigns_with_interference;
+  }
+
+  for (const Miss& m : misses) {
+    std::printf(
+        "UNCOVERED: seed %u stream %zu cmd %zu rule %s device '%s' — replay with "
+        "fleet::Fleet::run_campaign(campaign_for(%u)) vs analyze_campaign\n",
+        m.seed, m.stream, m.command_index, m.rule.c_str(), m.device.c_str(), m.seed);
+  }
+  EXPECT_TRUE(misses.empty()) << misses.size() << " cross-stream runtime alerts had no "
+                              << "covering I-diagnostic (seeds listed above)";
+
+  // Non-vacuity: racing mutated copies of the same workflow on one lab must
+  // actually interfere, or this sweep proves nothing.
+  EXPECT_GT(cross_stream_alerts, 10u);
+  EXPECT_GT(campaigns_with_interference, 5u);
+  std::printf("interference sweep: %u campaigns, %zu with cross-stream alerts, "
+              "%zu cross-stream alerts total, %zu uncovered\n",
+              kSeedCount, campaigns_with_interference, cross_stream_alerts, misses.size());
+}
+
+TEST(InterferenceDifferential, SingleStreamCatalogueVerdictsUnchanged) {
+  // The campaign machinery must not disturb the paper's single-stream
+  // headline: the 16-bug catalogue still detects 8/12/13 across variants.
+  const core::Variant variants[] = {core::Variant::Initial, core::Variant::Modified,
+                                    core::Variant::ModifiedWithSim};
+  const std::size_t expected[] = {8, 12, 13};
+  for (std::size_t v = 0; v < 3; ++v) {
+    std::size_t detected = 0;
+    for (const bugs::BugSpec& bug : bugs::bug_catalogue()) {
+      if (bugs::evaluate_bug(bug, variants[v]).detected) ++detected;
+    }
+    EXPECT_EQ(detected, expected[v]) << "variant " << core::to_string(variants[v]);
+  }
+}

@@ -3,8 +3,10 @@
 // Runs before anything executes: parses each script, abstractly interprets it
 // against the rulebase on the configured symbolic lab state, and reports
 // every rule a statically-resolvable command would violate, with script line
-// numbers and rule ids. With no scripts, lints just the configuration. The
-// recommended pre-flight ladder is
+// numbers and rule ids. With no scripts, lints just the configuration. With
+// --fleet, additionally runs the whole-campaign interference analyzer
+// (diagnostics I1..I6) over the campaign's streams. The recommended
+// pre-flight ladder is
 //
 //   rabit_lint script.lab        (static, instant)
 //   rabit_validate config.json   (schema + cross-consistency)
@@ -15,12 +17,18 @@
 //                            built-in testbed config, as emitted by
 //                            `rabit_validate --template`)
 //     --config-only          lint only the configuration and exit
+//     --fleet <campaign.json> summarize every stream of the campaign and run
+//                            the pairwise interference checks (I1..I6)
 //     --demo-bugs            run the §IV bug-catalogue command streams
 //                            through the analyzer and print what it flags
+//     --strict               a budget-truncated (possibly incomplete) report
+//                            also fails the run, not just error findings
+//     --max-diagnostics <n>  cap the per-report diagnostic count (default 200)
 //     --json                 machine-readable diagnostic output
 //     --help                 this text
 //
-// Exit status: 0 clean (warnings allowed), 1 error-level findings, 2 usage.
+// Exit status: 0 clean (warnings allowed), 1 error-level findings (or a
+// truncated report under --strict), 2 usage.
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -29,8 +37,10 @@
 #include <vector>
 
 #include "analysis/analysis.hpp"
+#include "analysis/interference.hpp"
 #include "bugs/bugs.hpp"
 #include "core/config.hpp"
+#include "fleet/fleet.hpp"
 #include "sim/deck.hpp"
 
 using namespace rabit;
@@ -40,11 +50,14 @@ namespace {
 void print_usage(std::FILE* out, const char* argv0) {
   std::fprintf(out,
                "usage: %s [options] [script.lab ...]\n"
-               "  --config <file.json>  lint against this configuration\n"
-               "  --config-only         lint only the configuration and exit\n"
-               "  --demo-bugs           analyze the built-in bug-catalogue streams\n"
-               "  --json                machine-readable output\n"
-               "  --help                this text\n",
+               "  --config <file.json>   lint against this configuration\n"
+               "  --config-only          lint only the configuration and exit\n"
+               "  --fleet <campaign.json> interference-check a fleet campaign\n"
+               "  --demo-bugs            analyze the built-in bug-catalogue streams\n"
+               "  --strict               truncated reports also fail the run\n"
+               "  --max-diagnostics <n>  cap the per-report diagnostic count\n"
+               "  --json                 machine-readable output\n"
+               "  --help                 this text\n",
                argv0);
 }
 
@@ -65,36 +78,91 @@ void print_report(const std::string& subject, const analysis::AnalysisReport& re
     return;
   }
   if (report.diagnostics.empty()) {
-    std::printf("%s: clean\n", subject.c_str());
+    if (report.truncated) {
+      std::printf("%s: no findings, but the report is TRUNCATED by the analysis budget "
+                  "(possibly incomplete)\n",
+                  subject.c_str());
+    } else {
+      std::printf("%s: clean\n", subject.c_str());
+    }
     return;
   }
   std::printf("%s:\n", subject.c_str());
   for (const analysis::Diagnostic& d : report.diagnostics) {
     std::printf("  %s\n", d.format().c_str());
   }
-  if (report.truncated) std::printf("  (report truncated by analysis budget)\n");
+  if (report.truncated) {
+    std::printf("  (report TRUNCATED by the analysis budget — findings may be missing)\n");
+  }
 }
 
-int demo_bugs(const core::EngineConfig& config, bool as_json) {
+int demo_bugs(const core::EngineConfig& config, const analysis::AnalyzeOptions& options,
+              bool as_json) {
   sim::LabBackend backend(sim::testbed_profile());
   sim::build_hein_testbed_deck(backend);
   for (const bugs::BugSpec& bug : bugs::bug_catalogue()) {
     sim::LabBackend staging(sim::testbed_profile());
     sim::build_hein_testbed_deck(staging);
     std::vector<dev::Command> stream = bug.build(staging);
-    analysis::AnalysisReport report = analysis::analyze_stream(config, stream);
+    analysis::AnalysisReport report = analysis::analyze_stream(config, stream, options);
     print_report(bug.id + " — " + bug.name, report, as_json);
   }
   return 0;
+}
+
+/// --fleet mode: phase-1 summaries for every campaign stream (script streams
+/// go through the full abstract interpreter, command streams through the
+/// degenerate one), then the phase-2 interference checks. Prints each
+/// stream's own single-stream report followed by the campaign report.
+bool lint_fleet(const core::EngineConfig& config, const std::string& path,
+                const analysis::AnalyzeOptions& options, bool as_json, bool strict) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "error: cannot open '%s'\n", path.c_str());
+    std::exit(2);
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  fleet::CampaignSpec campaign;
+  try {
+    campaign = fleet::load_campaign(json::parse(buffer.str()));
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: cannot load campaign '%s': %s\n", path.c_str(), e.what());
+    std::exit(2);
+  }
+
+  bool failed = false;
+  std::vector<analysis::StreamSummary> summaries;
+  summaries.reserve(campaign.streams.size());
+  for (const fleet::CampaignStreamSpec& stream : campaign.streams) {
+    analysis::AnalysisReport per_stream;
+    if (!stream.commands.empty() || stream.script.empty()) {
+      summaries.push_back(analysis::summarize_stream(config, stream.name, stream.commands,
+                                                     options, &per_stream));
+    } else {
+      summaries.push_back(
+          analysis::summarize_script(config, stream.name, stream.script, options, &per_stream));
+    }
+    failed |= per_stream.has_errors() || (strict && per_stream.truncated);
+    print_report(path + " · stream '" + stream.name + "'", per_stream, as_json);
+  }
+  analysis::AnalysisReport interference =
+      analysis::check_interference(config, summaries, options);
+  failed |= interference.has_errors() || (strict && interference.truncated);
+  print_report(path + " · campaign interference", interference, as_json);
+  return failed;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string config_path;
+  std::string fleet_path;
   bool as_json = false;
   bool config_only = false;
   bool run_demo_bugs = false;
+  bool strict = false;
+  analysis::AnalyzeOptions options;
   std::vector<std::string> scripts;
 
   for (int i = 1; i < argc; ++i) {
@@ -109,6 +177,24 @@ int main(int argc, char** argv) {
       config_only = true;
     } else if (arg == "--demo-bugs") {
       run_demo_bugs = true;
+    } else if (arg == "--strict") {
+      strict = true;
+    } else if (arg == "--max-diagnostics") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "error: --max-diagnostics needs a number argument\n");
+        return 2;
+      }
+      options.max_diagnostics = std::atoi(argv[++i]);
+      if (options.max_diagnostics < 0) {
+        std::fprintf(stderr, "error: --max-diagnostics must be >= 0\n");
+        return 2;
+      }
+    } else if (arg == "--fleet") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "error: --fleet needs a campaign file argument\n");
+        return 2;
+      }
+      fleet_path = argv[++i];
     } else if (arg == "--config") {
       if (i + 1 >= argc) {
         std::fprintf(stderr, "error: --config needs a file argument\n");
@@ -123,7 +209,7 @@ int main(int argc, char** argv) {
       scripts.push_back(arg);
     }
   }
-  if (scripts.empty() && !config_only && !run_demo_bugs) {
+  if (scripts.empty() && !config_only && !run_demo_bugs && fleet_path.empty()) {
     print_usage(stderr, argv[0]);
     return 2;
   }
@@ -148,21 +234,25 @@ int main(int argc, char** argv) {
     }
   }
 
-  bool any_errors = false;
+  bool failed = false;
 
   // The configuration lint always runs: a script verdict against an
   // inconsistent config is meaningless.
   analysis::AnalysisReport config_report = analysis::lint_config(config);
-  any_errors |= config_report.has_errors();
+  failed |= config_report.has_errors() || (strict && config_report.truncated);
   if (config_only || !config_report.diagnostics.empty()) {
     print_report(config_path.empty() ? "<builtin testbed config>" : config_path,
                  config_report, as_json);
   }
-  if (config_only) return any_errors ? 1 : 0;
+  if (config_only) return failed ? 1 : 0;
 
   if (run_demo_bugs) {
-    demo_bugs(config, as_json);
-    return any_errors ? 1 : 0;
+    demo_bugs(config, options, as_json);
+    return failed ? 1 : 0;
+  }
+
+  if (!fleet_path.empty()) {
+    failed |= lint_fleet(config, fleet_path, options, as_json, strict);
   }
 
   for (const std::string& path : scripts) {
@@ -173,9 +263,9 @@ int main(int argc, char** argv) {
     }
     std::ostringstream buffer;
     buffer << in.rdbuf();
-    analysis::AnalysisReport report = analysis::analyze_script(config, buffer.str());
-    any_errors |= report.has_errors();
+    analysis::AnalysisReport report = analysis::analyze_script(config, buffer.str(), options);
+    failed |= report.has_errors() || (strict && report.truncated);
     print_report(path, report, as_json);
   }
-  return any_errors ? 1 : 0;
+  return failed ? 1 : 0;
 }
