@@ -14,6 +14,12 @@
 //                        writes BENCH_throughput.json
 //   --smoke              quick 16-stream run (for the TSan CI job), still
 //                        writes BENCH_throughput.json
+//   --shard-smoke        plan-driven sharded campaign at 16 streams across 4
+//                        station groups: builds the static shard plan,
+//                        verifies it, runs it across a worker pool with the
+//                        validation oracle on, and exits 1 unless the plan
+//                        splits into 4 shards and the oracle stays silent
+//                        (the TSan CI job's lock-free-sharding exercise)
 //   --verify-catalogue   runs all 16 catalogue bugs x 3 variants with the
 //                        hot path on and off; exits 1 on any verdict
 //                        divergence (the optimizations must not change a
@@ -30,10 +36,12 @@
 #include <thread>
 #include <vector>
 
+#include "analysis/shard_plan.hpp"
 #include "bench_common.hpp"
 #include "fleet/fleet.hpp"
 #include "json/json.hpp"
 #include "obs/obs.hpp"
+#include "sim/deck.hpp"
 
 namespace {
 
@@ -120,10 +128,118 @@ void print_fleet_table(const std::vector<FleetRow>& rows) {
   print_rule();
 }
 
+// --- plan-driven sharded campaign smoke --------------------------------------
+
+struct ShardSmoke {
+  std::size_t streams = 0;
+  std::size_t shards = 0;
+  std::size_t certificates = 0;
+  std::size_t commands_checked = 0;
+  std::size_t oracle_violations = 0;
+  std::size_t static_violations = 0;
+  double wall_s = 0.0;
+  double commands_per_s = 0.0;
+  bool ok = false;
+};
+
+/// 16 streams across the 4 testbed station groups: within-group streams
+/// contend on one device (4 conflict cliques), across groups nothing is
+/// shared, so the planner must certify exactly 4 independent shards.
+ShardSmoke run_shard_smoke() {
+  constexpr std::size_t kStreams = 16;
+  fleet::CampaignSpec spec;
+  spec.variant = core::Variant::Modified;
+  spec.seed = 77;
+  spec.halt_on_alert = false;
+
+  for (std::size_t i = 0; i < kStreams; ++i) {
+    fleet::CampaignStreamSpec stream;
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "stream-%02zu", i);
+    stream.name = buf;
+    auto push = [&stream](const char* device, const char* action, json::Object args) {
+      dev::Command command;
+      command.device = device;
+      command.action = action;
+      command.args = std::move(args);
+      stream.commands.push_back(std::move(command));
+    };
+    json::Object args;
+    switch (i % 4) {
+      case 0:
+        args["celsius"] = 40.0 + static_cast<double>(i);
+        push("hotplate", "set_temperature", std::move(args));
+        push("hotplate", "stop", {});
+        break;
+      case 1:
+        args["celsius"] = 30.0 + static_cast<double>(i);
+        push("thermoshaker", "set_temperature", std::move(args));
+        push("thermoshaker", "stop", {});
+        break;
+      case 2:
+        args["state"] = std::string(i % 8 == 2 ? "open" : "closed");
+        push("centrifuge", "set_door", std::move(args));
+        break;
+      default:
+        args["volume"] = 1.0 + 0.25 * static_cast<double>(i);
+        push("syringe_pump", "draw_solvent", std::move(args));
+        break;
+    }
+    spec.streams.push_back(std::move(stream));
+  }
+
+  sim::LabBackend backend(sim::testbed_profile());
+  sim::build_hein_testbed_deck(backend);
+  core::EngineConfig config = core::config_from_backend(backend, spec.variant);
+
+  std::vector<analysis::StreamSummary> summaries;
+  summaries.reserve(spec.streams.size());
+  for (const fleet::CampaignStreamSpec& s : spec.streams) {
+    summaries.push_back(analysis::summarize_stream(config, s.name, s.commands, {}, nullptr));
+  }
+  analysis::ShardPlan plan = analysis::plan_shards(config, summaries);
+
+  ShardSmoke result;
+  result.streams = kStreams;
+  result.shards = plan.shards.size();
+  result.certificates = plan.certificates.size();
+  result.static_violations = analysis::verify_plan(config, summaries, plan).size();
+
+  fleet::ShardedCampaignOptions options;
+  options.workers = 4;
+  options.validate_certificates = true;
+  auto t0 = std::chrono::steady_clock::now();
+  fleet::CampaignReport report = fleet::Fleet::run_campaign(spec, plan, options);
+  result.wall_s = std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  result.commands_checked = report.commands_checked;
+  result.oracle_violations = report.oracle_violations.size();
+  if (result.wall_s > 0.0) {
+    result.commands_per_s = static_cast<double>(report.commands_checked) / result.wall_s;
+  }
+  for (const std::string& v : report.oracle_violations) {
+    std::printf("ORACLE VIOLATION: %s\n", v.c_str());
+  }
+  result.ok = result.shards == 4 && result.oracle_violations == 0 &&
+              result.static_violations == 0 && report.shards == plan.shards.size();
+  return result;
+}
+
+void print_shard_smoke(const ShardSmoke& smoke) {
+  std::printf("plan-driven sharded campaign (16 streams, 4 station groups):\n");
+  std::printf("  %-24s %zu\n", "shards", smoke.shards);
+  std::printf("  %-24s %zu\n", "certificates", smoke.certificates);
+  std::printf("  %-24s %zu\n", "commands checked", smoke.commands_checked);
+  std::printf("  %-24s %.0f\n", "commands/s", smoke.commands_per_s);
+  std::printf("  %-24s %zu\n", "static violations", smoke.static_violations);
+  std::printf("  %-24s %zu\n", "oracle violations", smoke.oracle_violations);
+  std::printf("  %-24s %s\n\n", "verdict", smoke.ok ? "PASS" : "FAIL");
+}
+
 // --- BENCH_throughput.json --------------------------------------------------
 
 void write_json(const char* path, bool smoke, const CheckCost& baseline,
-                const CheckCost& optimized, const std::vector<FleetRow>& rows) {
+                const CheckCost& optimized, const std::vector<FleetRow>& rows,
+                const ShardSmoke& shard_smoke) {
   json::Object root;
   root["bench"] = "throughput";
   root["mode"] = smoke ? "smoke" : "full";
@@ -152,6 +268,18 @@ void write_json(const char* path, bool smoke, const CheckCost& baseline,
     fleet_rows.emplace_back(std::move(o));
   }
   root["fleet"] = std::move(fleet_rows);
+
+  json::Object sharded;
+  sharded["streams"] = shard_smoke.streams;
+  sharded["shards"] = shard_smoke.shards;
+  sharded["certificates"] = shard_smoke.certificates;
+  sharded["commands_checked"] = shard_smoke.commands_checked;
+  sharded["commands_per_s"] = shard_smoke.commands_per_s;
+  sharded["wall_s"] = shard_smoke.wall_s;
+  sharded["static_violations"] = shard_smoke.static_violations;
+  sharded["oracle_violations"] = shard_smoke.oracle_violations;
+  sharded["ok"] = shard_smoke.ok;
+  root["sharded_campaign"] = std::move(sharded);
 
   std::ofstream out(path);
   out << json::serialize_pretty(json::Value(std::move(root))) << "\n";
@@ -233,6 +361,7 @@ BENCHMARK(BM_SingleStream_Baseline)->Unit(benchmark::kMillisecond);
 
 int main(int argc, char** argv) {
   bool smoke = false;
+  bool shard_only = false;
   bool verify = false;
   std::string obs_dir;
   std::vector<char*> passthrough;
@@ -240,6 +369,8 @@ int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) {
       smoke = true;
+    } else if (std::strcmp(argv[i], "--shard-smoke") == 0) {
+      shard_only = true;
     } else if (std::strcmp(argv[i], "--verify-catalogue") == 0) {
       verify = true;
     } else if (std::strcmp(argv[i], "--obs-out") == 0 && i + 1 < argc) {
@@ -249,6 +380,13 @@ int main(int argc, char** argv) {
     }
   }
   if (verify) return verify_catalogue();
+  if (shard_only) {
+    print_header("Plan-driven sharded campaign smoke",
+                 "static shard planner certificates vs the runtime oracle, 16 streams");
+    ShardSmoke shard_smoke = run_shard_smoke();
+    print_shard_smoke(shard_smoke);
+    return shard_smoke.ok ? 0 : 1;
+  }
 
   print_header("Fleet-scale checking throughput",
                "RABIT (DSN'24), Section II-C latency; ROADMAP multi-stream north-star");
@@ -293,6 +431,10 @@ int main(int argc, char** argv) {
   }
   std::printf("fleet throughput (dense lab world, hot path on):\n");
   print_fleet_table(rows);
+  std::printf("\n");
+
+  ShardSmoke shard_smoke = run_shard_smoke();
+  print_shard_smoke(shard_smoke);
 
   if (!obs_dir.empty() && rows.back().report.obs_events != nullptr) {
     std::string error;
@@ -305,7 +447,7 @@ int main(int argc, char** argv) {
                 obs_dir.c_str());
   }
 
-  write_json("BENCH_throughput.json", smoke, baseline, optimized, rows);
+  write_json("BENCH_throughput.json", smoke, baseline, optimized, rows, shard_smoke);
 
   if (smoke) return 0;  // the TSan job wants the fleet exercised, not microbenches
   int pass_argc = static_cast<int>(passthrough.size());

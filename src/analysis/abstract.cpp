@@ -35,21 +35,29 @@ std::size_t AnalysisReport::count(Severity s) const {
   return n;
 }
 
+json::Value diagnostic_to_json(const Diagnostic& d) {
+  json::Object o;
+  o["id"] = d.rule;
+  o["rule"] = d.rule;  // legacy alias of "id"
+  o["severity"] = std::string(to_string(d.severity));
+  o["line"] = d.line;
+  o["message"] = d.message;
+  if (!d.subjects.empty()) {
+    json::Array subjects;
+    for (const std::string& s : d.subjects) subjects.emplace_back(s);
+    o["subjects"] = std::move(subjects);
+  }
+  if (!d.streams.empty()) {
+    json::Array streams;
+    for (const std::string& s : d.streams) streams.emplace_back(s);
+    o["streams"] = std::move(streams);
+  }
+  return json::Value(std::move(o));
+}
+
 json::Value report_to_json(const AnalysisReport& report) {
   json::Array items;
-  for (const Diagnostic& d : report.diagnostics) {
-    json::Object o;
-    o["severity"] = std::string(to_string(d.severity));
-    o["rule"] = d.rule;
-    o["line"] = d.line;
-    o["message"] = d.message;
-    if (!d.subjects.empty()) {
-      json::Array subjects;
-      for (const std::string& s : d.subjects) subjects.emplace_back(s);
-      o["subjects"] = std::move(subjects);
-    }
-    items.emplace_back(std::move(o));
-  }
+  for (const Diagnostic& d : report.diagnostics) items.emplace_back(diagnostic_to_json(d));
   json::Object root;
   root["diagnostics"] = std::move(items);
   root["errors"] = report.count(Severity::Error);

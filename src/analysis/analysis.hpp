@@ -47,8 +47,10 @@ enum class Severity { Info, Warning, Error };
 struct Diagnostic {
   Severity severity = Severity::Warning;
   /// Rulebase id ("G1".."G11", "C1".."C4", "M1", "M2", "S1"), analyzer rule
-  /// ("A1".."A8"), config lint rule ("CFG1"..), or interference rule
-  /// ("I1".."I6").
+  /// ("A1".."A8"), config lint rule ("CFG1"..), interference rule
+  /// ("I1".."I6"), or shard-plan rule ("S1".."S3" — those appear only inside
+  /// ShardPlan::diagnostics, never in a stream report, so they cannot be
+  /// confused with the runtime sensor rule S1).
   std::string rule;
   std::string message;
   /// 1-based script line; for command streams the command's source_line when
@@ -59,6 +61,11 @@ struct Diagnostic {
   /// Populated by the interference family (I1..I6), where the differential
   /// sweep matches runtime alert devices against it; empty elsewhere.
   std::vector<std::string> subjects;
+  /// Names of the campaign streams this diagnostic involves. Populated by
+  /// the campaign-level families (I1..I6, S1..S3) so machine consumers can
+  /// attribute a finding without parsing the message; empty for
+  /// single-stream and config diagnostics.
+  std::vector<std::string> streams;
 
   [[nodiscard]] std::string format() const;  ///< "line 14: error G7 — ..."
 };
@@ -73,7 +80,15 @@ struct AnalysisReport {
   [[nodiscard]] bool has_errors() const { return count(Severity::Error) > 0; }
 };
 
-/// Serializes a report as a JSON object (the rabit_lint --json format).
+/// Serializes one diagnostic as a JSON object — the shared machine-readable
+/// schema: {"id", "rule", "severity", "line", "message", "subjects"?,
+/// "streams"?}. ("id" and "rule" carry the same value; "id" is the stable
+/// name CI consumers key on.) rabit_lint --json and the shard planner's
+/// evidence both emit exactly this shape.
+[[nodiscard]] json::Value diagnostic_to_json(const Diagnostic& diagnostic);
+
+/// Serializes a report as a JSON object (the rabit_lint --json format): a
+/// "diagnostics" array of diagnostic_to_json objects plus summary counts.
 [[nodiscard]] json::Value report_to_json(const AnalysisReport& report);
 
 // ---------------------------------------------------------------------------

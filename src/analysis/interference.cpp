@@ -318,7 +318,8 @@ class InterferenceChecker {
 
  private:
   void emit(Severity severity, const std::string& rule, std::string message,
-            std::vector<std::string> subjects, bool speculative = false) {
+            std::vector<std::string> subjects, bool speculative = false,
+            std::vector<std::string> stream_names = {}) {
     std::sort(subjects.begin(), subjects.end());
     subjects.erase(std::unique(subjects.begin(), subjects.end()), subjects.end());
     if (speculative && severity == Severity::Error) {
@@ -334,6 +335,7 @@ class InterferenceChecker {
     }
     Diagnostic d{severity, rule, std::move(message), 0};
     d.subjects = std::move(subjects);
+    d.streams = std::move(stream_names);
     report_.diagnostics.push_back(std::move(d));
   }
 
@@ -357,7 +359,7 @@ class InterferenceChecker {
       emit(Severity::Error, "I1",
            "streams '" + a.name + "' and '" + b.name + "' both command device '" + device +
                "' (" + join(actions) + "): the interleaving of their commands is unordered",
-           {device}, fa.speculative || fb.speculative);
+           {device}, fa.speculative || fb.speculative, {a.name, b.name});
     }
     if (config_.time_multiplex) {
       for (const auto& [arm_a, env_a] : a.arm_envelopes) {
@@ -368,7 +370,7 @@ class InterferenceChecker {
                    "token: '" + arm_a + "' and '" + arm_b +
                    "' cannot both hold it, so one stream's motion is rejected (M1) under " +
                    "any interleaving where both arms are awake",
-               {arm_a, arm_b});
+               {arm_a, arm_b}, false, {a.name, b.name});
         }
       }
     }
@@ -382,7 +384,7 @@ class InterferenceChecker {
            "streams '" + a.name + "' and '" + b.name + "' both act on '" + entity +
                "' (via " + join(ta.via) + " / " + join(it->second.via) +
                "): its occupancy and contents depend on the interleaving",
-           std::move(subjects));
+           std::move(subjects), false, {a.name, b.name});
     }
   }
 
@@ -396,7 +398,7 @@ class InterferenceChecker {
              "workspace envelopes of '" + arm_a + "' (stream '" + a.name + "') and '" +
                  arm_b + "' (stream '" + b.name +
                  "') overlap: concurrent motion can collide inside the shared region",
-             {arm_a, arm_b});
+             {arm_a, arm_b}, false, {a.name, b.name});
       }
     }
   }
@@ -414,7 +416,7 @@ class InterferenceChecker {
              "conflicting setpoint writes to " + device + "." + variable + ": stream '" +
                  a.name + "' writes " + iv_a.format() + ", stream '" + b.name + "' writes " +
                  vit->second.format() + " — the final value depends on the interleaving",
-             {device});
+             {device}, false, {a.name, b.name});
       }
     }
   }
@@ -435,7 +437,7 @@ class InterferenceChecker {
              "stream '" + a.name + "' declares a deliberate interaction of '" + arm +
                  "' with '" + name + "' (its box is excluded from collision checks) while " +
                  "stream '" + b.name + "' also uses '" + name + "' without declaring one",
-             {arm, name});
+             {arm, name}, false, {a.name, b.name});
       }
     }
   }
@@ -476,20 +478,21 @@ class InterferenceChecker {
       if (contributors.size() < 2) continue;  // single-stream checks own this
       std::vector<std::string> subjects{key};
       subjects.insert(subjects.end(), contributors.begin(), contributors.end());
+      std::vector<std::string> names(contributors.begin(), contributors.end());
       if (capacity > 0.0 && initial + total.hi > capacity + core::kVolumeEpsilon) {
         emit(Severity::Error, "I3",
              "shared container '" + key + "': the summed deltas of streams " +
                  join(contributors) + " reach " + fmt_num(initial + total.hi) + " " + unit +
                  ", over its capacity " + fmt_num(capacity) + " " + unit +
                  " — each stream alone may pass, the campaign cannot",
-             subjects);
+             subjects, false, names);
       }
       if (initial + total.lo < -core::kVolumeEpsilon) {
         emit(Severity::Error, "I3",
              "shared container '" + key + "': the summed draws of streams " +
                  join(contributors) + " can overdraw it by " +
                  fmt_num(-(initial + total.lo)) + " " + unit,
-             subjects);
+             subjects, false, names);
       }
     }
   }
@@ -527,7 +530,8 @@ class InterferenceChecker {
                " exceeds the per-command threshold " + fmt_num(th->max) + " (" + th->argument +
                "): the rulebase caps single commands, not the cumulative budget of streams " +
                join(contributors),
-           std::move(subjects));
+           std::move(subjects), false,
+           std::vector<std::string>(contributors.begin(), contributors.end()));
     }
   }
 

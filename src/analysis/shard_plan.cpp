@@ -1,0 +1,836 @@
+// Shard planning over stream effect summaries. The edge predicate here is a
+// deliberate superset of the phase-2 I1..I6 firing conditions (see
+// shard_plan.hpp for the soundness argument); the graph work on top is
+// ordinary: connected components for the shards, Stoer–Wagner for the S1
+// min-cut evidence, Tarjan lowlinks for the S2 articulation streams.
+#include "analysis/shard_plan.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <limits>
+#include <map>
+#include <set>
+#include <sstream>
+#include <utility>
+
+#include "core/rules.hpp"
+
+namespace rabit::analysis {
+
+namespace {
+
+using core::DeviceMeta;
+using core::EngineConfig;
+using core::ThresholdSpec;
+
+std::string fmt_num(double v) {
+  std::ostringstream os;
+  os << v;
+  return os.str();
+}
+
+std::string join(const std::set<std::string>& items, const char* sep = ", ") {
+  std::string out;
+  for (const std::string& s : items) {
+    if (!out.empty()) out += sep;
+    out += s;
+  }
+  return out;
+}
+
+std::string join_names(const std::vector<std::string>& names, const std::vector<std::size_t>& idx,
+                       const char* sep = ", ") {
+  std::string out;
+  for (std::size_t i : idx) {
+    if (!out.empty()) out += sep;
+    out += names[i];
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Edge predicate — pairwise part (mirrors I1/I2/I4/I5)
+// ---------------------------------------------------------------------------
+
+void shared_device_evidence(const StreamSummary& a, const StreamSummary& b,
+                            std::vector<ConflictEvidence>& out) {
+  for (const auto& [device, fa] : a.devices) {
+    auto it = b.devices.find(device);
+    if (it == b.devices.end()) continue;
+    std::set<std::string> actions = fa.actions;
+    actions.insert(it->second.actions.begin(), it->second.actions.end());
+    out.push_back({ConflictKind::SharedDevice, device,
+                   "both streams command '" + device + "' (" + join(actions) + ")"});
+  }
+}
+
+void multiplex_evidence(const EngineConfig& config, const StreamSummary& a,
+                        const StreamSummary& b, std::vector<ConflictEvidence>& out) {
+  if (!config.time_multiplex) return;
+  for (const auto& [arm_a, env_a] : a.arm_envelopes) {
+    for (const auto& [arm_b, env_b] : b.arm_envelopes) {
+      if (arm_a == arm_b) continue;
+      out.push_back({ConflictKind::MultiplexToken, arm_a + "+" + arm_b,
+                     "'" + arm_a + "' (" + a.name + ") and '" + arm_b + "' (" + b.name +
+                         ") race the exclusive-motion token"});
+    }
+  }
+}
+
+void shared_entity_evidence(const StreamSummary& a, const StreamSummary& b,
+                            std::vector<ConflictEvidence>& out) {
+  for (const auto& [entity, ta] : a.entities) {
+    auto it = b.entities.find(entity);
+    if (it == b.entities.end()) continue;
+    out.push_back({ConflictKind::SharedEntity, entity,
+                   "both streams act on '" + entity + "' (via " + join(ta.via) + " / " +
+                       join(it->second.via) + ")"});
+  }
+}
+
+void envelope_evidence(const StreamSummary& a, const StreamSummary& b,
+                       std::vector<ConflictEvidence>& out) {
+  for (const auto& [arm_a, env_a] : a.arm_envelopes) {
+    for (const auto& [arm_b, env_b] : b.arm_envelopes) {
+      if (arm_a == arm_b) continue;  // same arm: a SharedDevice edge already
+      if (!env_a.intersects(env_b)) continue;
+      out.push_back({ConflictKind::EnvelopeOverlap, arm_a + "+" + arm_b,
+                     "inflated workspace envelopes of '" + arm_a + "' (" + a.name + ") and '" +
+                         arm_b + "' (" + b.name + ") overlap"});
+    }
+  }
+}
+
+void setpoint_evidence(const StreamSummary& a, const StreamSummary& b,
+                       std::vector<ConflictEvidence>& out) {
+  for (const auto& [device, vars_a] : a.setpoints) {
+    auto dit = b.setpoints.find(device);
+    if (dit == b.setpoints.end()) continue;
+    for (const auto& [variable, iv_a] : vars_a) {
+      auto vit = dit->second.find(variable);
+      if (vit == dit->second.end()) continue;
+      if (iv_a.same_as(vit->second)) continue;  // identical writes commute
+      out.push_back({ConflictKind::SetpointRace, device,
+                     device + "." + variable + " written as " + iv_a.format() + " by '" +
+                         a.name + "' and " + vit->second.format() + " by '" + b.name + "'"});
+    }
+  }
+}
+
+void ignore_evidence(const StreamSummary& a, const StreamSummary& b,
+                     std::vector<ConflictEvidence>& out) {
+  std::set<std::string> declared_by_b;
+  for (const auto& [arm, names] : b.ignores) declared_by_b.insert(names.begin(), names.end());
+  for (const auto& [arm, names] : a.ignores) {
+    for (const std::string& name : names) {
+      if (declared_by_b.count(name) != 0) continue;
+      if (b.devices.find(name) == b.devices.end() && b.entities.find(name) == b.entities.end()) {
+        continue;
+      }
+      out.push_back({ConflictKind::IgnoreAsymmetry, name,
+                     "'" + a.name + "' declares a deliberate interaction of '" + arm +
+                         "' with '" + name + "'; '" + b.name + "' uses '" + name +
+                         "' without declaring one"});
+    }
+  }
+}
+
+void append_pair_evidence(const EngineConfig& config, const StreamSummary& a,
+                          const StreamSummary& b, std::vector<ConflictEvidence>& out) {
+  shared_device_evidence(a, b, out);
+  multiplex_evidence(config, a, b, out);
+  shared_entity_evidence(a, b, out);
+  envelope_evidence(a, b, out);
+  setpoint_evidence(a, b, out);
+  ignore_evidence(a, b, out);
+  ignore_evidence(b, a, out);
+}
+
+// ---------------------------------------------------------------------------
+// Edge predicate — campaign-wide part (mirrors I3/I6)
+// ---------------------------------------------------------------------------
+
+/// A violated campaign-wide budget: every pair of contributors gets an edge
+/// (they must coordinate on the shared budget, whatever the interleaving).
+struct BudgetClique {
+  ConflictKind kind = ConflictKind::ConsumableBudget;
+  std::string subject;
+  std::string detail;
+  std::vector<std::size_t> contributors;
+};
+
+template <typename TableOf, typename CapacityOf>
+void consumable_cliques(const EngineConfig& config, const std::vector<StreamSummary>& streams,
+                        const TableOf& table_of, const CapacityOf& capacity_of,
+                        const char* initial_var, const char* unit,
+                        std::vector<BudgetClique>& out) {
+  std::set<std::string> keys;
+  for (const StreamSummary& s : streams) {
+    for (const auto& [key, iv] : *table_of(s)) keys.insert(key);
+  }
+  for (const std::string& key : keys) {
+    const DeviceMeta* meta = config.find_device(key);
+    if (meta == nullptr) continue;  // site-attributed delta: no capacity model
+    double capacity = capacity_of(*meta);
+    double initial = 0.0;
+    if (auto it = meta->initial_state.find(initial_var);
+        it != meta->initial_state.end() && it->second.is_number()) {
+      initial = it->second.as_double();
+    }
+    Interval total;
+    std::vector<std::size_t> contributors;
+    for (std::size_t i = 0; i < streams.size(); ++i) {
+      auto it = table_of(streams[i])->find(key);
+      if (it == table_of(streams[i])->end() || !it->second.set) continue;
+      total.accumulate(it->second.lo, it->second.hi);
+      contributors.push_back(i);
+    }
+    if (contributors.size() < 2) continue;  // single-stream checks own this
+    if (capacity > 0.0 && initial + total.hi > capacity + core::kVolumeEpsilon) {
+      out.push_back({ConflictKind::ConsumableBudget, key,
+                     "summed deltas on '" + key + "' reach " + fmt_num(initial + total.hi) +
+                         " " + unit + ", over its capacity " + fmt_num(capacity) + " " + unit,
+                     contributors});
+    }
+    if (initial + total.lo < -core::kVolumeEpsilon) {
+      out.push_back({ConflictKind::ConsumableBudget, key,
+                     "summed draws on '" + key + "' can overdraw it by " +
+                         fmt_num(-(initial + total.lo)) + " " + unit,
+                     contributors});
+    }
+  }
+}
+
+void threshold_cliques(const EngineConfig& config, const std::vector<StreamSummary>& streams,
+                       std::vector<BudgetClique>& out) {
+  std::set<std::pair<std::string, std::string>> keys;
+  for (const StreamSummary& s : streams) {
+    for (const auto& [device, actions] : s.threshold_totals) {
+      for (const auto& [action, iv] : actions) keys.emplace(device, action);
+    }
+  }
+  for (const auto& [device, action] : keys) {
+    const DeviceMeta* meta = config.find_device(device);
+    const ThresholdSpec* th = meta != nullptr ? meta->threshold_for(action) : nullptr;
+    if (th == nullptr) continue;
+    Interval total;
+    std::vector<std::size_t> contributors;
+    for (std::size_t i = 0; i < streams.size(); ++i) {
+      auto dit = streams[i].threshold_totals.find(device);
+      if (dit == streams[i].threshold_totals.end()) continue;
+      auto ait = dit->second.find(action);
+      if (ait == dit->second.end() || !ait->second.set) continue;
+      total.accumulate(ait->second.lo, ait->second.hi);
+      contributors.push_back(i);
+    }
+    if (contributors.size() < 2) continue;
+    if (total.hi <= th->max + core::kVolumeEpsilon) continue;
+    out.push_back({ConflictKind::ThresholdBudget, device,
+                   "campaign-wide " + device + "." + action + " total " + total.format() +
+                       " exceeds the per-command threshold " + fmt_num(th->max) + " (" +
+                       th->argument + ")",
+                   contributors});
+  }
+}
+
+std::vector<BudgetClique> budget_cliques(const EngineConfig& config,
+                                         const std::vector<StreamSummary>& streams) {
+  std::vector<BudgetClique> out;
+  consumable_cliques(
+      config, streams, [](const StreamSummary& s) { return &s.mass_delta_mg; },
+      [](const DeviceMeta& m) { return m.capacity_mg; }, "solidMg", "mg", out);
+  consumable_cliques(
+      config, streams, [](const StreamSummary& s) { return &s.volume_delta_ml; },
+      [](const DeviceMeta& m) { return m.capacity_ml; }, "liquidMl", "mL", out);
+  threshold_cliques(config, streams, out);
+  return out;
+}
+
+/// The whole edge predicate, shared by plan_shards and verify_plan: evidence
+/// for every conflicting pair, keyed (a, b) with a < b.
+std::map<std::pair<std::size_t, std::size_t>, std::vector<ConflictEvidence>> derive_edges(
+    const EngineConfig& config, const std::vector<StreamSummary>& streams) {
+  std::map<std::pair<std::size_t, std::size_t>, std::vector<ConflictEvidence>> edges;
+  for (std::size_t i = 0; i < streams.size(); ++i) {
+    for (std::size_t j = i + 1; j < streams.size(); ++j) {
+      std::vector<ConflictEvidence> evidence;
+      append_pair_evidence(config, streams[i], streams[j], evidence);
+      if (!evidence.empty()) edges[{i, j}] = std::move(evidence);
+    }
+  }
+  for (const BudgetClique& clique : budget_cliques(config, streams)) {
+    for (std::size_t x = 0; x < clique.contributors.size(); ++x) {
+      for (std::size_t y = x + 1; y < clique.contributors.size(); ++y) {
+        std::size_t a = clique.contributors[x];
+        std::size_t b = clique.contributors[y];
+        edges[{std::min(a, b), std::max(a, b)}].push_back(
+            {clique.kind, clique.subject, clique.detail});
+      }
+    }
+  }
+  // A truncated summary may under-describe its stream, so nothing about it
+  // can be certified: pessimistically conflict it with everyone (S3).
+  for (std::size_t t = 0; t < streams.size(); ++t) {
+    if (!streams[t].truncated) continue;
+    for (std::size_t o = 0; o < streams.size(); ++o) {
+      if (o == t) continue;
+      edges[{std::min(t, o), std::max(t, o)}].push_back(
+          {ConflictKind::TruncatedSummary, streams[t].name,
+           "summary of '" + streams[t].name +
+               "' is truncated (analysis budget, Top-valued quantity, or unresolvable "
+               "motion target): independence cannot be certified"});
+    }
+  }
+  return edges;
+}
+
+// ---------------------------------------------------------------------------
+// Graph helpers (shard-local adjacency over plan-global indices)
+// ---------------------------------------------------------------------------
+
+/// Global minimum edge cut of an undirected unit-weight graph over `nodes`
+/// (Stoer–Wagner). Returns {cut_weight, one side of the best cut}. Requires
+/// nodes.size() >= 2 and a connected input (a shard always is).
+std::pair<int, std::vector<std::size_t>> min_cut(
+    const std::vector<std::size_t>& nodes,
+    const std::set<std::pair<std::size_t, std::size_t>>& edge_set) {
+  std::size_t n = nodes.size();
+  std::map<std::size_t, std::size_t> local;  // global -> local
+  for (std::size_t i = 0; i < n; ++i) local[nodes[i]] = i;
+  std::vector<std::vector<int>> w(n, std::vector<int>(n, 0));
+  for (const auto& [a, b] : edge_set) {
+    auto ia = local.find(a);
+    auto ib = local.find(b);
+    if (ia == local.end() || ib == local.end()) continue;
+    w[ia->second][ib->second] += 1;
+    w[ib->second][ia->second] += 1;
+  }
+  std::vector<std::vector<std::size_t>> groups(n);
+  for (std::size_t i = 0; i < n; ++i) groups[i] = {nodes[i]};
+  std::vector<char> merged(n, 0);
+  int best = std::numeric_limits<int>::max();
+  std::vector<std::size_t> best_side;
+  for (std::size_t phase = 0; phase + 1 < n; ++phase) {
+    std::vector<int> weight(n, 0);
+    std::vector<char> added(n, 0);
+    std::size_t prev = n;
+    std::size_t last = n;
+    int last_weight = 0;
+    std::size_t active = 0;
+    for (std::size_t i = 0; i < n; ++i) active += merged[i] ? 0u : 1u;
+    for (std::size_t step = 0; step < active; ++step) {
+      std::size_t pick = n;
+      for (std::size_t v = 0; v < n; ++v) {
+        if (merged[v] || added[v]) continue;
+        if (pick == n || weight[v] > weight[pick]) pick = v;  // tie: lowest id
+      }
+      added[pick] = 1;
+      prev = last;
+      last = pick;
+      last_weight = weight[pick];
+      for (std::size_t v = 0; v < n; ++v) {
+        if (!merged[v] && !added[v]) weight[v] += w[pick][v];
+      }
+    }
+    if (last_weight < best) {
+      best = last_weight;
+      best_side = groups[last];
+    }
+    // Merge `last` into `prev`.
+    groups[prev].insert(groups[prev].end(), groups[last].begin(), groups[last].end());
+    for (std::size_t v = 0; v < n; ++v) {
+      w[prev][v] += w[last][v];
+      w[v][prev] = w[prev][v];
+    }
+    merged[last] = 1;
+  }
+  std::sort(best_side.begin(), best_side.end());
+  return {best, best_side};
+}
+
+/// Articulation vertices of the undirected graph over `nodes` (Tarjan).
+std::vector<std::size_t> articulation_points(
+    const std::vector<std::size_t>& nodes,
+    const std::set<std::pair<std::size_t, std::size_t>>& edge_set) {
+  std::size_t n = nodes.size();
+  std::map<std::size_t, std::size_t> local;
+  for (std::size_t i = 0; i < n; ++i) local[nodes[i]] = i;
+  std::vector<std::vector<std::size_t>> adj(n);
+  for (const auto& [a, b] : edge_set) {
+    auto ia = local.find(a);
+    auto ib = local.find(b);
+    if (ia == local.end() || ib == local.end()) continue;
+    adj[ia->second].push_back(ib->second);
+    adj[ib->second].push_back(ia->second);
+  }
+  std::vector<int> disc(n, -1);
+  std::vector<int> low(n, 0);
+  std::vector<char> is_artic(n, 0);
+  int timer = 0;
+  std::function<void(std::size_t, std::size_t)> dfs = [&](std::size_t v, std::size_t parent) {
+    disc[v] = low[v] = timer++;
+    std::size_t children = 0;
+    for (std::size_t u : adj[v]) {
+      if (u == parent) continue;
+      if (disc[u] != -1) {
+        low[v] = std::min(low[v], disc[u]);
+        continue;
+      }
+      ++children;
+      dfs(u, v);
+      low[v] = std::min(low[v], low[u]);
+      if (parent != n && low[u] >= disc[v]) is_artic[v] = 1;
+    }
+    if (parent == n && children > 1) is_artic[v] = 1;
+  };
+  for (std::size_t v = 0; v < n; ++v) {
+    if (disc[v] == -1) dfs(v, n);
+  }
+  std::vector<std::size_t> out;
+  for (std::size_t v = 0; v < n; ++v) {
+    if (is_artic[v]) out.push_back(nodes[v]);
+  }
+  return out;
+}
+
+/// Connected components of `nodes` minus `removed` (for the S2 split count).
+std::vector<std::vector<std::size_t>> components_without(
+    const std::vector<std::size_t>& nodes,
+    const std::set<std::pair<std::size_t, std::size_t>>& edge_set, std::size_t removed) {
+  std::set<std::size_t> pending(nodes.begin(), nodes.end());
+  pending.erase(removed);
+  std::vector<std::vector<std::size_t>> out;
+  while (!pending.empty()) {
+    std::vector<std::size_t> stack{*pending.begin()};
+    pending.erase(pending.begin());
+    std::vector<std::size_t> comp;
+    while (!stack.empty()) {
+      std::size_t v = stack.back();
+      stack.pop_back();
+      comp.push_back(v);
+      for (auto it = pending.begin(); it != pending.end();) {
+        std::size_t u = *it;
+        if (edge_set.count({std::min(u, v), std::max(u, v)}) != 0) {
+          stack.push_back(u);
+          it = pending.erase(it);
+        } else {
+          ++it;
+        }
+      }
+    }
+    std::sort(comp.begin(), comp.end());
+    out.push_back(std::move(comp));
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::string evidence_digest(const std::vector<const ConflictEvidence*>& evidence,
+                            std::size_t cap = 3) {
+  std::string out;
+  for (std::size_t i = 0; i < evidence.size() && i < cap; ++i) {
+    if (!out.empty()) out += "; ";
+    out += std::string(to_string(evidence[i]->kind)) + " '" + evidence[i]->subject + "': " +
+           evidence[i]->detail;
+  }
+  if (evidence.size() > cap) {
+    out += "; (+" + std::to_string(evidence.size() - cap) + " more)";
+  }
+  return out;
+}
+
+/// The closed certificate vocabulary (see IndependenceCertificate). Derived
+/// from summaries alone so verify_plan can replay it bit-for-bit.
+std::vector<std::string> certificate_conditions(const EngineConfig& config,
+                                                const StreamSummary& a,
+                                                const StreamSummary& b) {
+  std::vector<std::string> out{"devices-disjoint", "entities-disjoint"};
+  if (config.time_multiplex) out.emplace_back("no-multiplex-race");
+  out.emplace_back("envelopes-disjoint");
+  out.emplace_back("no-shared-budget");
+  out.emplace_back("setpoints-compatible");
+  out.emplace_back("ignores-symmetric");
+  if (!a.truncated && !b.truncated) out.emplace_back("summaries-complete");
+  return out;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// ShardPlan accessors
+// ---------------------------------------------------------------------------
+
+std::string_view to_string(ConflictKind kind) {
+  switch (kind) {
+    case ConflictKind::SharedDevice: return "shared-device";
+    case ConflictKind::MultiplexToken: return "multiplex-token";
+    case ConflictKind::SharedEntity: return "shared-entity";
+    case ConflictKind::EnvelopeOverlap: return "envelope-overlap";
+    case ConflictKind::ConsumableBudget: return "consumable-budget";
+    case ConflictKind::SetpointRace: return "setpoint-race";
+    case ConflictKind::IgnoreAsymmetry: return "ignore-asymmetry";
+    case ConflictKind::ThresholdBudget: return "threshold-budget";
+    case ConflictKind::TruncatedSummary: return "truncated-summary";
+  }
+  return "unknown";
+}
+
+std::size_t ShardPlan::shard_of(std::size_t stream) const {
+  for (std::size_t k = 0; k < shards.size(); ++k) {
+    const std::vector<std::size_t>& s = shards[k].streams;
+    if (std::binary_search(s.begin(), s.end(), stream)) return k;
+  }
+  return shards.size();
+}
+
+bool ShardPlan::certified_independent(std::size_t a, std::size_t b) const {
+  if (a == b) return false;
+  std::size_t sa = shard_of(a);
+  std::size_t sb = shard_of(b);
+  return sa < shards.size() && sb < shards.size() && sa != sb;
+}
+
+const ConflictEdge* ShardPlan::edge_between(std::size_t a, std::size_t b) const {
+  if (a > b) std::swap(a, b);
+  for (const ConflictEdge& e : edges) {
+    if (e.a == a && e.b == b) return &e;
+  }
+  return nullptr;
+}
+
+// ---------------------------------------------------------------------------
+// plan_shards
+// ---------------------------------------------------------------------------
+
+ShardPlan plan_shards(const EngineConfig& config, const std::vector<StreamSummary>& streams,
+                      const ShardPlanOptions& options) {
+  ShardPlan plan;
+  plan.stream_names.reserve(streams.size());
+  for (const StreamSummary& s : streams) plan.stream_names.push_back(s.name);
+  for (const StreamSummary& s : streams) plan.truncated = plan.truncated || s.truncated;
+  plan.diagnostics.truncated = plan.truncated;
+
+  auto edge_map = derive_edges(config, streams);
+  std::set<std::pair<std::size_t, std::size_t>> edge_set;
+  for (auto& [key, evidence] : edge_map) {
+    edge_set.insert(key);
+    plan.edges.push_back({key.first, key.second, std::move(evidence)});
+  }
+
+  // Shards = connected components, by union-find, emitted in ascending order
+  // of their smallest member.
+  std::vector<std::size_t> parent(streams.size());
+  for (std::size_t i = 0; i < parent.size(); ++i) parent[i] = i;
+  std::function<std::size_t(std::size_t)> find = [&](std::size_t x) {
+    while (parent[x] != x) x = parent[x] = parent[parent[x]];
+    return x;
+  };
+  for (const auto& [a, b] : edge_set) {
+    std::size_t ra = find(a);
+    std::size_t rb = find(b);
+    if (ra != rb) parent[std::max(ra, rb)] = std::min(ra, rb);
+  }
+  std::map<std::size_t, std::vector<std::size_t>> by_root;
+  for (std::size_t i = 0; i < streams.size(); ++i) by_root[find(i)].push_back(i);
+  for (auto& [root, members] : by_root) {
+    std::sort(members.begin(), members.end());
+    plan.shards.push_back({std::move(members)});
+  }
+
+  // Certificates for every cross-shard pair.
+  for (std::size_t i = 0; i < streams.size(); ++i) {
+    for (std::size_t j = i + 1; j < streams.size(); ++j) {
+      if (!plan.certified_independent(i, j)) continue;
+      plan.certificates.push_back({i, j, certificate_conditions(config, streams[i], streams[j])});
+    }
+  }
+
+  auto emit = [&plan](std::string rule, std::string message, std::vector<std::string> subjects,
+                      std::vector<std::string> stream_names) {
+    std::sort(subjects.begin(), subjects.end());
+    subjects.erase(std::unique(subjects.begin(), subjects.end()), subjects.end());
+    Diagnostic d{Severity::Warning, std::move(rule), std::move(message), 0};
+    d.subjects = std::move(subjects);
+    d.streams = std::move(stream_names);
+    plan.diagnostics.diagnostics.push_back(std::move(d));
+  };
+
+  // S1 — the campaign cannot be sharded below the requested bound. The
+  // min-cut is the evidence: the cheapest set of conflicts to design away.
+  std::size_t bound =
+      options.max_shard_streams > 0 ? options.max_shard_streams : streams.size() - 1;
+  for (const Shard& shard : plan.shards) {
+    if (streams.size() < 2 || shard.streams.size() <= std::max<std::size_t>(bound, 1)) continue;
+    auto [cut_weight, side] = min_cut(shard.streams, edge_set);
+    std::vector<std::size_t> other;
+    std::set<std::size_t> side_set(side.begin(), side.end());
+    for (std::size_t v : shard.streams) {
+      if (side_set.count(v) == 0) other.push_back(v);
+    }
+    std::vector<const ConflictEvidence*> cut_evidence;
+    std::vector<std::string> subjects;
+    for (const ConflictEdge& e : plan.edges) {
+      if (side_set.count(e.a) + side_set.count(e.b) != 1) continue;
+      for (const ConflictEvidence& ev : e.evidence) {
+        cut_evidence.push_back(&ev);
+        subjects.push_back(ev.subject);
+      }
+    }
+    std::vector<std::string> names;
+    for (std::size_t v : shard.streams) names.push_back(plan.stream_names[v]);
+    std::string lead =
+        options.max_shard_streams > 0
+            ? "campaign not shardable below " + std::to_string(bound) + " stream(s)/shard: streams "
+            : "campaign not shardable at all: streams ";
+    emit("S1",
+         lead + join_names(plan.stream_names, shard.streams) + " collapse into one " +
+             std::to_string(shard.streams.size()) +
+             "-stream shard; the minimum conflict cut ({" +
+             join_names(plan.stream_names, side) + "} | {" +
+             join_names(plan.stream_names, other) + "}) severs " + std::to_string(cut_weight) +
+             " edge(s): " + evidence_digest(cut_evidence),
+         std::move(subjects), std::move(names));
+  }
+
+  // S2 — an articulation stream serializes the shard: removing it would
+  // split the rest into independent groups.
+  for (const Shard& shard : plan.shards) {
+    if (shard.streams.size() < 3) continue;
+    for (std::size_t v : articulation_points(shard.streams, edge_set)) {
+      auto groups = components_without(shard.streams, edge_set, v);
+      std::vector<const ConflictEvidence*> incident;
+      std::vector<std::string> subjects;
+      for (const ConflictEdge& e : plan.edges) {
+        if (e.a != v && e.b != v) continue;
+        for (const ConflictEvidence& ev : e.evidence) {
+          incident.push_back(&ev);
+          subjects.push_back(ev.subject);
+        }
+      }
+      std::string split;
+      for (const auto& g : groups) {
+        if (!split.empty()) split += " | ";
+        split += "{" + join_names(plan.stream_names, g) + "}";
+      }
+      std::vector<std::string> names{plan.stream_names[v]};
+      for (std::size_t m : shard.streams) {
+        if (m != v) names.push_back(plan.stream_names[m]);
+      }
+      emit("S2",
+           "single stream serializes the fleet: '" + plan.stream_names[v] +
+               "' is the only link holding its " + std::to_string(shard.streams.size()) +
+               "-stream shard together (without it: " + split +
+               "); its conflicts: " + evidence_digest(incident),
+           std::move(subjects), std::move(names));
+    }
+  }
+
+  // S3 — truncated summaries were merged pessimistically.
+  for (std::size_t t = 0; t < streams.size(); ++t) {
+    if (!streams[t].truncated || streams.size() < 2) continue;
+    std::vector<std::string> partners;
+    std::size_t shard = plan.shard_of(t);
+    for (std::size_t m : plan.shards[shard].streams) partners.push_back(plan.stream_names[m]);
+    emit("S3",
+         "truncated summary forced pessimistic merging: '" + streams[t].name +
+             "' is incomplete (analysis budget, Top-valued quantity, or unresolvable motion "
+             "target), so it conflicts with every other stream and pins the " +
+             std::to_string(plan.shards[shard].streams.size()) + "-stream shard " +
+             join_names(plan.stream_names, plan.shards[shard].streams),
+         {streams[t].name}, std::move(partners));
+  }
+
+  return plan;
+}
+
+ShardPlan plan_campaign_shards(const EngineConfig& config,
+                               const std::vector<CampaignStream>& streams,
+                               const ShardPlanOptions& plan_options,
+                               const AnalyzeOptions& analyze_options) {
+  std::vector<StreamSummary> summaries;
+  summaries.reserve(streams.size());
+  for (const CampaignStream& s : streams) {
+    summaries.push_back(summarize_stream(config, s.name, s.commands, analyze_options));
+  }
+  return plan_shards(config, summaries, plan_options);
+}
+
+// ---------------------------------------------------------------------------
+// verify_plan
+// ---------------------------------------------------------------------------
+
+std::vector<std::string> verify_plan(const EngineConfig& config,
+                                     const std::vector<StreamSummary>& streams,
+                                     const ShardPlan& plan) {
+  std::vector<std::string> violations;
+  if (plan.stream_names.size() != streams.size()) {
+    violations.push_back("plan covers " + std::to_string(plan.stream_names.size()) +
+                         " stream(s), summaries have " + std::to_string(streams.size()));
+    return violations;
+  }
+  for (std::size_t i = 0; i < streams.size(); ++i) {
+    if (plan.stream_names[i] != streams[i].name) {
+      violations.push_back("stream " + std::to_string(i) + " is '" + streams[i].name +
+                           "' but the plan names it '" + plan.stream_names[i] + "'");
+    }
+  }
+  std::vector<std::size_t> owner(streams.size(), plan.shards.size());
+  for (std::size_t k = 0; k < plan.shards.size(); ++k) {
+    for (std::size_t v : plan.shards[k].streams) {
+      if (v >= streams.size()) {
+        violations.push_back("shard " + std::to_string(k) + " references stream index " +
+                             std::to_string(v) + " out of range");
+        continue;
+      }
+      if (owner[v] != plan.shards.size()) {
+        violations.push_back("stream '" + streams[v].name + "' appears in shards " +
+                             std::to_string(owner[v]) + " and " + std::to_string(k));
+      }
+      owner[v] = k;
+    }
+  }
+  for (std::size_t v = 0; v < streams.size(); ++v) {
+    if (owner[v] == plan.shards.size()) {
+      violations.push_back("stream '" + streams[v].name + "' is in no shard");
+    }
+  }
+  if (!violations.empty()) return violations;
+
+  // Cross-shard independence, re-derived from scratch. Coarser-than-maximal
+  // plans (shards merged beyond necessity) pass: only cross-shard pairs are
+  // safety-relevant.
+  auto edge_map = derive_edges(config, streams);
+  std::set<std::pair<std::size_t, std::size_t>> certified;
+  for (const IndependenceCertificate& c : plan.certificates) {
+    if (c.a >= streams.size() || c.b >= streams.size() || owner[c.a] == owner[c.b]) {
+      violations.push_back("certificate (" + std::to_string(c.a) + ", " + std::to_string(c.b) +
+                           ") does not span two shards");
+      continue;
+    }
+    certified.insert({std::min(c.a, c.b), std::max(c.a, c.b)});
+    std::vector<std::string> expected = certificate_conditions(config, streams[c.a], streams[c.b]);
+    if (c.conditions != expected) {
+      violations.push_back("certificate (" + streams[c.a].name + ", " + streams[c.b].name +
+                           ") conditions do not replay");
+    }
+  }
+  for (std::size_t i = 0; i < streams.size(); ++i) {
+    for (std::size_t j = i + 1; j < streams.size(); ++j) {
+      if (owner[i] == owner[j]) continue;
+      if (auto it = edge_map.find({i, j}); it != edge_map.end()) {
+        violations.push_back("streams '" + streams[i].name + "' and '" + streams[j].name +
+                             "' are in different shards but conflict: " +
+                             it->second.front().detail);
+      }
+      if (certified.count({i, j}) == 0) {
+        violations.push_back("cross-shard pair ('" + streams[i].name + "', '" +
+                             streams[j].name + "') has no independence certificate");
+      }
+    }
+  }
+  return violations;
+}
+
+// ---------------------------------------------------------------------------
+// Serialization
+// ---------------------------------------------------------------------------
+
+json::Value plan_to_json(const ShardPlan& plan) {
+  json::Object root;
+  json::Array names;
+  for (const std::string& n : plan.stream_names) names.emplace_back(n);
+  root["streams"] = std::move(names);
+
+  json::Array shards;
+  for (const Shard& shard : plan.shards) {
+    json::Array members;
+    for (std::size_t v : shard.streams) members.emplace_back(plan.stream_names[v]);
+    shards.emplace_back(std::move(members));
+  }
+  root["shards"] = std::move(shards);
+  root["shard_count"] = plan.shards.size();
+
+  json::Array edges;
+  for (const ConflictEdge& e : plan.edges) {
+    json::Object o;
+    o["a"] = plan.stream_names[e.a];
+    o["b"] = plan.stream_names[e.b];
+    json::Array evidence;
+    for (const ConflictEvidence& ev : e.evidence) {
+      json::Object eo;
+      eo["kind"] = std::string(to_string(ev.kind));
+      eo["subject"] = ev.subject;
+      eo["detail"] = ev.detail;
+      evidence.emplace_back(std::move(eo));
+    }
+    o["evidence"] = std::move(evidence);
+    edges.emplace_back(std::move(o));
+  }
+  root["edges"] = std::move(edges);
+
+  json::Array certificates;
+  for (const IndependenceCertificate& c : plan.certificates) {
+    json::Object o;
+    o["a"] = plan.stream_names[c.a];
+    o["b"] = plan.stream_names[c.b];
+    json::Array conditions;
+    for (const std::string& cond : c.conditions) conditions.emplace_back(cond);
+    o["conditions"] = std::move(conditions);
+    certificates.emplace_back(std::move(o));
+  }
+  root["certificates"] = std::move(certificates);
+  root["diagnostics"] = report_to_json(plan.diagnostics);
+  root["truncated"] = plan.truncated;
+  return json::Value(std::move(root));
+}
+
+std::string format_plan(const ShardPlan& plan) {
+  std::ostringstream os;
+  os << "shard plan: " << plan.stream_names.size() << " stream(s) -> " << plan.shards.size()
+     << " shard(s)\n";
+  for (std::size_t k = 0; k < plan.shards.size(); ++k) {
+    os << "  shard " << k << " (" << plan.shards[k].streams.size()
+       << " stream(s)): " << join_names(plan.stream_names, plan.shards[k].streams) << "\n";
+  }
+  os << "conflict edges: " << plan.edges.size() << "\n";
+  constexpr std::size_t kMaxEdges = 50;
+  for (std::size_t i = 0; i < plan.edges.size() && i < kMaxEdges; ++i) {
+    const ConflictEdge& e = plan.edges[i];
+    os << "  " << plan.stream_names[e.a] << " <-> " << plan.stream_names[e.b] << ":\n";
+    for (const ConflictEvidence& ev : e.evidence) {
+      os << "    [" << to_string(ev.kind) << " '" << ev.subject << "'] " << ev.detail << "\n";
+    }
+  }
+  if (plan.edges.size() > kMaxEdges) {
+    os << "  (+" << plan.edges.size() - kMaxEdges << " more edges)\n";
+  }
+  os << "certified independent pairs: " << plan.certificates.size() << "\n";
+  constexpr std::size_t kMaxCerts = 20;
+  for (std::size_t i = 0; i < plan.certificates.size() && i < kMaxCerts; ++i) {
+    const IndependenceCertificate& c = plan.certificates[i];
+    os << "  " << plan.stream_names[c.a] << " x " << plan.stream_names[c.b] << ": ";
+    for (std::size_t j = 0; j < c.conditions.size(); ++j) {
+      if (j != 0) os << ", ";
+      os << c.conditions[j];
+    }
+    os << "\n";
+  }
+  if (plan.certificates.size() > kMaxCerts) {
+    os << "  (+" << plan.certificates.size() - kMaxCerts << " more pairs)\n";
+  }
+  if (plan.diagnostics.diagnostics.empty()) {
+    os << "diagnostics: none\n";
+  } else {
+    os << "diagnostics:\n";
+    for (const Diagnostic& d : plan.diagnostics.diagnostics) {
+      os << "  " << d.format() << "\n";
+    }
+  }
+  if (plan.truncated) {
+    os << "(a truncated summary forced pessimistic merging — the partition may be coarser "
+          "than the campaign deserves)\n";
+  }
+  return os.str();
+}
+
+}  // namespace rabit::analysis

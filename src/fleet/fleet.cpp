@@ -161,28 +161,23 @@ std::vector<dev::Command> campaign_commands(const CampaignStreamSpec& stream, un
   return script::record_workflow(staging, stream.script);
 }
 
-}  // namespace
-
-std::size_t CampaignReport::cross_stream_alerts() const {
-  std::size_t n = 0;
-  for (const CampaignAlert& a : alerts) {
-    if (a.cross_stream) ++n;
-  }
-  return n;
-}
-
-CampaignReport Fleet::run_campaign(const CampaignSpec& spec) {
-  CampaignReport report;
+std::vector<std::vector<dev::Command>> resolve_campaign(const CampaignSpec& spec) {
   std::vector<std::vector<dev::Command>> commands;
   commands.reserve(spec.streams.size());
   for (const CampaignStreamSpec& s : spec.streams) {
     commands.push_back(campaign_commands(s, spec.seed));
   }
+  return commands;
+}
 
-  // Deterministic seeded interleaving: each dispatch slot picks uniformly
-  // among the streams that still have commands. The schedule depends only on
-  // (stream lengths, seed), so a failing campaign replays from its seed.
-  std::mt19937 rng(spec.seed);
+/// The deterministic seeded interleaving: each dispatch slot picks uniformly
+/// among the streams that still have commands. Depends only on (stream
+/// lengths, seed), so a failing campaign replays from its seed — and the
+/// sharded mode can recompute the identical global order and filter it.
+std::vector<std::pair<std::size_t, std::size_t>> make_schedule(
+    const std::vector<std::vector<dev::Command>>& commands, unsigned seed) {
+  std::vector<std::pair<std::size_t, std::size_t>> schedule;
+  std::mt19937 rng(seed);
   std::vector<std::size_t> cursor(commands.size(), 0);
   std::vector<std::size_t> live;
   for (std::size_t i = 0; i < commands.size(); ++i) {
@@ -193,28 +188,19 @@ CampaignReport Fleet::run_campaign(const CampaignSpec& spec) {
                            ? 0
                            : std::uniform_int_distribution<std::size_t>(0, live.size() - 1)(rng);
     std::size_t s = live[pick];
-    report.schedule.emplace_back(s, cursor[s]);
+    schedule.emplace_back(s, cursor[s]);
     if (++cursor[s] >= commands[s].size()) live.erase(live.begin() + static_cast<long>(pick));
   }
+  return schedule;
+}
 
-  // The interleaved run on ONE shared lab: every stream's commands hit the
-  // same backend, engine, and tracker. Alerted commands are blocked (never
-  // forwarded) and, unless halt_on_alert, the campaign continues.
-  Lab lab(spec.variant, spec.seed);
-  trace::Supervisor::Options options;
-  options.halt_on_alert = spec.halt_on_alert;
-  trace::Supervisor supervisor(&*lab.engine, &lab.backend, options);
-  supervisor.start();
-  for (const auto& [s, k] : report.schedule) {
-    trace::SupervisedStep step = supervisor.step(commands[s][k]);
-    ++report.commands_checked;
-    if (step.alert) report.alerts.push_back(CampaignAlert{s, k, *step.alert, false});
-    if (supervisor.halted()) break;
-  }
-
-  // Solo baselines: each stream alone on an identical fresh lab. An alert
-  // present in the interleaving but absent at the same (command index, rule)
-  // solo can only come from what the other streams did to the shared state.
+/// Solo baselines: each alerted stream alone on an identical fresh lab. An
+/// alert present in the shared (or shard) run but absent at the same
+/// (command index, rule) solo can only come from what other streams did to
+/// the shared state.
+void classify_against_solo(const CampaignSpec& spec,
+                           const std::vector<std::vector<dev::Command>>& commands,
+                           CampaignReport& report) {
   for (std::size_t s = 0; s < commands.size(); ++s) {
     bool any = false;
     for (const CampaignAlert& a : report.alerts) any = any || a.stream == s;
@@ -233,7 +219,214 @@ CampaignReport Fleet::run_campaign(const CampaignSpec& spec) {
       a.cross_stream = solo_alerts.count({a.command_index, a.alert.rule}) == 0;
     }
   }
+}
+
+}  // namespace
+
+std::size_t CampaignReport::cross_stream_alerts() const {
+  std::size_t n = 0;
+  for (const CampaignAlert& a : alerts) {
+    if (a.cross_stream) ++n;
+  }
+  return n;
+}
+
+CampaignReport Fleet::run_campaign(const CampaignSpec& spec) {
+  CampaignReport report;
+  std::vector<std::vector<dev::Command>> commands = resolve_campaign(spec);
+  report.schedule = make_schedule(commands, spec.seed);
+
+  // The interleaved run on ONE shared lab: every stream's commands hit the
+  // same backend, engine, and tracker. Alerted commands are blocked (never
+  // forwarded) and, unless halt_on_alert, the campaign continues.
+  Lab lab(spec.variant, spec.seed);
+  trace::Supervisor::Options options;
+  options.halt_on_alert = spec.halt_on_alert;
+  trace::Supervisor supervisor(&*lab.engine, &lab.backend, options);
+  supervisor.start();
+  for (const auto& [s, k] : report.schedule) {
+    trace::SupervisedStep step = supervisor.step(commands[s][k]);
+    ++report.commands_checked;
+    if (step.alert) report.alerts.push_back(CampaignAlert{s, k, *step.alert, false});
+    if (supervisor.halted()) break;
+  }
+
+  classify_against_solo(spec, commands, report);
   return report;
+}
+
+CampaignReport Fleet::run_campaign(const CampaignSpec& spec, const analysis::ShardPlan& plan,
+                                   const ShardedCampaignOptions& options) {
+  if (plan.stream_names.size() != spec.streams.size() || plan.shards.empty()) {
+    throw std::runtime_error("sharded campaign: plan covers " +
+                             std::to_string(plan.stream_names.size()) + " stream(s), spec has " +
+                             std::to_string(spec.streams.size()));
+  }
+  CampaignReport report;
+  report.shards = plan.shards.size();
+  std::vector<std::vector<dev::Command>> commands = resolve_campaign(spec);
+  report.schedule = make_schedule(commands, spec.seed);
+
+  // Epoch-0 pose snapshot: every arm's position in the pristine lab at
+  // campaign start. A shard's collision checks read out-of-shard arms from
+  // this frozen snapshot — sound because the certificates prove those arms
+  // never enter the shard's envelopes, so their true pose cannot matter.
+  std::map<std::string, geom::Vec3, std::less<>> pose_snapshot;
+  std::set<std::string, std::less<>> arm_ids;
+  {
+    sim::LabBackend probe(sim::testbed_profile(), spec.seed);
+    sim::build_hein_testbed_deck(probe);
+    core::EngineConfig probe_config = core::config_from_backend(probe, spec.variant);
+    for (const core::DeviceMeta& m : probe_config.devices) {
+      if (!m.is_arm) continue;
+      arm_ids.insert(m.id);
+      const auto* arm = dynamic_cast<const dev::RobotArmDevice*>(probe.registry().find(m.id));
+      if (arm != nullptr) pose_snapshot.emplace(m.id, arm->position_lab());
+    }
+  }
+
+  std::atomic<std::size_t> snapshot_serves{0};
+  struct ShardOutcome {
+    std::vector<CampaignAlert> alerts;
+    std::size_t commands_checked = 0;
+  };
+  std::vector<ShardOutcome> outcomes(plan.shards.size());
+
+  auto run_shard = [&](std::size_t shard_index) {
+    const std::vector<std::size_t>& members = plan.shards[shard_index].streams;
+    std::set<std::size_t> member_set(members.begin(), members.end());
+    // Arms this shard itself commands: their poses are served live from the
+    // shard's own backend; every other arm comes from the epoch-0 snapshot.
+    std::set<std::string, std::less<>> shard_arms;
+    for (std::size_t s : members) {
+      if (s >= commands.size()) continue;
+      for (const dev::Command& c : commands[s]) {
+        if (arm_ids.count(c.device) != 0) shard_arms.insert(c.device);
+      }
+    }
+    Lab lab(spec.variant, spec.seed);
+    if (lab.simulator) {
+      lab.simulator->set_arm_state_provider(
+          [&backend = lab.backend, shard_arms = std::move(shard_arms), &pose_snapshot,
+           &snapshot_serves](std::string_view arm_id) -> std::optional<geom::Vec3> {
+            if (shard_arms.count(arm_id) == 0) {
+              auto it = pose_snapshot.find(arm_id);
+              if (it == pose_snapshot.end()) return std::nullopt;
+              snapshot_serves.fetch_add(1, std::memory_order_relaxed);
+              return it->second;
+            }
+            const auto* arm =
+                dynamic_cast<const dev::RobotArmDevice*>(backend.registry().find(arm_id));
+            if (arm == nullptr) return std::nullopt;
+            return arm->position_lab();
+          });
+    }
+    trace::Supervisor::Options sup_options;
+    sup_options.halt_on_alert = spec.halt_on_alert;  // shard-local halt
+    trace::Supervisor supervisor(&*lab.engine, &lab.backend, sup_options);
+    supervisor.start();
+    ShardOutcome& outcome = outcomes[shard_index];
+    for (const auto& [s, k] : report.schedule) {
+      if (member_set.count(s) == 0) continue;
+      trace::SupervisedStep step = supervisor.step(commands[s][k]);
+      ++outcome.commands_checked;
+      if (step.alert) outcome.alerts.push_back(CampaignAlert{s, k, *step.alert, false});
+      if (supervisor.halted()) break;
+    }
+  };
+
+  // Shards share no mutable lab state: run them across a worker pool with
+  // the same atomic-index work claiming as FleetRunner. Results land in
+  // per-shard slots, so the outcome is worker-count-independent.
+  std::size_t workers =
+      std::max<std::size_t>(1, std::min(options.workers, plan.shards.size()));
+  if (workers == 1) {
+    for (std::size_t k = 0; k < plan.shards.size(); ++k) run_shard(k);
+  } else {
+    std::atomic<std::size_t> next{0};
+    auto worker_loop = [&] {
+      for (;;) {
+        std::size_t k = next.fetch_add(1, std::memory_order_relaxed);
+        if (k >= plan.shards.size()) return;
+        run_shard(k);
+      }
+    };
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (std::size_t w = 0; w < workers; ++w) pool.emplace_back(worker_loop);
+    for (std::thread& t : pool) t.join();
+  }
+
+  // Deterministic merge: alerts ordered by global schedule position, never
+  // by shard finish order.
+  std::map<std::pair<std::size_t, std::size_t>, std::size_t> position;
+  for (std::size_t i = 0; i < report.schedule.size(); ++i) position[report.schedule[i]] = i;
+  for (const ShardOutcome& outcome : outcomes) {
+    report.commands_checked += outcome.commands_checked;
+    report.alerts.insert(report.alerts.end(), outcome.alerts.begin(), outcome.alerts.end());
+  }
+  std::sort(report.alerts.begin(), report.alerts.end(),
+            [&position](const CampaignAlert& a, const CampaignAlert& b) {
+              return position[{a.stream, a.command_index}] < position[{b.stream, b.command_index}];
+            });
+  report.snapshot_pose_serves = snapshot_serves.load();
+
+  classify_against_solo(spec, commands, report);
+
+  if (options.validate_certificates) {
+    CampaignReport monolithic = run_campaign(spec);
+    report.oracle_violations = certificate_violations(plan, monolithic, report);
+  }
+  return report;
+}
+
+std::vector<std::string> certificate_violations(const analysis::ShardPlan& plan,
+                                                const CampaignReport& monolithic,
+                                                const CampaignReport& sharded) {
+  std::vector<std::string> out;
+  auto stream_name = [&plan](std::size_t s) {
+    return s < plan.stream_names.size() ? plan.stream_names[s] : "#" + std::to_string(s);
+  };
+  auto alert_set = [](const CampaignReport& r, std::size_t s) {
+    std::set<std::pair<std::size_t, std::string>> alerts;
+    for (const CampaignAlert& a : r.alerts) {
+      if (a.stream == s) alerts.emplace(a.command_index, a.alert.rule);
+    }
+    return alerts;
+  };
+  for (std::size_t s = 0; s < plan.stream_names.size(); ++s) {
+    std::set<std::pair<std::size_t, std::string>> mono = alert_set(monolithic, s);
+    std::set<std::pair<std::size_t, std::string>> shard = alert_set(sharded, s);
+    if (mono == shard) continue;
+    std::string diff;
+    for (const auto& [k, rule] : mono) {
+      if (shard.count({k, rule}) == 0) {
+        diff += " monolithic-only (cmd " + std::to_string(k) + ", " + rule + ")";
+      }
+    }
+    for (const auto& [k, rule] : shard) {
+      if (mono.count({k, rule}) == 0) {
+        diff += " sharded-only (cmd " + std::to_string(k) + ", " + rule + ")";
+      }
+    }
+    out.push_back("stream '" + stream_name(s) +
+                  "': verdicts diverge between the monolithic and plan-driven runs —" + diff +
+                  " — an out-of-shard stream observably influenced it");
+  }
+  for (const analysis::Shard& shard : plan.shards) {
+    if (shard.streams.size() != 1) continue;
+    std::size_t s = shard.streams.front();
+    for (const CampaignReport* r : {&monolithic, &sharded}) {
+      for (const CampaignAlert& a : r->alerts) {
+        if (a.stream != s || !a.cross_stream) continue;
+        out.push_back("certified-independent stream '" + stream_name(s) +
+                      "' raised a cross-stream alert (cmd " + std::to_string(a.command_index) +
+                      ", " + a.alert.rule + ") in the " +
+                      (r == &monolithic ? "monolithic" : "plan-driven") + " run");
+      }
+    }
+  }
+  return out;
 }
 
 CampaignSpec load_campaign(const json::Value& doc) {

@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/shard_plan.hpp"
 #include "core/engine.hpp"
 #include "obs/obs.hpp"
 #include "trace/trace.hpp"
@@ -141,10 +142,34 @@ struct CampaignReport {
   std::vector<CampaignAlert> alerts;
   std::size_t commands_checked = 0;
   /// The executed interleaving: (stream index, command index) in dispatch
-  /// order. Replayable from the spec seed alone.
+  /// order. Replayable from the spec seed alone. Plan-driven runs compute the
+  /// same global schedule and filter it per shard (relative order within a
+  /// shard is exactly the monolithic order).
   std::vector<std::pair<std::size_t, std::size_t>> schedule;
+  /// Plan-driven runs: shard count. 0 identifies a monolithic run.
+  std::size_t shards = 0;
+  /// Plan-driven V3 runs: how many out-of-shard arm poses the collision
+  /// checker read from the frozen epoch-0 snapshot instead of live backend
+  /// state (the lock-free cross-shard read path).
+  std::size_t snapshot_pose_serves = 0;
+  /// Validation-oracle findings (ShardedCampaignOptions::validate_certificates);
+  /// empty when the oracle is off or clean.
+  std::vector<std::string> oracle_violations;
 
   [[nodiscard]] std::size_t cross_stream_alerts() const;
+};
+
+/// Options for the plan-driven sharded campaign mode.
+struct ShardedCampaignOptions {
+  /// Worker threads across shards; clamped to the shard count, minimum 1.
+  /// Shards share no mutable lab state, so the report is identical for any
+  /// worker count.
+  std::size_t workers = 1;
+  /// Debug validation oracle: also run the monolithic shared-lab campaign
+  /// and record certificate_violations() of the pair into
+  /// CampaignReport::oracle_violations. Expensive (a second full campaign);
+  /// meant for tests and the differential sweep, not production.
+  bool validate_certificates = false;
 };
 
 /// Shared-lab campaign execution (see the block comment above).
@@ -153,7 +178,37 @@ class Fleet {
   /// Runs the seeded interleaving on one shared testbed lab, then classifies
   /// every alert against per-stream solo baselines.
   [[nodiscard]] static CampaignReport run_campaign(const CampaignSpec& spec);
+
+  /// Plan-driven sharded mode: each shard of `plan` runs the global schedule
+  /// filtered to its streams against its OWN lab — backend, engine (and so
+  /// RuleWorldCache / verdict cache), V3 simulator — across a worker pool,
+  /// lock-free. Out-of-shard arm poses are served from a frozen epoch-0
+  /// snapshot taken at campaign start (sound because a certificate proves
+  /// the out-of-shard arms can never enter this shard's envelopes). Alerts
+  /// are classified against solo baselines exactly as in the monolithic
+  /// mode and merged deterministically in global-schedule order, so the
+  /// report is independent of worker count and shard execution order.
+  /// `halt_on_alert` is shard-local here: an alert halts its own shard only.
+  /// Throws std::runtime_error when the plan does not cover spec.streams.
+  [[nodiscard]] static CampaignReport run_campaign(const CampaignSpec& spec,
+                                                   const analysis::ShardPlan& plan,
+                                                   const ShardedCampaignOptions& options = {});
 };
+
+/// The runtime half of the independence-certificate check (the static half is
+/// analysis::verify_plan): diffs a monolithic run against a plan-driven run
+/// of the SAME spec. Reported violations:
+///   - a stream's (command index, rule) alert set differs between the two
+///     runs — some out-of-shard stream observably influenced it, so a
+///     certificate lied (this half assumes both runs checked their full
+///     schedules, i.e. halt_on_alert was false);
+///   - a stream in a singleton shard — certified independent of every other
+///     stream — carries a cross-stream-classified alert in either run.
+/// Empty result: no certified-independent pair produced any cross-stream
+/// effect. Wired into the differential sweep as the runtime soundness gate.
+[[nodiscard]] std::vector<std::string> certificate_violations(const analysis::ShardPlan& plan,
+                                                              const CampaignReport& monolithic,
+                                                              const CampaignReport& sharded);
 
 /// Parses the rabit_lint --fleet campaign format:
 ///   { "seed": 7, "variant": "modified", "halt_on_alert": false,

@@ -82,6 +82,71 @@ TEST(Interference, IntervalAccumulateSumsAndUniteHulls) {
   EXPECT_EQ(point.format(), "3");
 }
 
+TEST(Interference, IntervalFirstWriteSetsRegardlessOfOperator) {
+  // On an unset interval both operators behave identically: they install the
+  // first contribution verbatim (no phantom [0, 0] summand / hull member).
+  Interval via_sum;
+  via_sum.accumulate(-2.0, 3.0);
+  Interval via_union;
+  via_union.unite(-2.0, 3.0);
+  EXPECT_TRUE(via_sum.same_as(via_union));
+  EXPECT_DOUBLE_EQ(via_sum.lo, -2.0);
+  EXPECT_DOUBLE_EQ(via_sum.hi, 3.0);
+
+  // Reversed bounds are normalised on entry, for either operator.
+  Interval swapped;
+  swapped.accumulate(5.0, 1.0);
+  EXPECT_DOUBLE_EQ(swapped.lo, 1.0);
+  EXPECT_DOUBLE_EQ(swapped.hi, 5.0);
+  Interval swapped_union;
+  swapped_union.unite(4.0, -4.0);
+  EXPECT_DOUBLE_EQ(swapped_union.lo, -4.0);
+  EXPECT_DOUBLE_EQ(swapped_union.hi, 4.0);
+}
+
+TEST(Interference, IntervalMixingSumAndUnionIsOrderDependent) {
+  // accumulate (Σ) and unite (∪) do not commute; a caller that mixes them on
+  // one interval gets whichever lattice the *last* operator implies. The test
+  // pins the exact behaviour so an accidental mix in the analyzer shows up as
+  // a differential failure rather than a silent near-miss.
+  Interval sum_then_union;
+  sum_then_union.accumulate(1.0, 2.0);
+  sum_then_union.accumulate(1.0, 2.0);  // running sum: [2, 4]
+  sum_then_union.unite(10.0, 11.0);     // hull with [10, 11]: [2, 11]
+  EXPECT_DOUBLE_EQ(sum_then_union.lo, 2.0);
+  EXPECT_DOUBLE_EQ(sum_then_union.hi, 11.0);
+
+  Interval union_then_sum;
+  union_then_sum.unite(1.0, 2.0);
+  union_then_sum.unite(10.0, 11.0);    // hull: [1, 11]
+  union_then_sum.accumulate(1.0, 2.0);  // sum shifts the hull: [2, 13]
+  EXPECT_DOUBLE_EQ(union_then_sum.lo, 2.0);
+  EXPECT_DOUBLE_EQ(union_then_sum.hi, 13.0);
+  EXPECT_FALSE(sum_then_union.same_as(union_then_sum));
+}
+
+TEST(Interference, IntervalSameAsDistinguishesNeverWrittenFromZero) {
+  // A never-written interval and an explicit [0, 0] contribution are
+  // different facts: "no consumable touched" vs "touched with zero net
+  // delta". same_as must keep them apart (the I6 budget check relies on it),
+  // and format renders them differently.
+  Interval never;
+  Interval zero;
+  zero.accumulate(0.0, 0.0);
+  EXPECT_FALSE(never.set);
+  EXPECT_TRUE(zero.set);
+  EXPECT_FALSE(never.same_as(zero));
+  EXPECT_FALSE(zero.same_as(never));
+  EXPECT_TRUE(never.same_as(Interval{}));
+  EXPECT_EQ(never.format(), "[]");
+  EXPECT_EQ(zero.format(), "0");
+
+  // Once written, a zero-delta interval participates in sums normally.
+  zero.accumulate(-1.0, 1.0);
+  EXPECT_DOUBLE_EQ(zero.lo, -1.0);
+  EXPECT_DOUBLE_EQ(zero.hi, 1.0);
+}
+
 // --- phase 1: stream summaries ------------------------------------------------
 
 TEST(Interference, SummaryCapturesFootprintsSetpointsAndDeltas) {

@@ -19,6 +19,13 @@
 //     --config-only          lint only the configuration and exit
 //     --fleet <campaign.json> summarize every stream of the campaign and run
 //                            the pairwise interference checks (I1..I6)
+//     --shard-plan           with --fleet: build the static shard plan
+//                            (conflict graph, shards, independence
+//                            certificates, S1..S3 diagnostics) and print it
+//                            (text, or JSON under --json)
+//     --max-shard-streams <n> S1 bound: warn when any shard holds more than
+//                            n streams (default 0: warn only when the whole
+//                            campaign collapses into one shard)
 //     --demo-bugs            run the §IV bug-catalogue command streams
 //                            through the analyzer and print what it flags
 //     --strict               a budget-truncated (possibly incomplete) report
@@ -53,6 +60,8 @@ void print_usage(std::FILE* out, const char* argv0) {
                "  --config <file.json>   lint against this configuration\n"
                "  --config-only          lint only the configuration and exit\n"
                "  --fleet <campaign.json> interference-check a fleet campaign\n"
+               "  --shard-plan           with --fleet: print the static shard plan\n"
+               "  --max-shard-streams <n> S1 bound for --shard-plan (default 0)\n"
                "  --demo-bugs            analyze the built-in bug-catalogue streams\n"
                "  --strict               truncated reports also fail the run\n"
                "  --max-diagnostics <n>  cap the per-report diagnostic count\n"
@@ -115,7 +124,8 @@ int demo_bugs(const core::EngineConfig& config, const analysis::AnalyzeOptions& 
 /// degenerate one), then the phase-2 interference checks. Prints each
 /// stream's own single-stream report followed by the campaign report.
 bool lint_fleet(const core::EngineConfig& config, const std::string& path,
-                const analysis::AnalyzeOptions& options, bool as_json, bool strict) {
+                const analysis::AnalyzeOptions& options, bool as_json, bool strict,
+                bool shard_plan, const analysis::ShardPlanOptions& plan_options) {
   std::ifstream in(path);
   if (!in) {
     std::fprintf(stderr, "error: cannot open '%s'\n", path.c_str());
@@ -150,6 +160,20 @@ bool lint_fleet(const core::EngineConfig& config, const std::string& path,
       analysis::check_interference(config, summaries, options);
   failed |= interference.has_errors() || (strict && interference.truncated);
   print_report(path + " · campaign interference", interference, as_json);
+
+  if (shard_plan) {
+    analysis::ShardPlan plan = analysis::plan_shards(config, summaries, plan_options);
+    failed |= strict && plan.truncated;
+    if (as_json) {
+      json::Value doc = analysis::plan_to_json(plan);
+      json::Object wrapped;
+      wrapped["subject"] = path + " · shard plan";
+      for (const auto& [key, value] : doc.as_object()) wrapped[key] = value;
+      std::printf("%s\n", json::serialize_pretty(json::Value(std::move(wrapped))).c_str());
+    } else {
+      std::printf("%s · shard plan\n%s", path.c_str(), analysis::format_plan(plan).c_str());
+    }
+  }
   return failed;
 }
 
@@ -162,7 +186,9 @@ int main(int argc, char** argv) {
   bool config_only = false;
   bool run_demo_bugs = false;
   bool strict = false;
+  bool shard_plan = false;
   analysis::AnalyzeOptions options;
+  analysis::ShardPlanOptions plan_options;
   std::vector<std::string> scripts;
 
   for (int i = 1; i < argc; ++i) {
@@ -179,6 +205,19 @@ int main(int argc, char** argv) {
       run_demo_bugs = true;
     } else if (arg == "--strict") {
       strict = true;
+    } else if (arg == "--shard-plan") {
+      shard_plan = true;
+    } else if (arg == "--max-shard-streams") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "error: --max-shard-streams needs a number argument\n");
+        return 2;
+      }
+      int n = std::atoi(argv[++i]);
+      if (n < 0) {
+        std::fprintf(stderr, "error: --max-shard-streams must be >= 0\n");
+        return 2;
+      }
+      plan_options.max_shard_streams = static_cast<std::size_t>(n);
     } else if (arg == "--max-diagnostics") {
       if (i + 1 >= argc) {
         std::fprintf(stderr, "error: --max-diagnostics needs a number argument\n");
@@ -211,6 +250,10 @@ int main(int argc, char** argv) {
   }
   if (scripts.empty() && !config_only && !run_demo_bugs && fleet_path.empty()) {
     print_usage(stderr, argv[0]);
+    return 2;
+  }
+  if (shard_plan && fleet_path.empty()) {
+    std::fprintf(stderr, "error: --shard-plan requires --fleet <campaign.json>\n");
     return 2;
   }
 
@@ -252,7 +295,7 @@ int main(int argc, char** argv) {
   }
 
   if (!fleet_path.empty()) {
-    failed |= lint_fleet(config, fleet_path, options, as_json, strict);
+    failed |= lint_fleet(config, fleet_path, options, as_json, strict, shard_plan, plan_options);
   }
 
   for (const std::string& path : scripts) {
