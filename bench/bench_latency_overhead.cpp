@@ -157,6 +157,78 @@ int print_obs_overhead_gate() {
   return pass ? 0 : 1;
 }
 
+// --- runtime-assurance overhead gate ----------------------------------------
+//
+// PR 7's decision module adds a per-motion fast path to every supervised V3
+// step: one inflated boolean trajectory query per leg, served by the same
+// epoch-versioned verdict cache as the base check. The full signed-margin
+// profile runs only when that query trips, so clean workflows — the steady
+// state — must see near-zero cost. This gate runs the testbed workflow
+// end-to-end under supervision with assurance off and on (fresh lab each
+// run, GUI bypassed, dense-world V3 checks) and gates the wall-clock delta
+// at <5%. Rounds are interleaved and keep per-configuration minima so load
+// spikes hit both sides alike.
+
+double supervised_run_us_per_cmd(bool assurance_on) {
+  // One timed sample is several complete fresh-lab runs: a single workflow
+  // takes only ~1 ms, far too close to scheduler noise to gate on alone.
+  constexpr int kRunsPerSample = 16;
+  double total_us = 0.0;
+  double total_steps = 0.0;
+  for (int run = 0; run < kRunsPerSample; ++run) {
+    auto backend = make_testbed();
+    auto commands = script::record_workflow(*backend, script::testbed_workflow_source());
+    EngineBundle bundle =
+        make_engine(*backend, core::Variant::ModifiedWithSim, /*gui_enabled=*/false);
+    trace::Supervisor::Options options;
+    if (assurance_on) options.assurance = assurance::AssuranceConfig{};
+    trace::Supervisor supervisor(bundle.engine.get(), backend.get(), options);
+    auto t0 = std::chrono::steady_clock::now();
+    trace::RunReport report = supervisor.run(commands);
+    auto t1 = std::chrono::steady_clock::now();
+    if (report.alerts != 0) std::printf("warning: assurance gate workflow alerted\n");
+    total_us += std::chrono::duration<double, std::micro>(t1 - t0).count();
+    total_steps += static_cast<double>(report.steps.size());
+  }
+  return total_us / total_steps;
+}
+
+int print_assurance_overhead_gate() {
+  print_header("Runtime-assurance overhead (supervised V3 workflow)",
+               "RTA-on must cost <5% vs the same supervised run with RTA off");
+
+  // A measurement is min-of-9 interleaved rounds; a load burst long enough
+  // to bias the minimum of one side still happens on shared CI boxes, so a
+  // gate breach re-measures (up to twice) and keeps the best attempt. A
+  // real fast-path regression is systematic and survives every retry.
+  constexpr int kRounds = 9;
+  constexpr int kAttempts = 3;
+  double best_off = 0.0, best_on = 0.0, overhead_pct = 0.0;
+  for (int attempt = 0; attempt < kAttempts; ++attempt) {
+    double off = 1e300, on = 1e300;
+    for (int r = 0; r < kRounds; ++r) {
+      off = std::min(off, supervised_run_us_per_cmd(false));
+      on = std::min(on, supervised_run_us_per_cmd(true));
+    }
+    double pct = 100.0 * (on - off) / off;
+    if (attempt == 0 || pct < overhead_pct) {
+      best_off = off;
+      best_on = on;
+      overhead_pct = pct;
+    }
+    if (overhead_pct < 5.0) break;
+  }
+  std::printf("%-44s %14s %10s\n", "Configuration", "us/command", "overhead");
+  print_rule();
+  std::printf("%-44s %14.2f %10s\n", "supervised, assurance off", best_off, "--");
+  std::printf("%-44s %14.2f %9.2f%%\n", "supervised, assurance on", best_on, overhead_pct);
+  print_rule();
+  bool pass = overhead_pct < 5.0;
+  std::printf("%s: RTA-on overhead %.2f%% (gate: <5%%)\n", pass ? "PASS" : "FAIL",
+              overhead_pct);
+  return pass ? 0 : 1;
+}
+
 // --- real CPU cost of the checks (not modeled) ------------------------------
 
 void BM_RealCheckCost_NoSim(benchmark::State& state) {
@@ -241,11 +313,15 @@ BENCHMARK(BM_FetchState);
 int main(int argc, char** argv) {
   // --obs-gate: run only the observability overhead gate (fast; wired into
   // ctest so a hook regression fails the suite, not just the nightly bench).
+  // --assurance-gate: run only the runtime-assurance overhead gate (same
+  // ctest wiring: a fast-path regression fails the suite).
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--obs-gate") == 0) return print_obs_overhead_gate();
+    if (std::strcmp(argv[i], "--assurance-gate") == 0) return print_assurance_overhead_gate();
   }
   print_latency();
   int gate = print_obs_overhead_gate();
+  gate += print_assurance_overhead_gate();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return gate;

@@ -106,6 +106,10 @@ FleetRow run_fleet(const fleet::StreamSpec& base, std::size_t streams, bool obs 
     spec.name = buf;
     spec.seed = 1000 + static_cast<unsigned>(i);
     spec.obs = obs;
+    // Every other stream runs with the runtime-assurance decision module on:
+    // margins are accurate here so verdicts are identical, but the TSan CI
+    // job now exercises the inflated-sweep fast path across worker threads.
+    spec.assurance = (i % 2 == 0);
     specs.push_back(std::move(spec));
   }
   FleetRow row;

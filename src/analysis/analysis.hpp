@@ -28,6 +28,7 @@
 #include "core/config.hpp"
 #include "devices/device.hpp"
 #include "json/json.hpp"
+#include "recovery/recovery.hpp"
 #include "script/ast.hpp"
 
 namespace rabit::core {
@@ -191,5 +192,14 @@ struct AnalyzeOptions {
 /// cuboids, soft walls referencing unknown arms — semantic checks the JSON
 /// schema cannot express.
 [[nodiscard]] AnalysisReport lint_config(const core::EngineConfig& config);
+
+/// CFG11 — recovery-policy sanity lint: fatal validation failures (zero or
+/// negative backoff, shrinking backoff factor, jitter outside [0,1),
+/// non-positive re-poll interval or watchdog) surface as errors, and a
+/// watchdog shorter than one worst-case backoff ladder as a warning. The
+/// same recovery::validate() the Supervisor enforces at construction, but
+/// at pre-flight time where a bad policy costs seconds instead of a
+/// mid-campaign escalation.
+[[nodiscard]] AnalysisReport lint_recovery_policy(const recovery::RecoveryPolicy& policy);
 
 }  // namespace rabit::analysis

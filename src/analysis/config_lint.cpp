@@ -277,4 +277,13 @@ AnalysisReport lint_config(const core::EngineConfig& config) {
   return report;
 }
 
+AnalysisReport lint_recovery_policy(const recovery::RecoveryPolicy& policy) {
+  AnalysisReport report;
+  for (const recovery::PolicyIssue& issue : recovery::validate(policy)) {
+    report.diagnostics.push_back(Diagnostic{
+        issue.fatal ? Severity::Error : Severity::Warning, "CFG11", issue.message, 0});
+  }
+  return report;
+}
+
 }  // namespace rabit::analysis

@@ -1,0 +1,62 @@
+#include "assurance/assurance.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace rabit::assurance {
+
+Decision decide(const sim::MarginProfile& profile, const AssuranceConfig& cfg) {
+  Decision d;
+  d.h_min_m = profile.min_margin_m;
+  d.stop_distance_m = cfg.stop_distance_m();
+  for (const sim::MarginSample& sample : profile.samples) {
+    if (sample.h < cfg.margin_min_m) {
+      d.demote = true;
+      d.s_viol_m = sample.s;
+      d.obstacle = sample.obstacle;
+      break;
+    }
+  }
+  if (!d.demote) return d;
+  d.s_star_m = std::max(0.0, d.s_viol_m - d.stop_distance_m);
+  return d;
+}
+
+geom::Vec3 point_at_arc_length(const std::vector<geom::Vec3>& waypoints, double s) {
+  if (waypoints.empty()) return {};
+  if (s <= 0.0) return waypoints.front();
+  double walked = 0.0;
+  for (std::size_t leg = 1; leg < waypoints.size(); ++leg) {
+    double length = waypoints[leg - 1].distance_to(waypoints[leg]);
+    if (walked + length >= s && length > 0.0) {
+      return geom::lerp(waypoints[leg - 1], waypoints[leg], (s - walked) / length);
+    }
+    walked += length;
+  }
+  return waypoints.back();
+}
+
+json::Value AssuranceEvent::to_json() const {
+  json::Object out;
+  out["device"] = device;
+  out["action"] = action;
+  out["barrier_m"] = barrier_m;
+  out["switch_s_m"] = switch_s_m;
+  out["violation_s_m"] = violation_s_m;
+  out["stop_distance_m"] = stop_distance_m;
+  out["trajectory_m"] = trajectory_m;
+  out["obstacle"] = obstacle;
+  out["controller"] = controller;
+  out["t"] = modeled_time_s;
+  return json::Value(std::move(out));
+}
+
+std::string AssuranceEvent::describe() const {
+  std::ostringstream os;
+  os << "demoted " << device << "." << action << " to " << controller << ": barrier "
+     << barrier_m << " m vs '" << obstacle << "' (floor crossed at s=" << violation_s_m
+     << " m of " << trajectory_m << " m, switched at s=" << switch_s_m << " m)";
+  return os.str();
+}
+
+}  // namespace rabit::assurance

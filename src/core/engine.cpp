@@ -41,9 +41,15 @@ void RabitEngine::attach_simulator(sim::ExtendedSimulator* simulator) {
 }
 
 void RabitEngine::initialize(const dev::LabStateSnapshot& observed) {
+  invalidate_motion_cache();
   tracker_.initialize(observed);
   stats_ = Stats{};
   base_overhead_s_ = 0.0;
+}
+
+void RabitEngine::invalidate_motion_cache() {
+  last_motion_cmd_.reset();
+  last_motion_.reset();
 }
 
 namespace {
@@ -69,6 +75,7 @@ std::optional<dev::Command> canonicalize_aliased(const EngineConfig& config,
 std::optional<Alert> RabitEngine::check_command(const dev::Command& raw) {
   ++stats_.commands_checked;
   base_overhead_s_ += kBaseCheckCost_s;
+  last_margin_tripped_ = false;
   // Observability hook: when a span is attached, each pipeline phase records
   // its modeled duration (deterministic, exported) and wall microseconds
   // (histograms only). Disabled, every hook below is one branch on span_.
@@ -116,17 +123,36 @@ std::optional<Alert> RabitEngine::check_command(const dev::Command& raw) {
       // The simulator polls the robot's real position when it can (URSim
       // style); RABIT's tracked position is only the fallback. This is what
       // catches a preceding silently-skipped move (footnote 2).
-      std::vector<geom::Vec3> waypoints = motion->waypoints;
       if (auto actual = simulator_->polled_arm_position(motion->arm_id)) {
-        waypoints.front() = *actual;
+        motion->waypoints.front() = *actual;
       }
       // Deliberate-entry boxes are skipped via the read-only ignore filter —
       // the world itself is never mutated by a check, so a throwing
       // validation can no longer lose boxes and concurrent checks are safe.
+      const std::vector<geom::Vec3>& waypoints = motion->waypoints;
+      const double margin = assurance_margin_;
       std::optional<sim::CollisionReport> hit;
       for (std::size_t i = 1; i < waypoints.size() && !hit; ++i) {
-        hit = simulator_->validate_trajectory(waypoints[i - 1], waypoints[i],
-                                              motion->held_clearance, motion->ignores);
+        // With an assurance margin set this is the inflated sweep — same
+        // sampling, same modeled charge; otherwise the plain replay.
+        hit = margin > 0.0 ? simulator_->validate_trajectory_margin(
+                                 waypoints[i - 1], waypoints[i], motion->held_clearance,
+                                 motion->ignores, margin, /*charge_modeled=*/true)
+                           : simulator_->validate_trajectory(waypoints[i - 1], waypoints[i],
+                                                             motion->held_clearance,
+                                                             motion->ignores);
+      }
+      if (hit && margin > 0.0) {
+        // Inflated trip: re-check uninflated (uncharged — the modeled cost
+        // was paid above) so alert verdicts stay exactly the uninflated
+        // ones; a trip the re-check clears is the demotion signal.
+        hit.reset();
+        for (std::size_t i = 1; i < waypoints.size() && !hit; ++i) {
+          hit = simulator_->validate_trajectory_margin(waypoints[i - 1], waypoints[i],
+                                                       motion->held_clearance, motion->ignores,
+                                                       /*margin=*/0.0);
+        }
+        last_margin_tripped_ = !hit;
       }
       if (hit) {
         ++stats_.trajectory_alerts;
@@ -134,6 +160,8 @@ std::optional<Alert> RabitEngine::check_command(const dev::Command& raw) {
         return Alert{AlertKind::InvalidTrajectory, "SIM",
                      motion->arm_id + " trajectory unsafe: " + hit->describe(), cmd};
       }
+      last_motion_cmd_ = raw;
+      last_motion_ = std::move(*motion);
     }
   } else if (simulator_ == nullptr && config_.variant == Variant::ModifiedWithSim &&
              is_motion_command(cmd)) {
@@ -147,7 +175,28 @@ std::optional<Alert> RabitEngine::check_command(const dev::Command& raw) {
   return std::nullopt;
 }
 
+std::optional<MotionAnalysis> RabitEngine::motion_analysis(const dev::Command& raw) const {
+  // Served from check_command's replay when asked about the command it just
+  // checked (invalidated on every tracked-state mutation, so a hit can never
+  // be stale). The assurance fast path lands here once per motion.
+  if (last_motion_ && last_motion_cmd_ && last_motion_cmd_->device == raw.device &&
+      last_motion_cmd_->action == raw.action && last_motion_cmd_->args == raw.args) {
+    return last_motion_;
+  }
+  std::optional<dev::Command> aliased = canonicalize_aliased(config_, raw);
+  const dev::Command& cmd = aliased ? *aliased : raw;
+  if (!is_motion_command(cmd)) return std::nullopt;
+  std::optional<MotionAnalysis> motion = analyze_motion(config_, tracker_, cmd);
+  if (motion && simulator_ != nullptr && !motion->waypoints.empty()) {
+    if (auto actual = simulator_->polled_arm_position(motion->arm_id)) {
+      motion->waypoints.front() = *actual;
+    }
+  }
+  return motion;
+}
+
 void RabitEngine::apply_expected(const dev::Command& cmd) {
+  invalidate_motion_cache();
   std::optional<dev::Command> aliased = canonicalize_aliased(config_, cmd);
   tracker_.apply_postconditions(aliased ? *aliased : cmd);
 }
@@ -166,6 +215,7 @@ std::vector<std::string> RabitEngine::postcondition_mismatches(
 }
 
 void RabitEngine::resync_observed(const dev::LabStateSnapshot& observed) {
+  invalidate_motion_cache();
   tracker_.resync(observed);
   ++stats_.resyncs;
 }

@@ -41,6 +41,9 @@ class RabitEngine {
   /// Pass nullptr to detach.
   void attach_simulator(sim::ExtendedSimulator* simulator);
   [[nodiscard]] bool simulator_attached() const { return simulator_ != nullptr; }
+  /// The attached simulator (null when detached). The runtime-assurance
+  /// decision module issues its margin queries through this.
+  [[nodiscard]] sim::ExtendedSimulator* simulator() const { return simulator_; }
 
   [[nodiscard]] const EngineConfig& config() const { return config_; }
   [[nodiscard]] const StateTracker& tracker() const { return tracker_; }
@@ -63,6 +66,13 @@ class RabitEngine {
   /// Aliased command names (DeviceMeta::action_aliases) are canonicalized
   /// before rule evaluation.
   [[nodiscard]] std::optional<Alert> check_command(const dev::Command& cmd);
+
+  /// The motion geometry check_command() would replay for `cmd` — arm id,
+  /// waypoints (front overridden by the simulator's polled actual position
+  /// when available), held clearance and deliberate-entry ignores — or
+  /// nullopt for non-motion commands / unresolvable targets. Read-only; the
+  /// runtime-assurance layer derives its barrier profile from this.
+  [[nodiscard]] std::optional<MotionAnalysis> motion_analysis(const dev::Command& cmd) const;
 
   /// Fig. 2 line 11: advances S_current to S_expected for a command that is
   /// about to execute.
@@ -97,6 +107,21 @@ class RabitEngine {
   /// Non-owning; the trace::Supervisor points this at its per-command span.
   void set_span(obs::SpanRecord* span) { span_ = span; }
   [[nodiscard]] obs::SpanRecord* span() const { return span_; }
+
+  /// Runtime-assurance hook. When set > 0, the V3 trajectory replay sweeps
+  /// with every obstacle inflated by this margin — the SAME single sweep,
+  /// just a constant added to each clearance test, so the assurance fast
+  /// path costs nothing extra on clean motions. A trip triggers one
+  /// uninflated re-check so alert verdicts stay exactly the paper's; the
+  /// gap between the two sweeps (inflated trips, uninflated clean) is
+  /// surfaced via last_margin_tripped() as the demotion signal. 0 disables
+  /// (the default; non-assurance runs are untouched).
+  void set_assurance_margin(double margin) { assurance_margin_ = margin; }
+  [[nodiscard]] double assurance_margin() const { return assurance_margin_; }
+  /// Did the last check_command()'s replay trip the inflated sweep while
+  /// the uninflated verdict stayed clean? (Always false when the margin is
+  /// unset, the command was no motion, or the replay alerted.)
+  [[nodiscard]] bool last_margin_tripped() const { return last_margin_tripped_; }
 
   struct Stats {
     std::size_t commands_checked = 0;
@@ -143,6 +168,16 @@ class RabitEngine {
   HotPathConfig hot_path_;
   RuleWorldCache rule_world_cache_;
   obs::SpanRecord* span_ = nullptr;
+  void invalidate_motion_cache();
+  double assurance_margin_ = 0.0;
+  bool last_margin_tripped_ = false;
+  /// The last V3 trajectory replay's analysis (polled front waypoint already
+  /// applied), keyed by the raw command that produced it. motion_analysis()
+  /// serves from here when asked about the command check_command() just
+  /// replayed, so the assurance fast path never re-plans the same motion.
+  /// Cleared on any check that does not replay a trajectory.
+  std::optional<dev::Command> last_motion_cmd_;
+  std::optional<MotionAnalysis> last_motion_;
 };
 
 }  // namespace rabit::core

@@ -93,6 +93,7 @@ StreamResult FleetRunner::run_stream(const StreamSpec& spec) {
 
   trace::Supervisor::Options sup_options;
   sup_options.halt_on_alert = spec.halt_on_alert;
+  if (spec.assurance) sup_options.assurance = assurance::AssuranceConfig{};
   if (spec.obs) {
     // Sharded sinks: each stream observes into its own collector/registry,
     // so workers never contend (or race) on observability state; the fleet

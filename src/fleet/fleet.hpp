@@ -40,6 +40,10 @@ struct StreamSpec {
   /// share observability state) and merges them in StreamSpec order at
   /// join, so the combined export is byte-identical across worker counts.
   bool obs = false;
+  /// Enable the runtime-assurance decision module (default config) on this
+  /// stream's Supervisor (V3 streams only; a no-op elsewhere). Streams stay
+  /// fully independent — the margin queries hit the stream's own simulator.
+  bool assurance = false;
 };
 
 /// Builds the standard testbed stream: a Hein-testbed deck seeded with

@@ -86,6 +86,28 @@ bool approx_equal(const Aabb& a, const Aabb& b, double tol) {
   return approx_equal(a.min, b.min, tol) && approx_equal(a.max, b.max, tol);
 }
 
+double signed_distance(const Aabb& box, const Vec3& p) {
+  if (!box.contains(p)) return box.distance_to(p);
+  double depth = std::min({p.x - box.min.x, box.max.x - p.x, p.y - box.min.y, box.max.y - p.y,
+                           p.z - box.min.z, box.max.z - p.z});
+  return -depth;
+}
+
+double signed_distance(const Aabb& a, const Aabb& b) {
+  // Per-axis gap (positive) or overlap (negative).
+  double gx = std::max(a.min.x - b.max.x, b.min.x - a.max.x);
+  double gy = std::max(a.min.y - b.max.y, b.min.y - a.max.y);
+  double gz = std::max(a.min.z - b.max.z, b.min.z - a.max.z);
+  if (gx <= 0 && gy <= 0 && gz <= 0) {
+    // Overlapping: penetration depth along the easiest separating axis.
+    return std::max({gx, gy, gz});
+  }
+  double dx = std::max(0.0, gx);
+  double dy = std::max(0.0, gy);
+  double dz = std::max(0.0, gz);
+  return std::sqrt(dx * dx + dy * dy + dz * dz);
+}
+
 // ---------------------------------------------------------------------------
 // Segment queries
 // ---------------------------------------------------------------------------

@@ -109,6 +109,15 @@ struct Aabb {
 
 [[nodiscard]] bool approx_equal(const Aabb& a, const Aabb& b, double tol = 1e-6);
 
+/// Signed distance from `p` to the box surface: positive outside (Euclidean
+/// clearance), negative inside (depth to the nearest face). The runtime
+/// assurance barrier h(s) is built from this.
+[[nodiscard]] double signed_distance(const Aabb& box, const Vec3& p);
+
+/// Signed separation of two boxes: positive = smallest Euclidean gap between
+/// them, negative = smallest per-axis penetration depth when they overlap.
+[[nodiscard]] double signed_distance(const Aabb& a, const Aabb& b);
+
 // ---------------------------------------------------------------------------
 
 struct Segment {

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <stdexcept>
 
 namespace rabit::geom {
@@ -117,6 +118,40 @@ bool Solid::intersects_box(const Aabb& box) const {
         }
       },
       data_);
+}
+
+double distance_to(const Solid& s, const Vec3& p) {
+  switch (s.kind()) {
+    case Solid::Kind::Box:
+      return s.as_box().distance_to(p);
+    case Solid::Kind::Cylinder: {
+      const Solid::CylinderData& c = s.as_cylinder();
+      double dx = p.x - c.base_center.x;
+      double dy = p.y - c.base_center.y;
+      double radial = std::max(0.0, std::sqrt(dx * dx + dy * dy) - c.radius);
+      double axial =
+          std::max({0.0, c.base_center.z - p.z, p.z - (c.base_center.z + c.height)});
+      return std::sqrt(radial * radial + axial * axial);
+    }
+    case Solid::Kind::Hemisphere: {
+      const Solid::HemisphereData& h = s.as_hemisphere();
+      if (p.z >= h.dome_base_center.z) {
+        return std::max(0.0, p.distance_to(h.dome_base_center) - h.radius);
+      }
+      // Below the base plane: closest feature is the base disk (or its rim).
+      double dx = p.x - h.dome_base_center.x;
+      double dy = p.y - h.dome_base_center.y;
+      double radial = std::max(0.0, std::sqrt(dx * dx + dy * dy) - h.radius);
+      double below = h.dome_base_center.z - p.z;
+      return std::sqrt(radial * radial + below * below);
+    }
+    case Solid::Kind::Compound: {
+      double best = std::numeric_limits<double>::infinity();
+      for (const Solid& part : s.as_compound()) best = std::min(best, distance_to(part, p));
+      return best;
+    }
+  }
+  return 0.0;
 }
 
 }  // namespace rabit::geom

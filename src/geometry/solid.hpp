@@ -70,4 +70,8 @@ class Solid {
   Aabb bounds_;
 };
 
+/// Euclidean distance from `p` to the solid's surface, 0 when `p` is inside
+/// or on it. Exact for every kind (the clearance side of the RTA barrier).
+[[nodiscard]] double distance_to(const Solid& s, const Vec3& p);
+
 }  // namespace rabit::geom

@@ -1,6 +1,7 @@
 #include "recovery/recovery.hpp"
 
 #include <sstream>
+#include <stdexcept>
 
 namespace rabit::recovery {
 
@@ -15,8 +16,109 @@ double BackoffClock::wait_s(std::size_t attempt) {
   return wait;
 }
 
+double worst_case_ladder_s(const RecoveryPolicy& policy) {
+  double total = 0.0;
+  double wait = policy.backoff_base_s;
+  for (std::size_t attempt = 1; attempt <= policy.max_retries; ++attempt) {
+    total += wait * (1.0 + policy.backoff_jitter);
+    wait *= policy.backoff_factor;
+  }
+  total += static_cast<double>(policy.max_status_repolls) * policy.repoll_interval_s;
+  return total;
+}
+
+std::vector<PolicyIssue> validate(const RecoveryPolicy& policy) {
+  std::vector<PolicyIssue> issues;
+  auto fatal = [&issues](std::string message) {
+    issues.push_back(PolicyIssue{true, std::move(message)});
+  };
+  std::ostringstream os;
+  if (!(policy.backoff_base_s > 0.0)) {
+    os << "backoff_base_s must be positive (got " << policy.backoff_base_s << ")";
+    fatal(os.str());
+    os.str("");
+  }
+  if (!(policy.backoff_factor >= 1.0)) {
+    os << "backoff_factor must be >= 1 (got " << policy.backoff_factor
+       << "); a shrinking backoff hammers a busy device faster each attempt";
+    fatal(os.str());
+    os.str("");
+  }
+  if (!(policy.backoff_jitter >= 0.0 && policy.backoff_jitter < 1.0)) {
+    os << "backoff_jitter must lie in [0, 1) (got " << policy.backoff_jitter
+       << "); jitter >= 1 can produce a zero or negative wait";
+    fatal(os.str());
+    os.str("");
+  }
+  if (!(policy.repoll_interval_s > 0.0)) {
+    os << "repoll_interval_s must be positive (got " << policy.repoll_interval_s << ")";
+    fatal(os.str());
+    os.str("");
+  }
+  if (!(policy.watchdog_timeout_s > 0.0)) {
+    os << "watchdog_timeout_s must be positive (got " << policy.watchdog_timeout_s << ")";
+    fatal(os.str());
+    os.str("");
+  } else {
+    double ladder = worst_case_ladder_s(policy);
+    if (policy.watchdog_timeout_s < ladder) {
+      os << "watchdog_timeout_s (" << policy.watchdog_timeout_s
+         << " s) is shorter than one worst-case backoff ladder (" << ladder
+         << " s): the watchdog can expire mid-ladder on a fault the retry "
+            "budget was sized to absorb";
+      issues.push_back(PolicyIssue{false, os.str()});
+      os.str("");
+    }
+  }
+  return issues;
+}
+
+RecoveryPolicy policy_from_json(const json::Value& doc) {
+  if (!doc.is_object()) throw std::runtime_error("recovery policy must be an object");
+  RecoveryPolicy p;
+  for (const auto& [key, value] : doc.as_object()) {
+    if (key == "max_retries") {
+      p.max_retries = static_cast<std::size_t>(value.as_double());
+    } else if (key == "backoff_base_s") {
+      p.backoff_base_s = value.as_double();
+    } else if (key == "backoff_factor") {
+      p.backoff_factor = value.as_double();
+    } else if (key == "backoff_jitter") {
+      p.backoff_jitter = value.as_double();
+    } else if (key == "jitter_seed") {
+      p.jitter_seed = static_cast<unsigned>(value.as_double());
+    } else if (key == "max_status_repolls") {
+      p.max_status_repolls = static_cast<std::size_t>(value.as_double());
+    } else if (key == "repoll_interval_s") {
+      p.repoll_interval_s = value.as_double();
+    } else if (key == "watchdog_timeout_s") {
+      p.watchdog_timeout_s = value.as_double();
+    } else if (key == "safe_state_on_escalation") {
+      p.safe_state_on_escalation = value.as_bool();
+    } else {
+      throw std::runtime_error("recovery policy: unknown key '" + key + "'");
+    }
+  }
+  return p;
+}
+
+json::Value policy_to_json(const RecoveryPolicy& policy) {
+  json::Object out;
+  out["max_retries"] = policy.max_retries;
+  out["backoff_base_s"] = policy.backoff_base_s;
+  out["backoff_factor"] = policy.backoff_factor;
+  out["backoff_jitter"] = policy.backoff_jitter;
+  out["jitter_seed"] = static_cast<double>(policy.jitter_seed);
+  out["max_status_repolls"] = policy.max_status_repolls;
+  out["repoll_interval_s"] = policy.repoll_interval_s;
+  out["watchdog_timeout_s"] = policy.watchdog_timeout_s;
+  out["safe_state_on_escalation"] = policy.safe_state_on_escalation;
+  return json::Value(std::move(out));
+}
+
 std::string_view to_string(RecoveryEvent::Kind k) {
   switch (k) {
+    case RecoveryEvent::Kind::Demoted: return "demoted";
     case RecoveryEvent::Kind::Retry: return "retry";
     case RecoveryEvent::Kind::Repoll: return "repoll";
     case RecoveryEvent::Kind::WatchdogExpired: return "watchdog_expired";
@@ -53,6 +155,10 @@ json::Value RecoveryReport::to_json() const {
     evs.emplace_back(std::move(ev));
   }
   out["events"] = std::move(evs);
+  out["demotions"] = demotions;
+  json::Array asr;
+  for (const assurance::AssuranceEvent& e : assurance) asr.emplace_back(e.to_json());
+  out["assurance"] = std::move(asr);
   return json::Value(std::move(out));
 }
 
@@ -60,6 +166,7 @@ std::string RecoveryReport::describe() const {
   std::ostringstream os;
   os << "recovery: " << retries << " retries, " << repolls << " repolls, "
      << transients_absorbed << " transients absorbed";
+  if (demotions > 0) os << ", " << demotions << " demotions to the safe controller";
   if (watchdog_expirations > 0) os << ", " << watchdog_expirations << " watchdog expirations";
   if (!quarantined.empty()) {
     os << "; quarantined:";

@@ -25,6 +25,7 @@
 #include <random>
 #include <set>
 
+#include "assurance/assurance.hpp"
 #include "devices/device.hpp"
 #include "json/json.hpp"
 #include "sim/backend.hpp"
@@ -58,6 +59,36 @@ struct RecoveryPolicy {
   bool safe_state_on_escalation = true;
 };
 
+/// One problem validate() found with a policy. Fatal issues make the ladder
+/// nonsensical (the Supervisor refuses the policy); advisory ones are merely
+/// suspicious and surface as config-lint warnings.
+struct PolicyIssue {
+  bool fatal = false;
+  std::string message;
+};
+
+/// Sum of the worst-case ladder for ONE command under `policy`: every retry
+/// wait at maximum jitter plus every status re-poll interval. A watchdog
+/// shorter than this can expire mid-ladder on a fault the ladder was sized
+/// to absorb.
+[[nodiscard]] double worst_case_ladder_s(const RecoveryPolicy& policy);
+
+/// Validates a policy. Fatal: non-positive backoff_base_s/repoll_interval_s/
+/// watchdog_timeout_s, backoff_factor < 1, jitter outside [0, 1). Advisory:
+/// watchdog_timeout_s < worst_case_ladder_s (the ladder cannot finish).
+[[nodiscard]] std::vector<PolicyIssue> validate(const RecoveryPolicy& policy);
+
+/// Parses the optional top-level "recovery" object of a RABIT config:
+///   {"max_retries": 4, "backoff_base_s": 0.5, "backoff_factor": 2.0,
+///    "backoff_jitter": 0.25, "jitter_seed": 1, "max_status_repolls": 3,
+///    "repoll_interval_s": 0.5, "watchdog_timeout_s": 60.0,
+///    "safe_state_on_escalation": true}
+/// Unknown keys throw std::runtime_error naming the key; all fields are
+/// optional and default to RecoveryPolicy{}. Range checking is validate()'s
+/// job, not the parser's.
+[[nodiscard]] RecoveryPolicy policy_from_json(const json::Value& doc);
+[[nodiscard]] json::Value policy_to_json(const RecoveryPolicy& policy);
+
 /// Deterministic backoff-wait generator. One instance per supervised run.
 class BackoffClock {
  public:
@@ -78,7 +109,7 @@ class BackoffClock {
 
 /// What one entry of the ladder did.
 struct RecoveryEvent {
-  enum class Kind { Retry, Repoll, WatchdogExpired, Quarantine, SafeState, Halt };
+  enum class Kind { Demoted, Retry, Repoll, WatchdogExpired, Quarantine, SafeState, Halt };
   Kind kind = Kind::Retry;
   std::string device;
   std::string action;
@@ -102,6 +133,11 @@ struct RecoveryReport {
   bool halted = false;
   double recovery_time_s = 0.0;  ///< modeled time spent waiting and re-polling
   std::vector<RecoveryEvent> events;
+  /// Runtime-assurance rung (top of the ladder): commands demoted to the
+  /// verified-safe controller before execution, with the barrier math that
+  /// justified each switch.
+  std::size_t demotions = 0;
+  std::vector<assurance::AssuranceEvent> assurance;
 
   [[nodiscard]] bool escalated() const { return !quarantined.empty() || halted; }
   [[nodiscard]] json::Value to_json() const;

@@ -41,6 +41,7 @@ std::size_t ExtendedSimulator::VerdictKeyHash::operator()(const VerdictKey& k) c
   hash_combine(seed, hd(k.goal.y));
   hash_combine(seed, hd(k.goal.z));
   hash_combine(seed, hd(k.clearance));
+  hash_combine(seed, hd(k.inflate));
   for (const std::string& s : k.ignore) hash_combine(seed, hs(s));
   return seed;
 }
@@ -96,10 +97,11 @@ std::uint64_t ExtendedSimulator::world_revision() const {
 
 std::optional<CollisionReport> ExtendedSimulator::cached_path_check(
     const geom::Vec3& start, const geom::Vec3& goal, double held_clearance,
-    const std::vector<std::string>& ignore) const {
+    const std::vector<std::string>& ignore, double inflate) const {
   PathCheckOptions opts;
   opts.step = options_.polling_step_m;
   opts.ignore = ignore;
+  opts.inflate = inflate;
 
   if (!options_.use_broad_phase && !options_.use_verdict_cache) {
     narrow_runs_.fetch_add(1, std::memory_order_relaxed);
@@ -114,7 +116,7 @@ std::optional<CollisionReport> ExtendedSimulator::cached_path_check(
     cache_revision_ = revision;
   }
 
-  VerdictKey key{start, goal, held_clearance, ignore};
+  VerdictKey key{start, goal, held_clearance, inflate, ignore};
   if (options_.use_verdict_cache) {
     if (auto it = verdicts_.find(key); it != verdicts_.end()) {
       cache_hits_.fetch_add(1, std::memory_order_relaxed);
@@ -143,6 +145,58 @@ std::optional<CollisionReport> ExtendedSimulator::validate_trajectory(
     const std::vector<std::string>& ignore) const {
   charge_latency();
   return cached_path_check(start, goal, held_clearance, ignore);
+}
+
+std::optional<CollisionReport> ExtendedSimulator::validate_trajectory_margin(
+    const geom::Vec3& start, const geom::Vec3& goal, double held_clearance,
+    const std::vector<std::string>& ignore, double margin, bool charge_modeled) const {
+  if (charge_modeled) charge_latency();
+  return cached_path_check(start, goal, held_clearance, ignore, margin);
+}
+
+std::optional<CollisionReport> ExtendedSimulator::validate_trajectory_margin(
+    const std::vector<geom::Vec3>& waypoints, double held_clearance,
+    const std::vector<std::string>& ignore, double margin) const {
+  PathCheckOptions opts;
+  opts.step = options_.polling_step_m;
+  opts.ignore = ignore;
+  opts.inflate = margin;
+
+  if (!options_.use_broad_phase) {
+    narrow_runs_.fetch_add(1, std::memory_order_relaxed);
+    for (std::size_t i = 1; i < waypoints.size(); ++i) {
+      if (auto hit = check_path(world_, waypoints[i - 1], waypoints[i], held_clearance, opts)) {
+        return hit;
+      }
+    }
+    return std::nullopt;
+  }
+
+  std::lock_guard<std::mutex> lock(cache_mutex_);
+  std::uint64_t revision = world_revision();
+  if (revision != cache_revision_) {
+    grid_.rebuild(world_);
+    verdicts_.clear();
+    cache_revision_ = revision;
+  }
+  narrow_runs_.fetch_add(1, std::memory_order_relaxed);
+  for (std::size_t i = 1; i < waypoints.size(); ++i) {
+    if (auto hit =
+            check_path(world_, waypoints[i - 1], waypoints[i], held_clearance, opts, &grid_)) {
+      return hit;
+    }
+  }
+  return std::nullopt;
+}
+
+MarginProfile ExtendedSimulator::trajectory_margin(const std::vector<geom::Vec3>& waypoints,
+                                                   double held_clearance,
+                                                   const std::vector<std::string>& ignore) const {
+  margin_scans_.fetch_add(1, std::memory_order_relaxed);
+  PathCheckOptions opts;
+  opts.step = options_.polling_step_m;
+  opts.ignore = ignore;
+  return margin_profile(world_, waypoints, held_clearance, opts);
 }
 
 std::optional<CollisionReport> ExtendedSimulator::validate_target(

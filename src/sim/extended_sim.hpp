@@ -88,6 +88,44 @@ class ExtendedSimulator {
   [[nodiscard]] std::optional<CollisionReport> validate_target(const geom::Vec3& target,
                                                                double held_clearance) const;
 
+  /// RTA fast path: the same trajectory validation with every obstacle grown
+  /// by `margin` (Ground exempt — see PathCheckOptions::inflate). A nullopt
+  /// verdict certifies clearance >= margin along the whole leg; a hit only
+  /// means "within margin of something", which the margin-profile slow path
+  /// then settles exactly. Rides the same verdict cache (the key includes the
+  /// inflation) and charges no extra modeled latency: the margin is derived
+  /// from the same polling sweep the simulator already runs per leg.
+  /// `charge_modeled` makes the call charge the per-leg modeled simulator
+  /// latency, for when this sweep IS the engine's primary trajectory replay
+  /// (RabitEngine::set_assurance_margin) rather than an extra query.
+  [[nodiscard]] std::optional<CollisionReport> validate_trajectory_margin(
+      const geom::Vec3& start, const geom::Vec3& goal, double held_clearance,
+      const std::vector<std::string>& ignore, double margin,
+      bool charge_modeled = false) const;
+
+  /// Whole-trajectory RTA fast path: the inflated boolean sweep over every
+  /// leg of a multi-leg tip path under ONE cache-state lock, served straight
+  /// from the broad-phase grid with no per-leg VerdictKey construction or
+  /// verdict-map traffic. This is what the Supervisor's decision module calls
+  /// on every supervised motion, so it must stay allocation-light: legs far
+  /// from every obstacle cost one grid probe each.
+  [[nodiscard]] std::optional<CollisionReport> validate_trajectory_margin(
+      const std::vector<geom::Vec3>& waypoints, double held_clearance,
+      const std::vector<std::string>& ignore, double margin) const;
+
+  /// RTA slow path: full signed-clearance barrier profile h(s) over a
+  /// multi-leg tip path (no broad phase, no cache — taken only after the
+  /// inflated fast check trips). Charges no modeled latency for the same
+  /// reason as validate_trajectory_margin.
+  [[nodiscard]] MarginProfile trajectory_margin(const std::vector<geom::Vec3>& waypoints,
+                                                double held_clearance,
+                                                const std::vector<std::string>& ignore) const;
+
+  /// How many margin-profile slow-path scans ran (bench instrumentation).
+  [[nodiscard]] std::size_t margin_scans() const {
+    return margin_scans_.load(std::memory_order_relaxed);
+  }
+
   [[nodiscard]] std::size_t checks_performed() const {
     return checks_.load(std::memory_order_relaxed);
   }
@@ -107,12 +145,13 @@ class ExtendedSimulator {
     geom::Vec3 start;
     geom::Vec3 goal;
     double clearance = 0.0;
+    double inflate = 0.0;
     std::vector<std::string> ignore;
 
     bool operator==(const VerdictKey& o) const {
       return start.x == o.start.x && start.y == o.start.y && start.z == o.start.z &&
              goal.x == o.goal.x && goal.y == o.goal.y && goal.z == o.goal.z &&
-             clearance == o.clearance && ignore == o.ignore;
+             clearance == o.clearance && inflate == o.inflate && ignore == o.ignore;
     }
   };
   struct VerdictKeyHash {
@@ -126,7 +165,7 @@ class ExtendedSimulator {
   [[nodiscard]] std::uint64_t world_revision() const;
   [[nodiscard]] std::optional<CollisionReport> cached_path_check(
       const geom::Vec3& start, const geom::Vec3& goal, double held_clearance,
-      const std::vector<std::string>& ignore) const;
+      const std::vector<std::string>& ignore, double inflate = 0.0) const;
 
   WorldModel world_;
   Options options_;
@@ -134,6 +173,7 @@ class ExtendedSimulator {
   mutable std::atomic<std::size_t> checks_{0};
   mutable std::atomic<std::size_t> cache_hits_{0};
   mutable std::atomic<std::size_t> narrow_runs_{0};
+  mutable std::atomic<std::size_t> margin_scans_{0};
   mutable double modeled_latency_s_ = 0.0;  ///< guarded by cache_mutex_
 
   mutable std::mutex cache_mutex_;

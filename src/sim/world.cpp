@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <sstream>
+#include <stdexcept>
 
 namespace rabit::sim {
 
@@ -204,11 +206,17 @@ std::optional<CollisionReport> check_sample(const WorldModel& world, const geom:
     const NamedBox& b = world.boxes[candidates != nullptr ? (*candidates)[c] : c];
     if (b.kind == ObstacleKind::SoftWall && !options.include_soft_walls) continue;
     if (is_ignored(options, b.name)) continue;
-    if (b.contains(tip)) {
+    // RTA fast path: inflate by the requested margin (bounding cuboid for
+    // solids — conservative), except Ground (see PathCheckOptions::inflate).
+    double infl = b.kind != ObstacleKind::Ground ? options.inflate : 0.0;
+    bool tip_hit = infl > 0 ? b.box.inflated(infl).contains(tip) : b.contains(tip);
+    if (tip_hit) {
       return CollisionReport{b.name, b.kind, tip, /*via_held_object=*/false,
                              /*arm_vs_arm=*/false};
     }
-    if (held_box && b.intersects(*held_box)) {
+    bool held_hit = held_box && (infl > 0 ? b.box.inflated(infl).intersects(*held_box)
+                                          : b.intersects(*held_box));
+    if (held_hit) {
       return CollisionReport{b.name, b.kind, tip, /*via_held_object=*/true,
                              /*arm_vs_arm=*/false};
     }
@@ -216,7 +224,7 @@ std::optional<CollisionReport> check_sample(const WorldModel& world, const geom:
 
   for (const ArmSegmentObstacle& seg : world.arm_segments) {
     if (is_ignored(options, seg.arm_id)) continue;
-    double clearance_needed = seg.radius + options.moving_arm_radius;
+    double clearance_needed = seg.radius + options.moving_arm_radius + options.inflate;
     if (geom::distance(seg.segment, tip) < clearance_needed) {
       return CollisionReport{seg.arm_id, ObstacleKind::Equipment, tip,
                              /*via_held_object=*/false, /*arm_vs_arm=*/true};
@@ -250,7 +258,7 @@ std::optional<CollisionReport> check_path(const WorldModel& world, const geom::V
     geom::Aabb swept = geom::Aabb(start, start).united(geom::Aabb(goal, goal));
     swept = swept.united(sample_volume(start, held_clearance, options))
                 .united(sample_volume(goal, held_clearance, options))
-                .inflated(geom::kEpsilon);
+                .inflated(geom::kEpsilon + options.inflate);
     grid->candidates(swept, candidate_storage);
     candidates = &candidate_storage;
   }
@@ -276,11 +284,105 @@ std::optional<CollisionReport> check_point(const WorldModel& world, const geom::
   const std::vector<std::size_t>* candidates = nullptr;
   if (grid != nullptr && grid->box_count() == world.boxes.size()) {
     geom::Aabb query =
-        sample_volume(point, held_clearance, options).inflated(geom::kEpsilon);
+        sample_volume(point, held_clearance, options).inflated(geom::kEpsilon + options.inflate);
     grid->candidates(query, candidate_storage);
     candidates = &candidate_storage;
   }
   return check_sample(world, point, held_clearance, options, candidates);
+}
+
+// ---------------------------------------------------------------------------
+// Runtime-assurance margin profile
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Signed clearance of one tip sample to one obstacle box: exact solid
+/// distance outside, negative bounding-cuboid depth when penetrating. The
+/// held volume contributes its box separation (bounding cuboid for solids —
+/// pessimistic, never optimistic).
+double box_clearance(const NamedBox& b, const geom::Vec3& tip,
+                     const std::optional<geom::Aabb>& held_box) {
+  double h;
+  if (b.contains(tip)) {
+    h = geom::signed_distance(b.box, tip);
+    if (h > 0) h = 0.0;  // inside the solid but outside its bounding cuboid
+  } else {
+    h = b.solid ? geom::distance_to(*b.solid, tip) : b.box.distance_to(tip);
+  }
+  if (held_box) h = std::min(h, geom::signed_distance(b.box, *held_box));
+  return h;
+}
+
+}  // namespace
+
+MarginProfile margin_profile(const WorldModel& world, const std::vector<geom::Vec3>& waypoints,
+                             double held_clearance, const PathCheckOptions& options) {
+  if (options.step <= 0) throw std::invalid_argument("margin_profile: step must be positive");
+  MarginProfile profile;
+  profile.min_margin_m = std::numeric_limits<double>::infinity();
+  if (waypoints.size() < 2) return profile;
+
+  auto sample_clearance = [&](const geom::Vec3& tip, double s) {
+    std::optional<geom::Aabb> held_box;
+    if (held_clearance > 0) held_box = sample_volume(tip, held_clearance, options);
+
+    MarginSample sample;
+    sample.s = s;
+    sample.h = std::numeric_limits<double>::infinity();
+    for (const NamedBox& b : world.boxes) {
+      if (b.kind == ObstacleKind::Ground) continue;  // see PathCheckOptions::inflate
+      if (b.kind == ObstacleKind::SoftWall && !options.include_soft_walls) continue;
+      if (is_ignored(options, b.name)) continue;
+      double h = box_clearance(b, tip, held_box);
+      if (h < sample.h) {
+        sample.h = h;
+        sample.obstacle = b.name;
+      }
+    }
+    for (const ArmSegmentObstacle& seg : world.arm_segments) {
+      if (is_ignored(options, seg.arm_id)) continue;
+      double clearance_needed = seg.radius + options.moving_arm_radius;
+      double h = geom::distance(seg.segment, tip) - clearance_needed;
+      if (held_box) {
+        geom::Vec3 held_bottom = tip - geom::Vec3(0, 0, held_clearance);
+        h = std::min(h, geom::distance(seg.segment, held_bottom) - clearance_needed);
+      }
+      if (h < sample.h) {
+        sample.h = h;
+        sample.obstacle = seg.arm_id;
+      }
+    }
+    if (!std::isfinite(sample.h)) {
+      sample.h = std::numeric_limits<double>::max();
+      sample.obstacle.clear();
+    }
+    if (sample.h < profile.min_margin_m) {
+      profile.min_margin_m = sample.h;
+      profile.min_s_m = s;
+      profile.min_obstacle = sample.obstacle;
+    }
+    profile.samples.push_back(std::move(sample));
+  };
+
+  double s_base = 0.0;
+  for (std::size_t leg = 1; leg < waypoints.size(); ++leg) {
+    const geom::Vec3& a = waypoints[leg - 1];
+    const geom::Vec3& b = waypoints[leg];
+    double length = a.distance_to(b);
+    auto samples = static_cast<std::size_t>(std::ceil(length / options.step)) + 1;
+    for (std::size_t i = 0; i <= samples; ++i) {
+      double t = samples == 0 ? 1.0 : static_cast<double>(i) / static_cast<double>(samples);
+      // Skip the global departure point (check_path semantics) and each leg's
+      // own start, which duplicates the previous leg's end sample.
+      if (i == 0) continue;
+      sample_clearance(geom::lerp(a, b, t), s_base + length * t);
+    }
+    s_base += length;
+  }
+  profile.length_m = s_base;
+  if (!std::isfinite(profile.min_margin_m)) profile.min_margin_m = std::numeric_limits<double>::max();
+  return profile;
 }
 
 }  // namespace rabit::sim

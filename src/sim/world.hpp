@@ -149,6 +149,13 @@ struct PathCheckOptions {
   /// Boxes whose name appears here are skipped (e.g. the device the arm is
   /// deliberately reaching into through an open door).
   std::vector<std::string> ignore;
+  /// RTA fast path: grow every obstacle (and arm-segment clearance) by this
+  /// margin so a clear verdict certifies clearance >= inflate along the whole
+  /// path. Ground boxes are exempt — every pick/place approaches the deck
+  /// vertically, so deck clearance is governed by the exact check, not the
+  /// barrier. Solids are inflated via their bounding cuboid (a conservative
+  /// over-approximation; the margin-profile slow path settles false trips).
+  double inflate = 0.0;
 };
 
 /// Sweeps a straight tip path from `start` to `goal` (lab frame) through the
@@ -175,5 +182,40 @@ struct PathCheckOptions {
                                                          double held_clearance,
                                                          const PathCheckOptions& options = {},
                                                          const BroadPhaseGrid* grid = nullptr);
+
+// ---------------------------------------------------------------------------
+// Runtime-assurance margin profile
+// ---------------------------------------------------------------------------
+
+/// One barrier sample: signed clearance h at arc length s along the path.
+struct MarginSample {
+  double s = 0.0;         ///< arc length from the path start (m)
+  double h = 0.0;         ///< signed clearance to the nearest obstacle (m)
+  std::string obstacle;   ///< which obstacle realizes h (empty if none apply)
+};
+
+/// CBF-style barrier profile h(s) of a piecewise-linear tip path: at every
+/// polling sample, the signed clearance to the nearest non-ignored obstacle
+/// (boxes by exact solid distance, other arms by link-segment distance minus
+/// the combined radii, the held object by box separation). Ground boxes are
+/// excluded — see PathCheckOptions::inflate. h > 0 means clear by that much;
+/// h < 0 means the sample penetrates.
+struct MarginProfile {
+  double length_m = 0.0;  ///< total arc length of the sampled path
+  double min_margin_m = 0.0;
+  double min_s_m = 0.0;         ///< arc length where min_margin_m occurs
+  std::string min_obstacle;
+  std::vector<MarginSample> samples;  ///< in ascending s order
+};
+
+/// Sweeps the full profile (no broad phase — this is the RTA slow path, taken
+/// only after the inflated fast check trips). Mirrors check_path semantics:
+/// the departure sample s=0 is skipped (the arm may leave a spot that brushes
+/// a boundary), soft walls count per `options`, `options.ignore` filters, and
+/// the held volume hangs `held_clearance` below the tip.
+[[nodiscard]] MarginProfile margin_profile(const WorldModel& world,
+                                           const std::vector<geom::Vec3>& waypoints,
+                                           double held_clearance,
+                                           const PathCheckOptions& options = {});
 
 }  // namespace rabit::sim

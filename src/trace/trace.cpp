@@ -30,6 +30,7 @@ std::string_view to_string(Outcome o) {
     case Outcome::StatusRepoll: return "status_repoll";
     case Outcome::SafeState: return "safe_state";
     case Outcome::Quarantined: return "quarantined";
+    case Outcome::Demoted: return "demoted";
   }
   return "unknown";
 }
@@ -46,6 +47,7 @@ std::optional<Outcome> outcome_from_name(const std::string& name) {
   if (name == "status_repoll") return Outcome::StatusRepoll;
   if (name == "safe_state") return Outcome::SafeState;
   if (name == "quarantined") return Outcome::Quarantined;
+  if (name == "demoted") return Outcome::Demoted;
   return std::nullopt;
 }
 
@@ -182,7 +184,24 @@ std::optional<dev::Severity> RunReport::max_damage_severity() const {
 Supervisor::Supervisor(core::RabitEngine* engine, sim::LabBackend* backend, Options options)
     : engine_(engine), backend_(backend), options_(std::move(options)) {
   if (backend_ == nullptr) throw std::invalid_argument("Supervisor: null backend");
-  if (options_.recovery) backoff_.emplace(*options_.recovery);
+  if (options_.recovery) {
+    // A policy that fails fatal validation makes the ladder nonsensical
+    // (zero backoff hammers the device, jitter >= 1 can produce negative
+    // waits); refuse it here rather than misbehave mid-campaign.
+    for (const recovery::PolicyIssue& issue : recovery::validate(*options_.recovery)) {
+      if (issue.fatal) {
+        throw std::invalid_argument("Supervisor: invalid RecoveryPolicy: " + issue.message);
+      }
+    }
+    backoff_.emplace(*options_.recovery);
+  }
+  if (engine_ != nullptr) {
+    // Fold the assurance margin into the engine's own V3 sweep: the fast
+    // path becomes a flag read instead of a second sweep per motion. Reset
+    // explicitly when assurance is off, in case the engine is reused.
+    bool on = options_.assurance && options_.assurance->enabled;
+    engine_->set_assurance_margin(on ? options_.assurance->margin_min_m : 0.0);
+  }
 }
 
 void Supervisor::start() {
@@ -190,6 +209,7 @@ void Supervisor::start() {
   log_.clear();
   recovery_report_ = recovery::RecoveryReport{};
   quarantined_.clear();
+  safe_controller_active_ = false;
   span_seq_ = 0;
   if (backoff_) backoff_->reset();
   if (engine_ != nullptr) {
@@ -218,7 +238,12 @@ void Supervisor::emit_rung(std::string_view kind, const dev::Command& cmd, std::
 }
 
 void Supervisor::finalize_span(obs::SpanRecord& span, const SupervisedStep& result) const {
-  if (result.alert) {
+  if (result.demoted) {
+    // A demotion carries an alert too (the averted trajectory violation);
+    // the span verdict names the stronger fact: the safe controller ran.
+    span.rule = result.alert ? result.alert->rule : "RTA";
+    span.verdict = "demoted";
+  } else if (result.alert) {
     span.rule = result.alert->rule;
     span.verdict = result.alert->kind == core::AlertKind::DeviceMalfunction ? "malfunction"
                                                                             : "blocked";
@@ -263,6 +288,11 @@ void Supervisor::update_metrics(const obs::SpanRecord& span, const SupervisedSte
     reg.counter("rabit_recovery_repolls_total", "", "Recovery-ladder status re-polls")
         .increment(result.repolls);
   }
+  if (result.demoted) {
+    reg.counter("rabit_assurance_demotions_total", "",
+                "Motion commands demoted to the verified-safe controller")
+        .increment();
+  }
 }
 
 void Supervisor::append_recovery_record(const dev::Command& cmd, Outcome outcome,
@@ -283,6 +313,7 @@ void Supervisor::append_recovery_record(const dev::Command& cmd, Outcome outcome
       case Outcome::StatusRepoll: kind = "repoll"; break;
       case Outcome::SafeState: kind = "safe_state"; break;
       case Outcome::Quarantined: kind = "quarantine"; break;
+      case Outcome::Demoted: kind = "demote"; break;
       default: kind = "rung"; break;
     }
     emit_rung(kind, cmd, attempt, note);
@@ -290,8 +321,15 @@ void Supervisor::append_recovery_record(const dev::Command& cmd, Outcome outcome
 }
 
 void Supervisor::escalate(const dev::Command& cmd, bool quarantine_device) {
+  // Re-entrancy guard: a fault raised by one of the safe controller's own
+  // commands must not restart the escalation (or re-enter the retry ladder)
+  // while the safe sequence is still draining — it would double-count
+  // quarantines and draw from the BackoffClock mid-escalation, perturbing
+  // the deterministic jitter stream.
+  if (safe_controller_active_) return;
   if (!options_.recovery) return;
   const recovery::RecoveryPolicy& pol = *options_.recovery;
+  safe_controller_active_ = true;
 
   if (quarantine_device && quarantined_.insert(cmd.device).second) {
     recovery_report_.quarantined.push_back(cmd.device);
@@ -323,6 +361,130 @@ void Supervisor::escalate(const dev::Command& cmd, bool quarantine_device) {
   recovery_report_.events.push_back({recovery::RecoveryEvent::Kind::Halt, cmd.device, cmd.action,
                                      0, backend_->modeled_clock_s(), "experiment halted"});
   emit_rung("halt", cmd, 0, "experiment halted");
+  safe_controller_active_ = false;
+}
+
+bool Supervisor::maybe_demote(const dev::Command& cmd, SupervisedStep& result,
+                              TraceRecord& record) {
+  const assurance::AssuranceConfig& cfg = *options_.assurance;
+  if (!cfg.enabled || engine_ == nullptr) return false;
+  sim::ExtendedSimulator* simulator = engine_->simulator();
+  if (simulator == nullptr || engine_->config().variant != core::Variant::ModifiedWithSim) {
+    return false;
+  }
+
+  // Fast path: the engine's own V3 replay already swept with the margin
+  // folded in (set_assurance_margin, see the constructor) — a clean motion
+  // costs the assurance layer nothing beyond this flag read. Only a trip
+  // pays for the motion analysis and the exact margin profile below.
+  if (!engine_->last_margin_tripped()) return false;
+
+  std::optional<core::MotionAnalysis> motion = engine_->motion_analysis(cmd);
+  if (!motion || motion->waypoints.size() < 2) return false;
+
+  // Slow path: the inflated query over-approximates solids by their bounding
+  // cuboid, so a trip is only a suspicion; the signed-margin profile settles
+  // it and locates the violation for the switching-point derivation.
+  sim::MarginProfile profile = timed_check(result.check_wall_us, [&] {
+    return simulator->trajectory_margin(motion->waypoints, motion->held_clearance,
+                                        motion->ignores);
+  });
+  assurance::Decision decision = assurance::decide(profile, cfg);
+  if (!decision.demote) return false;
+
+  // Demote: the advanced command is never forwarded. The verified-safe
+  // controller advances (open-loop) to the last safe switching point and
+  // parks; its commands are trusted, not re-supervised.
+  safe_controller_active_ = true;
+  ++recovery_report_.demotions;
+
+  assurance::AssuranceEvent event;
+  event.device = cmd.device;
+  event.action = cmd.action;
+  event.barrier_m = decision.h_min_m;
+  event.switch_s_m = decision.s_star_m;
+  event.violation_s_m = decision.s_viol_m;
+  event.stop_distance_m = decision.stop_distance_m;
+  event.trajectory_m = profile.length_m;
+  event.obstacle = decision.obstacle;
+  event.modeled_time_s = backend_->modeled_clock_s();
+  const std::string note = event.describe();
+  recovery_report_.events.push_back({recovery::RecoveryEvent::Kind::Demoted, cmd.device,
+                                     cmd.action, 0, backend_->modeled_clock_s(), note});
+  recovery_report_.assurance.push_back(event);
+
+  result.alert = core::Alert{core::AlertKind::InvalidTrajectory, "RTA", note, cmd};
+  result.demoted = true;
+  record.outcome = Outcome::Demoted;
+  record.alert_rule = "RTA";
+  record.alert_message = note;
+  if (options_.halt_on_alert) {
+    halted_ = true;
+    result.halted = true;
+  }
+  log_.append(std::move(record));
+  emit_rung("demote", cmd, 0, note);
+
+  std::vector<dev::Command> safe_cmds;
+  const core::DeviceMeta* meta = engine_->config().find_device(motion->arm_id);
+  if (decision.s_star_m > 1e-9 && meta != nullptr) {
+    // Truncated advance: a real move_to (in the arm's own frame) to s*, so
+    // the trace replays through the same motion pipeline as any script move.
+    geom::Vec3 stop_lab = assurance::point_at_arc_length(motion->waypoints, decision.s_star_m);
+    geom::Vec3 stop_arm = meta->base.inverse().apply(stop_lab);
+    dev::Command advance;
+    advance.device = motion->arm_id;
+    advance.action = "move_to";
+    json::Object args;
+    json::Array pos;
+    pos.emplace_back(stop_arm.x);
+    pos.emplace_back(stop_arm.y);
+    pos.emplace_back(stop_arm.z);
+    args["position"] = std::move(pos);
+    advance.args = json::Value(std::move(args));
+    safe_cmds.push_back(std::move(advance));
+  }
+  dev::Command park;
+  park.device = motion->arm_id;
+  park.action = "go_sleep";
+  safe_cmds.push_back(std::move(park));
+
+  // The step's ExecResult reflects the *advanced* command (never executed);
+  // damage from the safe stop — none, when the switching-point math holds —
+  // is still attached so RunReport accounting cannot miss it.
+  sim::ExecResult combined;
+  combined.executed = false;
+  for (const dev::Command& safe_cmd : safe_cmds) {
+    sim::ExecResult exec = backend_->execute(safe_cmd);
+    for (const sim::DamageEvent& e : exec.damage) combined.damage.push_back(e);
+    bool ok = exec.executed && !exec.silently_skipped;
+    TraceRecord safe_rec;
+    safe_rec.command = safe_cmd;
+    safe_rec.outcome = Outcome::SafeState;
+    safe_rec.alert_rule = "RTA";
+    safe_rec.alert_message = ok ? "assurance safe stop" : "safe-stop command failed";
+    safe_rec.damage_events = exec.damage.size();
+    log_.append(std::move(safe_rec));
+    emit_rung("safe_state", safe_cmd, 0,
+              ok ? "assurance safe stop" : "safe-stop command failed");
+  }
+  result.exec = std::move(combined);
+
+  // Adopt reality: the arm is wherever the safe controller left it, not where
+  // the demoted command's postconditions would have put it.
+  engine_->resync_observed(backend_->fetch_status().snapshot);
+  safe_controller_active_ = false;
+
+  if (result.halted) {
+    if (options_.recovery) {
+      // The arm's configured geometry just proved untrustworthy — finish the
+      // ladder: quarantine the device, then safe-state and halt.
+      escalate(cmd, /*quarantine_device=*/true);
+    } else {
+      recovery_report_.halted = true;
+    }
+  }
+  return true;
 }
 
 void Supervisor::execute_with_recovery(const dev::Command& cmd, SupervisedStep& result,
@@ -357,6 +519,7 @@ void Supervisor::execute_with_recovery(const dev::Command& cmd, SupervisedStep& 
   // One rung of the retry ladder: backoff wait + bookkeeping. Returns false
   // once the per-command budget or the watchdog is exhausted.
   auto take_retry = [&](const std::string& note) -> bool {
+    if (safe_controller_active_) return false;  // never retry inside the safe controller
     if (attempts_used >= pol.max_retries) return false;
     if (!watchdog_ok()) {
       note_watchdog();
@@ -568,6 +731,11 @@ SupervisedStep Supervisor::step_impl(const dev::Command& cmd) {
       if (result.halted) escalate(cmd, /*quarantine_device=*/false);
       return result;
     }
+    // Runtime-assurance decision module: a motion whose barrier profile dips
+    // below the floor is demoted to the verified-safe controller here —
+    // before line 11, so the tracker never adopts expectations the advanced
+    // command will not realize.
+    if (options_.assurance && maybe_demote(cmd, result, record)) return result;
     engine_->apply_expected(cmd);  // line 11
   }
 
@@ -661,7 +829,7 @@ RunReport Supervisor::run(const std::vector<dev::Command>& workflow) {
   report.modeled_runtime_s = backend_->modeled_clock_s() - backend_clock_before;
   report.modeled_overhead_s =
       (engine_ != nullptr ? engine_->modeled_overhead_s() : 0.0) - overhead_before;
-  if (options_.recovery) report.recovery = recovery_report_;
+  if (options_.recovery || options_.assurance) report.recovery = recovery_report_;
   if (engine_ != nullptr) {
     report.degraded_checks = engine_->stats().degraded_checks;
     // Absorb the engine's ad-hoc Stats counters into the metrics registry

@@ -22,6 +22,7 @@
 #include <string>
 #include <vector>
 
+#include "assurance/assurance.hpp"
 #include "core/engine.hpp"
 #include "devices/device.hpp"
 #include "obs/obs.hpp"
@@ -41,6 +42,9 @@ enum class Outcome {
   StatusRepoll,    ///< recovery ladder re-polled status before judging
   SafeState,       ///< command issued by the safe-state escalation sequence
   Quarantined,     ///< the command's device was removed from service
+  Demoted,         ///< runtime assurance switched to the verified-safe
+                   ///< controller before the barrier floor could be crossed;
+                   ///< the advanced command was never forwarded
 };
 
 [[nodiscard]] std::string_view to_string(Outcome o);
@@ -97,6 +101,8 @@ struct SupervisedStep {
   bool halted = false;                  ///< the experiment was stopped
   std::size_t retries = 0;              ///< recovery re-attempts this command consumed
   std::size_t repolls = 0;              ///< recovery status re-polls this command consumed
+  /// Runtime assurance demoted this command to the verified-safe controller.
+  bool demoted = false;
   /// Real (wall-clock, not modeled) time spent inside engine check calls for
   /// this command — what bench_throughput aggregates into p50/p99.
   double check_wall_us = 0.0;
@@ -139,6 +145,15 @@ class Supervisor {
     /// instead of stopping the run; exhausted recovery escalates to
     /// quarantine + safe state before halting.
     std::optional<recovery::RecoveryPolicy> recovery;
+    /// When set (and an engine with a V3 simulator is attached), every
+    /// motion command is screened by the runtime-assurance decision module
+    /// BEFORE execution: if the planned path would dip below the barrier
+    /// floor, the command is demoted to the verified-safe controller — a
+    /// truncated advance to the last safe switching point, then park — and
+    /// recorded as Outcome::Demoted with a structured AssuranceEvent. The
+    /// ladder becomes predict → demote-to-safe → retry/re-poll → quarantine
+    /// → safe-state → halt.
+    std::optional<assurance::AssuranceConfig> assurance;
     /// Observability (all non-owning; null = disabled, a single branch per
     /// hook). The sink receives one SpanRecord per intercepted command —
     /// phase timeline (canonicalize → precondition → dispatch →
@@ -179,6 +194,12 @@ class Supervisor {
  private:
   /// step() without the observability bracket (span open/finalize).
   SupervisedStep step_impl(const dev::Command& cmd);
+  /// Runtime-assurance decision module: computes the barrier profile of a
+  /// motion command (inflated fast query first, full margin profile only
+  /// when that trips) and, on a violation, runs the verified-safe controller
+  /// at the last safe switching point. Returns true when the command was
+  /// demoted (the caller must not execute it).
+  bool maybe_demote(const dev::Command& cmd, SupervisedStep& result, TraceRecord& record);
   /// Line 12 with the recovery ladder wrapped around it; fills result/record.
   void execute_with_recovery(const dev::Command& cmd, SupervisedStep& result,
                              TraceRecord& record);
@@ -204,6 +225,12 @@ class Supervisor {
   std::optional<recovery::BackoffClock> backoff_;
   recovery::RecoveryReport recovery_report_;
   std::set<std::string> quarantined_;
+  /// Escalation re-entrancy guard: true while the verified-safe controller
+  /// (demotion stop or safe-state sequence) is issuing commands. A permanent
+  /// fault arriving *during* those commands must not re-enter the retry
+  /// ladder or restart the escalation — the safe controller is open-loop by
+  /// design and failures are only counted.
+  bool safe_controller_active_ = false;
   obs::SpanRecord* active_span_ = nullptr;
   std::uint64_t span_seq_ = 0;
 };

@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include "core/engine.hpp"
+#include "recovery/recovery.hpp"
 #include "sim/deck.hpp"
 #include "trace/trace.hpp"
 
@@ -177,6 +178,75 @@ TEST_F(FaultInjection, HealthyDevicesRaiseNoAlerts) {
     EXPECT_FALSE(step.alert.has_value());
     EXPECT_FALSE(step.halted);
   }
+}
+
+// --- escalation re-entrancy ---------------------------------------------------
+
+TEST_F(FaultInjection, FaultingSafeStateCommandDoesNotReenterEscalation) {
+  // A permanent dead action on the dosing device drives the full ladder; a
+  // never-clearing busy fault on the arm's "go_sleep" makes a safe-state
+  // command itself fail mid-escalation (arms always park in the sequence). The regression this guards against:
+  // escalate() re-entered from inside the safe controller would double-count
+  // the quarantine rung and draw from the BackoffClock mid-sequence,
+  // perturbing the deterministic jitter stream.
+  auto run_once = [](std::string* jsonl) {
+    sim::LabBackend backend(sim::testbed_profile());
+    sim::build_hein_testbed_deck(backend);
+    dev::FaultPlan plan;
+    plan.dead_actions = {"set_door"};
+    dev::FaultSchedule schedule;
+    schedule.add_permanent(ids::kDosingDevice, plan);
+    dev::TransientFault busy;
+    busy.device = ids::kViperX;
+    busy.action = "go_sleep";
+    busy.kind = dev::TransientKind::FirmwareBusy;
+    busy.clear_after_attempts = 0;  // never clears
+    schedule.add(busy);
+    backend.set_fault_schedule(std::move(schedule));
+
+    core::RabitEngine engine(core::config_from_backend(backend, core::Variant::Modified));
+    Supervisor::Options opts;
+    opts.recovery = recovery::RecoveryPolicy{};
+    Supervisor sup(&engine, &backend, opts);
+    sup.start();
+    (void)sup.step(make_cmd(ids::kDosingDevice, "set_door", door_arg("open")));
+    if (jsonl != nullptr) *jsonl = sup.log().to_jsonl();
+    return sup.recovery_report();
+  };
+
+  std::string first_trace;
+  recovery::RecoveryReport rec = run_once(&first_trace);
+
+  // The ladder ran exactly once: one quarantine, one safe-state entry, one
+  // halt — even though a safe-state command failed along the way.
+  EXPECT_GE(rec.safe_state_failures, 1u);
+  ASSERT_EQ(rec.quarantined.size(), 1u);
+  EXPECT_EQ(rec.quarantined[0], ids::kDosingDevice);
+  std::size_t quarantines = 0, safe_states = 0, halts = 0;
+  for (const recovery::RecoveryEvent& e : rec.events) {
+    quarantines += e.kind == recovery::RecoveryEvent::Kind::Quarantine;
+    safe_states += e.kind == recovery::RecoveryEvent::Kind::SafeState;
+    halts += e.kind == recovery::RecoveryEvent::Kind::Halt;
+  }
+  EXPECT_EQ(quarantines, 1u);
+  EXPECT_EQ(safe_states, 1u);
+  EXPECT_EQ(halts, 1u);
+
+  // No retry was drawn for the faulting safe-state command: every retry in
+  // the ladder belongs to the primary command, and the budget was consumed
+  // exactly once.
+  EXPECT_EQ(rec.retries, recovery::RecoveryPolicy{}.max_retries);
+  for (const recovery::RecoveryEvent& e : rec.events) {
+    if (e.kind == recovery::RecoveryEvent::Kind::Retry) {
+      EXPECT_EQ(e.device, ids::kDosingDevice);
+    }
+  }
+
+  // And the jitter stream stayed untouched: the identical scenario replays
+  // to a byte-identical trace.
+  std::string second_trace;
+  (void)run_once(&second_trace);
+  EXPECT_EQ(first_trace, second_trace);
 }
 
 }  // namespace

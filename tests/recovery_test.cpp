@@ -6,7 +6,10 @@
 
 #include <algorithm>
 #include <memory>
+#include <stdexcept>
+#include <vector>
 
+#include "analysis/analysis.hpp"
 #include "core/engine.hpp"
 #include "recovery/recovery.hpp"
 #include "script/workflows.hpp"
@@ -92,6 +95,57 @@ TEST(BackoffClock, GrowsExponentiallyWithinJitterBand) {
     EXPECT_GE(w, nominal * 0.75);
     EXPECT_LE(w, nominal * 1.25);
   }
+}
+
+TEST(BackoffClock, ResetReplaysTheFullJitterStream) {
+  recovery::RecoveryPolicy policy;
+  recovery::BackoffClock clock(policy);
+  std::vector<double> first;
+  for (std::size_t attempt = 1; attempt <= 6; ++attempt) first.push_back(clock.wait_s(attempt));
+  clock.reset();
+  for (std::size_t attempt = 1; attempt <= 6; ++attempt) {
+    EXPECT_DOUBLE_EQ(clock.wait_s(attempt), first[attempt - 1]) << "attempt " << attempt;
+  }
+}
+
+// --- policy validation + CFG11 lint ------------------------------------------
+
+TEST(RecoveryPolicyValidation, DefaultPolicyIsClean) {
+  EXPECT_TRUE(recovery::validate(recovery::RecoveryPolicy{}).empty());
+}
+
+TEST(RecoveryPolicyValidation, EveryFatalRuleFires) {
+  recovery::RecoveryPolicy bad;
+  bad.backoff_base_s = 0.0;
+  bad.backoff_factor = 0.5;
+  bad.backoff_jitter = 1.0;
+  bad.repoll_interval_s = 0.0;
+  bad.watchdog_timeout_s = -1.0;
+  std::vector<recovery::PolicyIssue> issues = recovery::validate(bad);
+  ASSERT_EQ(issues.size(), 5u);
+  for (const recovery::PolicyIssue& issue : issues) EXPECT_TRUE(issue.fatal) << issue.message;
+}
+
+TEST(RecoveryPolicyValidation, ShortWatchdogIsAdvisoryOnly) {
+  recovery::RecoveryPolicy tight;
+  tight.watchdog_timeout_s = recovery::worst_case_ladder_s(tight) / 2.0;
+  std::vector<recovery::PolicyIssue> issues = recovery::validate(tight);
+  ASSERT_EQ(issues.size(), 1u);
+  EXPECT_FALSE(issues[0].fatal);
+  EXPECT_NE(issues[0].message.find("worst-case"), std::string::npos);
+}
+
+TEST(RecoveryPolicyValidation, Cfg11LintMirrorsValidate) {
+  recovery::RecoveryPolicy bad;
+  bad.backoff_factor = 0.9;      // fatal → Error
+  bad.watchdog_timeout_s = 0.1;  // shorter than one worst-case ladder → Warning
+  analysis::AnalysisReport report = analysis::lint_recovery_policy(bad);
+  ASSERT_EQ(report.diagnostics.size(), 2u);
+  EXPECT_TRUE(report.has_errors());
+  for (const analysis::Diagnostic& d : report.diagnostics) EXPECT_EQ(d.rule, "CFG11");
+  EXPECT_EQ(report.diagnostics[0].severity, analysis::Severity::Error);
+  EXPECT_EQ(report.diagnostics[1].severity, analysis::Severity::Warning);
+  EXPECT_TRUE(analysis::lint_recovery_policy(recovery::RecoveryPolicy{}).diagnostics.empty());
 }
 
 // --- transient absorption ----------------------------------------------------
@@ -254,7 +308,10 @@ TEST_F(RecoveryTest, WatchdogExpiryStopsRetrying) {
   backend.set_fault_schedule(std::move(schedule));
 
   recovery::RecoveryPolicy policy;
-  policy.watchdog_timeout_s = 0.0;  // expires immediately
+  // Zero is now rejected by Supervisor's policy validation; any budget
+  // smaller than one command's modeled latency expires before the first
+  // retry is considered, which is the behavior under test.
+  policy.watchdog_timeout_s = 1e-6;
   Supervisor::Options opts;
   opts.recovery = policy;
 
@@ -267,6 +324,118 @@ TEST_F(RecoveryTest, WatchdogExpiryStopsRetrying) {
   EXPECT_TRUE(step.halted);
   EXPECT_EQ(step.retries, 0u);  // the watchdog forbade every retry
   EXPECT_GE(sup.recovery_report().watchdog_expirations, 1u);
+}
+
+TEST_F(RecoveryTest, WatchdogBoundaryIsStrict) {
+  // The retry gate is `clock < deadline`, with the deadline fixed when the
+  // command enters the ladder. A rejected attempt charges exactly one
+  // command latency, so a budget of exactly that latency lands the clock ON
+  // the deadline — and the strict comparison forbids the retry.
+  FaultSchedule schedule;
+  schedule.add(busy_fault(ids::kDosingDevice, "set_door", 0));  // never clears
+  backend.set_fault_schedule(std::move(schedule));
+
+  recovery::RecoveryPolicy policy;
+  policy.watchdog_timeout_s = sim::testbed_profile().command_latency_s;
+  Supervisor::Options opts;
+  opts.recovery = policy;
+
+  make_engine();
+  Supervisor sup(engine.get(), &backend, opts);
+  sup.start();
+  SupervisedStep step = sup.step(make_cmd(ids::kDosingDevice, "set_door", door("open")));
+
+  EXPECT_TRUE(step.halted);
+  EXPECT_EQ(step.retries, 0u);  // at the exact boundary, < is false
+  EXPECT_GE(sup.recovery_report().watchdog_expirations, 1u);
+}
+
+TEST_F(RecoveryTest, WatchdogJustPastBoundaryAdmitsExactlyOneRetry) {
+  FaultSchedule schedule;
+  schedule.add(busy_fault(ids::kDosingDevice, "set_door", 0));  // never clears
+  backend.set_fault_schedule(std::move(schedule));
+
+  recovery::RecoveryPolicy policy;
+  // Epsilon past the first attempt's cost: retry #1 is admitted, and the
+  // retry itself (backoff wait + command latency) blows the budget long
+  // before retry #2 is considered.
+  policy.watchdog_timeout_s = sim::testbed_profile().command_latency_s + 1e-3;
+  Supervisor::Options opts;
+  opts.recovery = policy;
+
+  make_engine();
+  Supervisor sup(engine.get(), &backend, opts);
+  sup.start();
+  SupervisedStep step = sup.step(make_cmd(ids::kDosingDevice, "set_door", door("open")));
+
+  EXPECT_TRUE(step.halted);
+  EXPECT_EQ(step.retries, 1u);
+  EXPECT_GE(sup.recovery_report().watchdog_expirations, 1u);
+}
+
+TEST_F(RecoveryTest, ZeroRetryBudgetEscalatesImmediately) {
+  FaultSchedule schedule;
+  schedule.add(busy_fault(ids::kDosingDevice, "set_door", 0));  // never clears
+  backend.set_fault_schedule(std::move(schedule));
+
+  recovery::RecoveryPolicy policy;
+  policy.max_retries = 0;  // documented: 0 disables retries
+  Supervisor::Options opts;
+  opts.recovery = policy;
+
+  make_engine();
+  Supervisor sup(engine.get(), &backend, opts);
+  sup.start();
+  SupervisedStep step = sup.step(make_cmd(ids::kDosingDevice, "set_door", door("open")));
+
+  ASSERT_TRUE(step.alert.has_value());
+  EXPECT_TRUE(step.halted);
+  EXPECT_EQ(step.retries, 0u);
+  const recovery::RecoveryReport& rec = sup.recovery_report();
+  EXPECT_TRUE(rec.escalated());
+  ASSERT_EQ(rec.quarantined.size(), 1u);
+  EXPECT_EQ(rec.quarantined[0], ids::kDosingDevice);
+  EXPECT_TRUE(rec.safe_state_executed);
+  EXPECT_EQ(rec.watchdog_expirations, 0u);  // budget, not time, ended the ladder
+}
+
+TEST_F(RecoveryTest, StaleStatusClearingOnFinalRepollStillAbsorbs) {
+  recovery::RecoveryPolicy policy;  // max_status_repolls = 3
+
+  TransientFault f;
+  f.device = ids::kDosingDevice;
+  f.kind = TransientKind::StaleStatus;
+  // Reads: start() (fresh — nothing cached yet), the verify read, then the
+  // re-polls; the fault stays stale through read #clear_after_attempts.
+  // Clearing on the LAST allowed re-poll is the boundary the stale-read
+  // filter was sized for: one read later and the divergence would cost a
+  // command re-issue.
+  f.clear_after_attempts = 1 + policy.max_status_repolls;
+  FaultSchedule schedule;
+  schedule.add(f);
+  backend.set_fault_schedule(std::move(schedule));
+
+  make_engine();
+  Supervisor::Options opts;
+  opts.recovery = policy;
+  Supervisor sup(engine.get(), &backend, opts);
+  sup.start();
+  SupervisedStep step = sup.step(make_cmd(ids::kDosingDevice, "set_door", door("open")));
+
+  EXPECT_FALSE(step.alert.has_value());
+  EXPECT_FALSE(step.halted);
+  EXPECT_EQ(step.repolls, policy.max_status_repolls);
+  EXPECT_EQ(step.retries, 0u);  // absorbed by re-polling alone
+  EXPECT_EQ(sup.recovery_report().transients_absorbed, 1u);
+}
+
+TEST_F(RecoveryTest, SupervisorRefusesFatallyInvalidPolicy) {
+  recovery::RecoveryPolicy bad;
+  bad.backoff_base_s = 0.0;
+  Supervisor::Options opts;
+  opts.recovery = bad;
+  make_engine();
+  EXPECT_THROW(Supervisor(engine.get(), &backend, opts), std::invalid_argument);
 }
 
 TEST_F(RecoveryTest, SafeStateSequenceParksClosesAndStops) {

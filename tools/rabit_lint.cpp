@@ -48,6 +48,7 @@
 #include "bugs/bugs.hpp"
 #include "core/config.hpp"
 #include "fleet/fleet.hpp"
+#include "recovery/recovery.hpp"
 #include "sim/deck.hpp"
 
 using namespace rabit;
@@ -258,6 +259,7 @@ int main(int argc, char** argv) {
   }
 
   core::EngineConfig config;
+  json::Value config_doc;  // raw document, for keys EngineConfig does not keep
   if (config_path.empty()) {
     config = builtin_testbed_config();
   } else {
@@ -269,7 +271,8 @@ int main(int argc, char** argv) {
     std::ostringstream buffer;
     buffer << in.rdbuf();
     try {
-      config = core::config_from_json(json::parse(buffer.str()));
+      config_doc = json::parse(buffer.str());
+      config = core::config_from_json(config_doc);
     } catch (const std::exception& e) {
       std::fprintf(stderr, "error: cannot load config '%s': %s\n", config_path.c_str(),
                    e.what());
@@ -282,6 +285,23 @@ int main(int argc, char** argv) {
   // The configuration lint always runs: a script verdict against an
   // inconsistent config is meaningless.
   analysis::AnalysisReport config_report = analysis::lint_config(config);
+
+  // CFG11 — recovery-policy lint, when the config carries a "recovery"
+  // object (the RecoveryPolicy a Supervisor would be constructed with).
+  if (config_doc.is_object()) {
+    if (const json::Value* rec = config_doc.as_object().find("recovery")) {
+      try {
+        analysis::AnalysisReport rec_report =
+            analysis::lint_recovery_policy(recovery::policy_from_json(*rec));
+        config_report.diagnostics.insert(config_report.diagnostics.end(),
+                                         rec_report.diagnostics.begin(),
+                                         rec_report.diagnostics.end());
+      } catch (const std::exception& e) {
+        config_report.diagnostics.push_back(
+            analysis::Diagnostic{analysis::Severity::Error, "CFG11", e.what(), 0});
+      }
+    }
+  }
   failed |= config_report.has_errors() || (strict && config_report.truncated);
   if (config_only || !config_report.diagnostics.empty()) {
     print_report(config_path.empty() ? "<builtin testbed config>" : config_path,

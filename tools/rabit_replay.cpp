@@ -23,7 +23,7 @@ namespace {
 
 void print_usage(std::FILE* out, const char* argv0) {
   std::fprintf(out,
-               "usage: %s [--lenient] [--obs-out <dir>] <trace.jsonl> "
+               "usage: %s [--lenient] [--assurance] [--obs-out <dir>] <trace.jsonl> "
                "[initial|modified|modified+sim]\n"
                "       %s --help\n"
                "\n"
@@ -33,6 +33,12 @@ void print_usage(std::FILE* out, const char* argv0) {
                "\n"
                "  --lenient        skip malformed trace lines (reported with their line\n"
                "                   numbers) instead of aborting on the first one\n"
+               "  --assurance      enable the runtime-assurance decision module (needs\n"
+               "                   the modified+sim variant): motions whose barrier\n"
+               "                   profile dips below the floor are demoted to the\n"
+               "                   verified-safe controller instead of executed; the\n"
+               "                   summary then reports demotions and each switching\n"
+               "                   point\n"
                "  --obs-out <dir>  record per-command observability and write\n"
                "                   events.jsonl, trace.json (Chrome trace, open in\n"
                "                   Perfetto) and metrics.prom into <dir>\n"
@@ -45,6 +51,7 @@ void print_usage(std::FILE* out, const char* argv0) {
 
 int main(int argc, char** argv) {
   bool lenient = false;
+  bool assurance_on = false;
   std::string trace_path;
   std::string obs_dir;
   core::Variant variant = core::Variant::Modified;
@@ -58,6 +65,8 @@ int main(int argc, char** argv) {
     }
     if (arg == "--lenient") {
       lenient = true;
+    } else if (arg == "--assurance") {
+      assurance_on = true;
     } else if (arg == "--obs-out") {
       if (i + 1 >= argc) {
         std::fprintf(stderr, "error: --obs-out needs a directory argument\n");
@@ -118,7 +127,9 @@ int main(int argc, char** argv) {
       case trace::Outcome::SafeState:
       case trace::Outcome::Quarantined:
         // Recovery-ladder artifacts, not script commands: the script command
-        // itself has its own record with the final outcome.
+        // itself has its own record with the final outcome. (A Demoted record
+        // IS the script command — the motion the assurance layer refused to
+        // forward — so it replays like any other.)
         continue;
       default:
         commands.push_back(r.command);
@@ -131,6 +142,15 @@ int main(int argc, char** argv) {
   if (!obs_dir.empty()) {
     sup_options.obs_sink = &events;
     sup_options.obs_metrics = &metrics;
+  }
+  if (assurance_on) {
+    if (variant != core::Variant::ModifiedWithSim) {
+      std::fprintf(stderr,
+                   "error: --assurance needs the modified+sim variant (the decision "
+                   "module queries the Extended Simulator's margin profiles)\n");
+      return 2;
+    }
+    sup_options.assurance = assurance::AssuranceConfig{};
   }
 
   bugs::BugOutcome outcome = bugs::evaluate_stream(commands, variant, sup_options);
@@ -156,6 +176,12 @@ int main(int argc, char** argv) {
   for (const sim::DamageEvent& e : outcome.report.damage) {
     std::printf("    [%s] %s\n", std::string(dev::to_string(e.severity)).c_str(),
                 e.description.c_str());
+  }
+  if (assurance_on && outcome.report.recovery) {
+    std::printf("  demotions      : %zu\n", outcome.report.recovery->demotions);
+    for (const assurance::AssuranceEvent& e : outcome.report.recovery->assurance) {
+      std::printf("    %s\n", e.describe().c_str());
+    }
   }
   return outcome.report.alerts > 0 || !outcome.report.damage.empty() ? 1 : 0;
 }

@@ -16,6 +16,7 @@
 
 #include "analysis/analysis.hpp"
 #include "core/config.hpp"
+#include "recovery/recovery.hpp"
 #include "sim/deck.hpp"
 
 using namespace rabit;
@@ -93,6 +94,22 @@ int main(int argc, char** argv) {
 
   // Second pass: cross-consistency lint (semantic checks beyond the schema).
   analysis::AnalysisReport lint = analysis::lint_config(config);
+
+  // Optional top-level "recovery" object: the RecoveryPolicy the Supervisor
+  // would be constructed with. The Supervisor rejects a fatally invalid
+  // policy at construction; CFG11 surfaces the same findings pre-flight.
+  if (const json::Value* rec = doc.as_object().find("recovery")) {
+    try {
+      recovery::RecoveryPolicy policy = recovery::policy_from_json(*rec);
+      analysis::AnalysisReport rec_lint = analysis::lint_recovery_policy(policy);
+      lint.diagnostics.insert(lint.diagnostics.end(), rec_lint.diagnostics.begin(),
+                              rec_lint.diagnostics.end());
+    } catch (const std::exception& e) {
+      lint.diagnostics.push_back(
+          analysis::Diagnostic{analysis::Severity::Error, "CFG11", e.what(), 0});
+    }
+  }
+
   for (const analysis::Diagnostic& d : lint.diagnostics) {
     std::fprintf(stderr, "%s: %s %s — %s\n", argv[1],
                  std::string(analysis::to_string(d.severity)).c_str(), d.rule.c_str(),
