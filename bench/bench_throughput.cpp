@@ -1,8 +1,8 @@
 // Fleet-scale throughput: shards N independent testbed streams across a
-// worker pool (src/fleet) and reports commands/s plus p50/p99 real check
-// latency at 1/4/16/64 streams. The paper runs RABIT on a single experiment
-// stream; the ROADMAP north-star is a middleware that validates many
-// concurrent streams, which is what this harness measures.
+// worker pool (src/fleet) and reports commands/s plus p50/p99/p999 real
+// check latency at 1/4/16/64 streams. The paper runs RABIT on a single
+// experiment stream; the ROADMAP north-star is a middleware that validates
+// many concurrent streams, which is what this harness measures.
 //
 // Also measures the single-stream speedup of the indexed hot path (rule
 // index + memoized rule world + broad phase + verdict cache) against the
@@ -10,16 +10,25 @@
 // not the modeled 0.03 s / 2 s environment constants.
 //
 // Modes:
-//   (default)            full fleet table + google-benchmark section,
-//                        writes BENCH_throughput.json
-//   --smoke              quick 16-stream run (for the TSan CI job), still
-//                        writes BENCH_throughput.json
-//   --shard-smoke        plan-driven sharded campaign at 16 streams across 4
-//                        station groups: builds the static shard plan,
-//                        verifies it, runs it across a worker pool with the
-//                        validation oracle on, and exits 1 unless the plan
-//                        splits into 4 shards and the oracle stays silent
-//                        (the TSan CI job's lock-free-sharding exercise)
+//   (default)            full fleet table + sharded-execution worker sweep +
+//                        google-benchmark section, writes
+//                        BENCH_throughput.json
+//   --smoke              quick run (for the TSan CI job), still writes
+//                        BENCH_throughput.json
+//   --shard-smoke        plan-driven sharded campaigns: 16 streams / 4
+//                        station groups (V2) and 64 streams / 8 groups (V3,
+//                        with a live-motion shard feeding the epoch-versioned
+//                        pose board). Builds the static shard plan, verifies
+//                        it, runs it across a worker pool with the validation
+//                        oracle on, and exits 1 unless the plans split into
+//                        exactly 4 and 8 shards, the oracle stays silent, the
+//                        certificate monitor records no envelope breach, no
+//                        coordination event fires, and (Release, unsanitized)
+//                        the worst check latency stays under 1 ms
+//   --baseline <path>    perf-regression gate: compares this run's fleet and
+//                        sharded scaling efficiency against a previously
+//                        written BENCH_throughput.json; exits 1 on a >20%
+//                        regression (skipped when the CPU counts differ)
 //   --verify-catalogue   runs all 16 catalogue bugs x 3 variants with the
 //                        hot path on and off; exits 1 on any verdict
 //                        divergence (the optimizations must not change a
@@ -33,15 +42,37 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <memory>
+#include <sstream>
 #include <thread>
 #include <vector>
 
+#include <unistd.h>
+
 #include "analysis/shard_plan.hpp"
 #include "bench_common.hpp"
+#include "devices/stations.hpp"
 #include "fleet/fleet.hpp"
 #include "json/json.hpp"
 #include "obs/obs.hpp"
 #include "sim/deck.hpp"
+
+// Timing-based gates (tail latency, scaling) only bind on an optimized,
+// unsanitized build; Debug or sanitizer instrumentation inflates check cost
+// by an order of magnitude and would gate on the instrumentation instead.
+#if defined(NDEBUG) && !defined(__SANITIZE_ADDRESS__) && !defined(__SANITIZE_THREAD__)
+#if defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer)
+#define RABIT_BENCH_TIMING_GATES 0
+#else
+#define RABIT_BENCH_TIMING_GATES 1
+#endif
+#else
+#define RABIT_BENCH_TIMING_GATES 1
+#endif
+#else
+#define RABIT_BENCH_TIMING_GATES 0
+#endif
 
 namespace {
 
@@ -53,6 +84,17 @@ constexpr core::HotPathConfig kBaseline{/*index_lookups=*/false,
                                         /*memoize_rule_world=*/false,
                                         /*broad_phase=*/false,
                                         /*verdict_cache=*/false};
+
+/// The worst per-command check latency the sharded hot path may exhibit on
+/// the smoke workload (Release, unsanitized). Latencies are thread-CPU time
+/// (obs::thread_cpu_now_us), so scheduler preemption on an oversubscribed
+/// box cannot push a check past the gate.
+constexpr double kTailGateUs = 1000.0;
+
+std::size_t cpus_online() {
+  long n = sysconf(_SC_NPROCESSORS_ONLN);
+  return n > 0 ? static_cast<std::size_t>(n) : 1;
+}
 
 // --- single-stream real check cost ------------------------------------------
 
@@ -86,6 +128,7 @@ CheckCost measure_check_cost(const fleet::StreamSpec& base, const core::HotPathC
 struct FleetRow {
   std::size_t streams = 0;
   std::size_t workers = 0;
+  double scaling_efficiency = 0.0;  ///< per-worker throughput vs the first row
   fleet::FleetReport report;
 };
 
@@ -120,80 +163,182 @@ FleetRow run_fleet(const fleet::StreamSpec& base, std::size_t streams, bool obs 
   return row;
 }
 
+/// Per-worker throughput normalized to the table's first row: efficiency of
+/// row r = (commands_per_s / workers) / (commands_per_s_0 / workers_0). 1.0
+/// means perfect scaling relative to the reference row.
+void fill_scaling_efficiency(std::vector<FleetRow>& rows) {
+  if (rows.empty() || rows.front().report.commands_per_s <= 0) return;
+  double per_worker_0 = rows.front().report.commands_per_s /
+                        static_cast<double>(std::max<std::size_t>(1, rows.front().workers));
+  for (FleetRow& r : rows) {
+    double per_worker =
+        r.report.commands_per_s / static_cast<double>(std::max<std::size_t>(1, r.workers));
+    r.scaling_efficiency = per_worker_0 > 0 ? per_worker / per_worker_0 : 0.0;
+  }
+}
+
 void print_fleet_table(const std::vector<FleetRow>& rows) {
-  std::printf("%8s %8s %10s %12s %10s %10s %8s\n", "streams", "workers", "commands",
-              "commands/s", "p50 us", "p99 us", "alerts");
+  std::printf("%8s %8s %10s %12s %10s %10s %10s %8s %6s\n", "streams", "workers", "commands",
+              "commands/s", "p50 us", "p99 us", "p999 us", "alerts", "eff");
   print_rule();
   for (const FleetRow& r : rows) {
-    std::printf("%8zu %8zu %10zu %12.0f %10.1f %10.1f %8zu\n", r.streams, r.workers,
+    std::printf("%8zu %8zu %10zu %12.0f %10.1f %10.1f %10.1f %8zu %6.2f\n", r.streams, r.workers,
                 r.report.commands_checked, r.report.commands_per_s,
-                r.report.check_latency.p50_us, r.report.check_latency.p99_us, r.report.alerts);
+                r.report.check_latency.p50_us, r.report.check_latency.p99_us,
+                r.report.check_latency.p999_us, r.report.alerts, r.scaling_efficiency);
   }
   print_rule();
 }
 
-// --- plan-driven sharded campaign smoke --------------------------------------
+// --- plan-driven sharded campaigns -------------------------------------------
 
-struct ShardSmoke {
-  std::size_t streams = 0;
-  std::size_t shards = 0;
-  std::size_t certificates = 0;
-  std::size_t commands_checked = 0;
-  std::size_t oracle_violations = 0;
-  std::size_t static_violations = 0;
-  double wall_s = 0.0;
-  double commands_per_s = 0.0;
-  bool ok = false;
-};
-
-/// 16 streams across the 4 testbed station groups: within-group streams
-/// contend on one device (4 conflict cliques), across groups nothing is
-/// shared, so the planner must certify exactly 4 independent shards.
-ShardSmoke run_shard_smoke() {
-  constexpr std::size_t kStreams = 16;
+/// `streams` command streams across `groups` single-device groups. Groups
+/// 0..6 each contend on one station (the six stock testbed stations plus,
+/// past group 5, a Berlinguette-style spin coater the custom deck registers);
+/// group 7 is the viperx motion group — under V3 its go_home/go_sleep cycles
+/// give the epoch-versioned pose board a live writer while every station
+/// shard checks lock-free. Across groups nothing is shared and only the
+/// motion group carries envelopes, so the planner must certify exactly
+/// `groups` shards.
+fleet::CampaignSpec make_sharded_campaign(std::size_t streams, std::size_t groups,
+                                          core::Variant variant) {
   fleet::CampaignSpec spec;
-  spec.variant = core::Variant::Modified;
+  spec.variant = variant;
   spec.seed = 77;
   spec.halt_on_alert = false;
-
-  for (std::size_t i = 0; i < kStreams; ++i) {
+  if (groups > 6) {
+    spec.deck = [](sim::LabBackend& backend) {
+      sim::build_hein_testbed_deck(backend);
+      backend.registry().add(std::make_unique<dev::GenericActionDevice>(
+          "spin_coater",
+          std::vector<dev::GenericActionDevice::ValueActionSpec>{
+              {"set_spin_speed", "spinSpeed", "rpm", 8000.0}},
+          /*has_door=*/false, std::nullopt));
+    };
+  }
+  for (std::size_t i = 0; i < streams; ++i) {
     fleet::CampaignStreamSpec stream;
     char buf[32];
     std::snprintf(buf, sizeof(buf), "stream-%02zu", i);
     stream.name = buf;
-    auto push = [&stream](const char* device, const char* action, json::Object args) {
+    auto push = [&stream](const char* device, const char* action, json::Object args = {}) {
       dev::Command command;
       command.device = device;
       command.action = action;
       command.args = std::move(args);
       stream.commands.push_back(std::move(command));
     };
+    auto num = [i](double base, double step) {
+      return base + step * static_cast<double>(i % 16);
+    };
     json::Object args;
-    switch (i % 4) {
+    switch (i % groups) {
       case 0:
-        args["celsius"] = 40.0 + static_cast<double>(i);
+        args["celsius"] = num(40.0, 1.0);
         push("hotplate", "set_temperature", std::move(args));
-        push("hotplate", "stop", {});
+        push("hotplate", "stop");
+        args = {};
+        args["celsius"] = num(35.0, 1.0);
+        push("hotplate", "set_temperature", std::move(args));
+        push("hotplate", "stop");
         break;
       case 1:
-        args["celsius"] = 30.0 + static_cast<double>(i);
+        args["celsius"] = num(30.0, 1.0);
         push("thermoshaker", "set_temperature", std::move(args));
-        push("thermoshaker", "stop", {});
+        push("thermoshaker", "stop");
+        args = {};
+        args["celsius"] = num(25.0, 1.0);
+        push("thermoshaker", "set_temperature", std::move(args));
+        push("thermoshaker", "stop");
         break;
       case 2:
-        args["state"] = std::string(i % 8 == 2 ? "open" : "closed");
+        args["state"] = std::string("open");
+        push("centrifuge", "set_door", std::move(args));
+        args = {};
+        args["state"] = std::string("closed");
+        push("centrifuge", "set_door", std::move(args));
+        args = {};
+        args["state"] = std::string("open");
+        push("centrifuge", "set_door", std::move(args));
+        args = {};
+        args["state"] = std::string("closed");
         push("centrifuge", "set_door", std::move(args));
         break;
+      case 3:
+        for (int rep = 0; rep < 4; ++rep) {
+          args = {};
+          args["volume"] = 0.05 + 0.01 * static_cast<double>(i % 8);
+          push("syringe_pump", "draw_solvent", std::move(args));
+        }
+        break;
+      case 4:
+        args["state"] = std::string("open");
+        push("dosing_device", "set_door", std::move(args));
+        args = {};
+        args["state"] = std::string("closed");
+        push("dosing_device", "set_door", std::move(args));
+        args = {};
+        args["state"] = std::string("open");
+        push("dosing_device", "set_door", std::move(args));
+        args = {};
+        args["state"] = std::string("closed");
+        push("dosing_device", "set_door", std::move(args));
+        break;
+      case 5:
+        push("camera", "start");
+        push("camera", "stop");
+        push("camera", "start");
+        push("camera", "stop");
+        break;
+      case 6:
+        args["rpm"] = num(500.0, 100.0);
+        push("spin_coater", "set_spin_speed", std::move(args));
+        push("spin_coater", "start");
+        push("spin_coater", "stop");
+        args = {};
+        args["rpm"] = num(300.0, 50.0);
+        push("spin_coater", "set_spin_speed", std::move(args));
+        break;
       default:
-        args["volume"] = 1.0 + 0.25 * static_cast<double>(i);
-        push("syringe_pump", "draw_solvent", std::move(args));
+        push("viperx", "go_home");
+        push("viperx", "go_sleep");
+        push("viperx", "go_home");
+        push("viperx", "go_sleep");
         break;
     }
     spec.streams.push_back(std::move(stream));
   }
+  return spec;
+}
 
-  sim::LabBackend backend(sim::testbed_profile());
-  sim::build_hein_testbed_deck(backend);
+struct ShardSmoke {
+  std::size_t streams = 0;
+  std::size_t groups = 0;
+  std::size_t shards = 0;
+  std::size_t certificates = 0;
+  std::size_t commands_checked = 0;
+  std::size_t oracle_violations = 0;
+  std::size_t static_violations = 0;
+  std::size_t certificate_breaches = 0;
+  std::size_t coordination_events = 0;
+  std::size_t snapshot_pose_serves = 0;
+  fleet::LatencySummary check_latency;
+  double wall_s = 0.0;
+  double commands_per_s = 0.0;
+  bool tail_gated = false;  ///< the <1 ms worst-check gate was enforced
+  bool ok = false;
+};
+
+ShardSmoke run_shard_smoke(std::size_t streams, std::size_t groups, core::Variant variant,
+                           std::size_t workers, bool gate_tail) {
+  fleet::CampaignSpec spec = make_sharded_campaign(streams, groups, variant);
+
+  sim::LabBackend backend(sim::testbed_profile(), spec.seed);
+  if (spec.deck) {
+    spec.deck(backend);
+  } else {
+    sim::build_hein_testbed_deck(backend);
+  }
   core::EngineConfig config = core::config_from_backend(backend, spec.variant);
 
   std::vector<analysis::StreamSummary> summaries;
@@ -204,49 +349,125 @@ ShardSmoke run_shard_smoke() {
   analysis::ShardPlan plan = analysis::plan_shards(config, summaries);
 
   ShardSmoke result;
-  result.streams = kStreams;
+  result.streams = streams;
+  result.groups = groups;
   result.shards = plan.shards.size();
   result.certificates = plan.certificates.size();
   result.static_violations = analysis::verify_plan(config, summaries, plan).size();
 
   fleet::ShardedCampaignOptions options;
-  options.workers = 4;
+  options.workers = workers;
   options.validate_certificates = true;
-  auto t0 = std::chrono::steady_clock::now();
   fleet::CampaignReport report = fleet::Fleet::run_campaign(spec, plan, options);
-  result.wall_s = std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  result.wall_s = report.wall_s;
   result.commands_checked = report.commands_checked;
+  result.commands_per_s = report.commands_per_s;
   result.oracle_violations = report.oracle_violations.size();
-  if (result.wall_s > 0.0) {
-    result.commands_per_s = static_cast<double>(report.commands_checked) / result.wall_s;
-  }
+  result.certificate_breaches = report.certificate_breaches.size();
+  result.coordination_events = report.coordination_events;
+  result.snapshot_pose_serves = report.snapshot_pose_serves;
+  result.check_latency = report.check_latency;
   for (const std::string& v : report.oracle_violations) {
     std::printf("ORACLE VIOLATION: %s\n", v.c_str());
   }
-  result.ok = result.shards == 4 && result.oracle_violations == 0 &&
-              result.static_violations == 0 && report.shards == plan.shards.size();
+  for (const std::string& v : report.certificate_breaches) {
+    std::printf("ENVELOPE BREACH: %s\n", v.c_str());
+  }
+  result.ok = result.shards == groups && result.oracle_violations == 0 &&
+              result.static_violations == 0 && result.certificate_breaches == 0 &&
+              result.coordination_events == 0 && report.shards == plan.shards.size();
+  result.tail_gated = gate_tail && RABIT_BENCH_TIMING_GATES != 0;
+  if (result.tail_gated && result.check_latency.max_us >= kTailGateUs) {
+    std::printf("TAIL GATE: worst check %.1f us >= %.0f us\n", result.check_latency.max_us,
+                kTailGateUs);
+    result.ok = false;
+  }
   return result;
 }
 
-void print_shard_smoke(const ShardSmoke& smoke) {
-  std::printf("plan-driven sharded campaign (16 streams, 4 station groups):\n");
+void print_shard_smoke(const ShardSmoke& smoke, const char* variant_name) {
+  std::printf("plan-driven sharded campaign (%zu streams, %zu groups, %s):\n", smoke.streams,
+              smoke.groups, variant_name);
   std::printf("  %-24s %zu\n", "shards", smoke.shards);
   std::printf("  %-24s %zu\n", "certificates", smoke.certificates);
   std::printf("  %-24s %zu\n", "commands checked", smoke.commands_checked);
   std::printf("  %-24s %.0f\n", "commands/s", smoke.commands_per_s);
+  std::printf("  %-24s %zu\n", "snapshot pose serves", smoke.snapshot_pose_serves);
+  std::printf("  %-24s %zu\n", "coordination events", smoke.coordination_events);
+  std::printf("  %-24s %zu\n", "envelope breaches", smoke.certificate_breaches);
   std::printf("  %-24s %zu\n", "static violations", smoke.static_violations);
   std::printf("  %-24s %zu\n", "oracle violations", smoke.oracle_violations);
+  std::printf("  %-24s p50 %.1f  p99 %.1f  p999 %.1f  max %.1f%s\n", "check latency (us)",
+              smoke.check_latency.p50_us, smoke.check_latency.p99_us,
+              smoke.check_latency.p999_us, smoke.check_latency.max_us,
+              smoke.tail_gated ? "  (gated < 1 ms)" : "");
   std::printf("  %-24s %s\n\n", "verdict", smoke.ok ? "PASS" : "FAIL");
+}
+
+// --- sharded execution worker sweep ------------------------------------------
+
+struct ShardSweepRow {
+  std::size_t workers = 0;
+  std::size_t shards = 0;
+  double scaling_efficiency = 0.0;  ///< (cps / cps_1worker) / workers
+  fleet::CampaignReport report;
+};
+
+/// The sharded hot path through the *default* entry (Fleet::run plans and
+/// executes) at increasing worker counts, on the same 64-stream/8-group V3
+/// campaign the smoke gates. Efficiency is relative to the sweep's own
+/// 1-worker row, so the number is meaningful on any machine.
+std::vector<ShardSweepRow> run_sharded_sweep(std::size_t streams, std::size_t groups,
+                                             const std::vector<std::size_t>& workers_list) {
+  fleet::CampaignSpec spec =
+      make_sharded_campaign(streams, groups, core::Variant::ModifiedWithSim);
+  std::vector<ShardSweepRow> rows;
+  for (std::size_t w : workers_list) {
+    fleet::ShardedCampaignOptions options;
+    options.workers = w;
+    ShardSweepRow row;
+    row.workers = w;
+    analysis::ShardPlan plan;
+    row.report = fleet::Fleet::run(spec, options, &plan);
+    row.shards = plan.shards.size();
+    rows.push_back(std::move(row));
+  }
+  if (!rows.empty() && rows.front().workers == 1 && rows.front().report.commands_per_s > 0) {
+    for (ShardSweepRow& r : rows) {
+      r.scaling_efficiency =
+          (r.report.commands_per_s / rows.front().report.commands_per_s) /
+          static_cast<double>(r.workers);
+    }
+  }
+  return rows;
+}
+
+void print_sharded_sweep(const std::vector<ShardSweepRow>& rows) {
+  std::printf("sharded execution worker sweep (64 streams, 8 shards, V3, default entry):\n");
+  std::printf("%8s %8s %10s %12s %10s %10s %8s %6s\n", "workers", "shards", "commands",
+              "commands/s", "p99 us", "p999 us", "serves", "eff");
+  print_rule();
+  for (const ShardSweepRow& r : rows) {
+    std::printf("%8zu %8zu %10zu %12.0f %10.1f %10.1f %8zu %6.2f\n", r.workers, r.shards,
+                r.report.commands_checked, r.report.commands_per_s,
+                r.report.check_latency.p99_us, r.report.check_latency.p999_us,
+                r.report.snapshot_pose_serves, r.scaling_efficiency);
+  }
+  print_rule();
+  std::printf("\n");
 }
 
 // --- BENCH_throughput.json --------------------------------------------------
 
 void write_json(const char* path, bool smoke, const CheckCost& baseline,
                 const CheckCost& optimized, const std::vector<FleetRow>& rows,
-                const ShardSmoke& shard_smoke) {
+                const std::vector<ShardSweepRow>& sweep, const ShardSmoke& shard_smoke) {
   json::Object root;
   root["bench"] = "throughput";
   root["mode"] = smoke ? "smoke" : "full";
+  // Scaling efficiency is only comparable between runs on the same core
+  // count; the regression gate checks this field before comparing.
+  root["cpus_online"] = cpus_online();
 
   json::Object single;
   single["baseline_check_us_per_cmd"] = baseline.us_per_cmd;
@@ -267,19 +488,47 @@ void write_json(const char* path, bool smoke, const CheckCost& baseline,
     o["check_p50_us"] = r.report.check_latency.p50_us;
     o["check_p90_us"] = r.report.check_latency.p90_us;
     o["check_p99_us"] = r.report.check_latency.p99_us;
+    o["check_p999_us"] = r.report.check_latency.p999_us;
     o["check_max_us"] = r.report.check_latency.max_us;
+    o["scaling_efficiency"] = r.scaling_efficiency;
     o["alerts"] = r.report.alerts;
     fleet_rows.emplace_back(std::move(o));
   }
   root["fleet"] = std::move(fleet_rows);
 
+  json::Array sweep_rows;
+  for (const ShardSweepRow& r : sweep) {
+    json::Object o;
+    o["workers"] = r.workers;
+    o["shards"] = r.shards;
+    o["commands_checked"] = r.report.commands_checked;
+    o["commands_per_s"] = r.report.commands_per_s;
+    o["wall_s"] = r.report.wall_s;
+    o["check_p50_us"] = r.report.check_latency.p50_us;
+    o["check_p99_us"] = r.report.check_latency.p99_us;
+    o["check_p999_us"] = r.report.check_latency.p999_us;
+    o["check_max_us"] = r.report.check_latency.max_us;
+    o["snapshot_pose_serves"] = r.report.snapshot_pose_serves;
+    o["coordination_events"] = r.report.coordination_events;
+    o["certificate_breaches"] = r.report.certificate_breaches.size();
+    o["scaling_efficiency"] = r.scaling_efficiency;
+    sweep_rows.emplace_back(std::move(o));
+  }
+  root["sharded_fleet"] = std::move(sweep_rows);
+
   json::Object sharded;
   sharded["streams"] = shard_smoke.streams;
+  sharded["groups"] = shard_smoke.groups;
   sharded["shards"] = shard_smoke.shards;
   sharded["certificates"] = shard_smoke.certificates;
   sharded["commands_checked"] = shard_smoke.commands_checked;
   sharded["commands_per_s"] = shard_smoke.commands_per_s;
   sharded["wall_s"] = shard_smoke.wall_s;
+  sharded["snapshot_pose_serves"] = shard_smoke.snapshot_pose_serves;
+  sharded["coordination_events"] = shard_smoke.coordination_events;
+  sharded["certificate_breaches"] = shard_smoke.certificate_breaches;
+  sharded["check_p999_us"] = shard_smoke.check_latency.p999_us;
+  sharded["check_max_us"] = shard_smoke.check_latency.max_us;
   sharded["static_violations"] = shard_smoke.static_violations;
   sharded["oracle_violations"] = shard_smoke.oracle_violations;
   sharded["ok"] = shard_smoke.ok;
@@ -288,6 +537,89 @@ void write_json(const char* path, bool smoke, const CheckCost& baseline,
   std::ofstream out(path);
   out << json::serialize_pretty(json::Value(std::move(root))) << "\n";
   std::printf("wrote %s\n", path);
+}
+
+// --- perf-regression gate vs a checked-in baseline ---------------------------
+
+/// One-sided gate: fails only when this run's scaling efficiency dropped
+/// more than `tolerance` below the baseline's, never when it improved. Rows
+/// match on (streams, workers) for "fleet" and workers for "sharded_fleet";
+/// rows without a match are skipped, so growing the tables never breaks the
+/// gate. Skipped entirely (exit 0, with a notice) when the baseline was
+/// recorded on a different core count — efficiency is a per-machine number.
+int compare_baseline(const std::string& path, const std::string& text,
+                     const std::vector<FleetRow>& rows,
+                     const std::vector<ShardSweepRow>& sweep) {
+  constexpr double kTolerance = 0.20;
+  json::Value doc;
+  try {
+    doc = json::parse(text);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "baseline gate: %s: %s\n", path.c_str(), e.what());
+    return 1;
+  }
+  const json::Value* cpus = doc.find("cpus_online");
+  if (cpus == nullptr || !cpus->is_number() ||
+      static_cast<std::size_t>(cpus->as_double()) != cpus_online()) {
+    std::printf("baseline gate: skipped (baseline cpus_online %s != current %zu)\n",
+                cpus != nullptr && cpus->is_number()
+                    ? std::to_string(static_cast<std::size_t>(cpus->as_double())).c_str()
+                    : "absent",
+                cpus_online());
+    return 0;
+  }
+
+  int regressions = 0;
+  auto check = [&regressions](const char* table, const std::string& key, double baseline_eff,
+                              double current_eff) {
+    if (baseline_eff <= 0) return;
+    if (current_eff < baseline_eff * (1.0 - kTolerance)) {
+      std::printf("baseline gate: %s %s efficiency regressed %.2f -> %.2f (>20%%)\n", table,
+                  key.c_str(), baseline_eff, current_eff);
+      ++regressions;
+    } else {
+      std::printf("baseline gate: %s %s efficiency %.2f -> %.2f ok\n", table, key.c_str(),
+                  baseline_eff, current_eff);
+    }
+  };
+
+  if (const json::Value* fleet = doc.find("fleet"); fleet != nullptr && fleet->is_array()) {
+    for (const json::Value& row : fleet->as_array()) {
+      const json::Value* streams = row.find("streams");
+      const json::Value* workers = row.find("workers");
+      const json::Value* eff = row.find("scaling_efficiency");
+      if (streams == nullptr || workers == nullptr || eff == nullptr || !eff->is_number()) {
+        continue;
+      }
+      for (const FleetRow& r : rows) {
+        if (r.streams == static_cast<std::size_t>(streams->as_double()) &&
+            r.workers == static_cast<std::size_t>(workers->as_double())) {
+          check("fleet", std::to_string(r.streams) + "s/" + std::to_string(r.workers) + "w",
+                eff->as_double(), r.scaling_efficiency);
+        }
+      }
+    }
+  }
+  if (const json::Value* shard = doc.find("sharded_fleet");
+      shard != nullptr && shard->is_array()) {
+    for (const json::Value& row : shard->as_array()) {
+      const json::Value* workers = row.find("workers");
+      const json::Value* eff = row.find("scaling_efficiency");
+      if (workers == nullptr || eff == nullptr || !eff->is_number()) continue;
+      for (const ShardSweepRow& r : sweep) {
+        if (r.workers == static_cast<std::size_t>(workers->as_double())) {
+          check("sharded_fleet", std::to_string(r.workers) + "w", eff->as_double(),
+                r.scaling_efficiency);
+        }
+      }
+    }
+  }
+  if (regressions > 0) {
+    std::printf("baseline gate: FAIL (%d regression(s) beyond 20%%)\n", regressions);
+    return 1;
+  }
+  std::printf("baseline gate: PASS\n");
+  return 0;
 }
 
 // --- catalogue verdict parity ----------------------------------------------
@@ -368,6 +700,7 @@ int main(int argc, char** argv) {
   bool shard_only = false;
   bool verify = false;
   std::string obs_dir;
+  std::string baseline_path;
   std::vector<char*> passthrough;
   passthrough.push_back(argv[0]);
   for (int i = 1; i < argc; ++i) {
@@ -379,6 +712,8 @@ int main(int argc, char** argv) {
       verify = true;
     } else if (std::strcmp(argv[i], "--obs-out") == 0 && i + 1 < argc) {
       obs_dir = argv[++i];
+    } else if (std::strcmp(argv[i], "--baseline") == 0 && i + 1 < argc) {
+      baseline_path = argv[++i];
     } else {
       passthrough.push_back(argv[i]);
     }
@@ -386,10 +721,28 @@ int main(int argc, char** argv) {
   if (verify) return verify_catalogue();
   if (shard_only) {
     print_header("Plan-driven sharded campaign smoke",
-                 "static shard planner certificates vs the runtime oracle, 16 streams");
-    ShardSmoke shard_smoke = run_shard_smoke();
-    print_shard_smoke(shard_smoke);
-    return shard_smoke.ok ? 0 : 1;
+                 "static shard planner certificates vs the runtime oracle + pose board");
+    ShardSmoke small = run_shard_smoke(16, 4, core::Variant::Modified, 4, /*gate_tail=*/false);
+    print_shard_smoke(small, "V2");
+    ShardSmoke large =
+        run_shard_smoke(64, 8, core::Variant::ModifiedWithSim, 8, /*gate_tail=*/true);
+    print_shard_smoke(large, "V3");
+    return small.ok && large.ok ? 0 : 1;
+  }
+
+  // Slurp the baseline before anything runs: the report below writes
+  // BENCH_throughput.json into the working directory, which in CI is the
+  // very file the gate compares against.
+  std::string baseline_text;
+  if (!baseline_path.empty()) {
+    std::ifstream in(baseline_path);
+    if (!in) {
+      std::fprintf(stderr, "baseline gate: cannot read %s\n", baseline_path.c_str());
+      return 1;
+    }
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    baseline_text = buffer.str();
   }
 
   print_header("Fleet-scale checking throughput",
@@ -423,7 +776,7 @@ int main(int argc, char** argv) {
               optimized.us_per_cmd, optimized.iterations);
   std::printf("  dense-world speedup: %.1fx (target: >=5x)\n\n", speedup);
 
-  std::vector<std::size_t> counts = smoke ? std::vector<std::size_t>{16}
+  std::vector<std::size_t> counts = smoke ? std::vector<std::size_t>{1, 16}
                                           : std::vector<std::size_t>{1, 4, 16, 64};
   std::vector<FleetRow> rows;
   for (std::size_t i = 0; i < counts.size(); ++i) {
@@ -433,12 +786,19 @@ int main(int argc, char** argv) {
     bool obs = !obs_dir.empty() && i + 1 == counts.size();
     rows.push_back(run_fleet(dense, counts[i], obs));
   }
+  fill_scaling_efficiency(rows);
   std::printf("fleet throughput (dense lab world, hot path on):\n");
   print_fleet_table(rows);
   std::printf("\n");
 
-  ShardSmoke shard_smoke = run_shard_smoke();
-  print_shard_smoke(shard_smoke);
+  std::vector<std::size_t> sweep_workers =
+      smoke ? std::vector<std::size_t>{1, 4} : std::vector<std::size_t>{1, 2, 4};
+  std::vector<ShardSweepRow> sweep = run_sharded_sweep(64, 8, sweep_workers);
+  print_sharded_sweep(sweep);
+
+  ShardSmoke shard_smoke =
+      run_shard_smoke(64, 8, core::Variant::ModifiedWithSim, 8, /*gate_tail=*/true);
+  print_shard_smoke(shard_smoke, "V3");
 
   if (!obs_dir.empty() && rows.back().report.obs_events != nullptr) {
     std::string error;
@@ -451,7 +811,13 @@ int main(int argc, char** argv) {
                 obs_dir.c_str());
   }
 
-  write_json("BENCH_throughput.json", smoke, baseline, optimized, rows, shard_smoke);
+  write_json("BENCH_throughput.json", smoke, baseline, optimized, rows, sweep, shard_smoke);
+
+  if (!shard_smoke.ok) return 1;
+  if (!baseline_path.empty()) {
+    int gate = compare_baseline(baseline_path, baseline_text, rows, sweep);
+    if (gate != 0) return gate;
+  }
 
   if (smoke) return 0;  // the TSan job wants the fleet exercised, not microbenches
   int pass_argc = static_cast<int>(passthrough.size());

@@ -545,6 +545,21 @@ ShardPlan plan_shards(const EngineConfig& config, const std::vector<StreamSummar
     }
   }
 
+  // Per-arm certified envelopes (the runtime snapshot soundness data; see
+  // ShardPlan::arm_envelopes). Commanded arms union their summary envelopes;
+  // arms no stream moves are pinned to their inflated parked sleep box.
+  for (const StreamSummary& s : streams) {
+    for (const auto& [arm, env] : s.arm_envelopes) {
+      auto [it, inserted] = plan.arm_envelopes.emplace(arm, env);
+      if (!inserted) it->second = it->second.united(env);
+    }
+  }
+  for (const DeviceMeta& m : config.devices) {
+    if (!m.is_arm || !m.sleep_box) continue;
+    if (plan.arm_envelopes.count(m.id) != 0) continue;
+    plan.arm_envelopes.emplace(m.id, m.sleep_box->inflated(options.parked_arm_margin));
+  }
+
   auto emit = [&plan](std::string rule, std::string message, std::vector<std::string> subjects,
                       std::vector<std::string> stream_names) {
     std::sort(subjects.begin(), subjects.end());
@@ -779,6 +794,15 @@ json::Value plan_to_json(const ShardPlan& plan) {
     certificates.emplace_back(std::move(o));
   }
   root["certificates"] = std::move(certificates);
+
+  json::Object envelopes;
+  for (const auto& [arm, env] : plan.arm_envelopes) {
+    json::Object box;
+    box["min"] = json::Array{env.min.x, env.min.y, env.min.z};
+    box["max"] = json::Array{env.max.x, env.max.y, env.max.z};
+    envelopes[arm] = std::move(box);
+  }
+  root["arm_envelopes"] = std::move(envelopes);
   root["diagnostics"] = report_to_json(plan.diagnostics);
   root["truncated"] = plan.truncated;
   return json::Value(std::move(root));

@@ -38,6 +38,7 @@
 #pragma once
 
 #include <cstddef>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -109,6 +110,11 @@ struct ShardPlanOptions {
   /// only the degenerate check — warn when the whole campaign collapses into
   /// a single multi-stream shard (nothing can run lock-free at all).
   std::size_t max_shard_streams = 0;
+  /// Slack added around an *uncommanded* arm's parked sleep box when deriving
+  /// ShardPlan::arm_envelopes (commanded arms carry their summary envelopes,
+  /// which the A3 frame-calibration margin already inflates). Mirrors
+  /// AnalyzeOptions::parked_arm_margin.
+  double parked_arm_margin = 0.05;
 };
 
 struct ShardPlan {
@@ -120,6 +126,14 @@ struct ShardPlan {
   std::vector<IndependenceCertificate> certificates;
   /// S1..S3 findings, every one carrying concrete conflict evidence.
   AnalysisReport diagnostics;
+  /// Per-arm certified pose envelope: for a commanded arm, the union of its
+  /// margin-inflated summary envelopes across every stream that moves it;
+  /// for an arm no stream commands, its parked sleep box inflated by
+  /// ShardPlanOptions::parked_arm_margin. This is the margin data the
+  /// runtime snapshot soundness check audits live cross-shard pose reads
+  /// against: any pose an arm ever publishes must lie inside its envelope,
+  /// so a stale epoch-versioned snapshot cannot change a verdict.
+  std::map<std::string, geom::Aabb, std::less<>> arm_envelopes;
   /// Any input summary was truncated: the partition is still sound (the
   /// truncated stream was merged pessimistically) but may be coarser than
   /// the campaign deserves.

@@ -126,6 +126,7 @@ std::optional<Alert> RabitEngine::check_command(const dev::Command& raw) {
       if (auto actual = simulator_->polled_arm_position(motion->arm_id)) {
         motion->waypoints.front() = *actual;
       }
+      if (motion_observer_) motion_observer_(*motion);
       // Deliberate-entry boxes are skipped via the read-only ignore filter —
       // the world itself is never mutated by a check, so a throwing
       // validation can no longer lose boxes and concurrent checks are safe.

@@ -12,6 +12,8 @@
 //  16  S_current <- SetState(S_actual)                   verify_postconditions()
 #pragma once
 
+#include <functional>
+
 #include "core/alert.hpp"
 #include "core/config.hpp"
 #include "core/rules.hpp"
@@ -108,6 +110,15 @@ class RabitEngine {
   void set_span(obs::SpanRecord* span) { span_ = span; }
   [[nodiscard]] obs::SpanRecord* span() const { return span_; }
 
+  /// Motion observer: invoked once per motion command the V3 trajectory
+  /// replay analyzes (after the polled-position override, before the sweep,
+  /// regardless of the eventual verdict). The sharded fleet runner hangs its
+  /// cross-shard snapshot audit here. Empty disables — the cost is one
+  /// bool test per motion check. Non-owning callback, like set_span.
+  void set_motion_observer(std::function<void(const MotionAnalysis&)> observer) {
+    motion_observer_ = std::move(observer);
+  }
+
   /// Runtime-assurance hook. When set > 0, the V3 trajectory replay sweeps
   /// with every obstacle inflated by this margin — the SAME single sweep,
   /// just a constant added to each clearance test, so the assurance fast
@@ -168,6 +179,7 @@ class RabitEngine {
   HotPathConfig hot_path_;
   RuleWorldCache rule_world_cache_;
   obs::SpanRecord* span_ = nullptr;
+  std::function<void(const MotionAnalysis&)> motion_observer_;
   void invalidate_motion_cache();
   double assurance_margin_ = 0.0;
   bool last_margin_tripped_ = false;

@@ -4,6 +4,9 @@
 #include <atomic>
 #include <chrono>
 #include <cmath>
+#include <cstdint>
+#include <map>
+#include <mutex>
 #include <optional>
 #include <random>
 #include <set>
@@ -12,6 +15,7 @@
 
 #include "script/workflows.hpp"
 #include "sim/deck.hpp"
+#include "sim/pose_board.hpp"
 
 namespace rabit::fleet {
 
@@ -42,6 +46,7 @@ LatencySummary summarize_latencies(std::vector<double> latencies_us) {
   s.p50_us = obs::nearest_rank(latencies_us, 0.50);
   s.p90_us = obs::nearest_rank(latencies_us, 0.90);
   s.p99_us = obs::nearest_rank(latencies_us, 0.99);
+  s.p999_us = obs::nearest_rank(latencies_us, 0.999);
   s.max_us = latencies_us.back();
   return s;
 }
@@ -119,8 +124,18 @@ StreamResult FleetRunner::run_stream(const StreamSpec& spec) {
 
 namespace {
 
-/// One fully assembled testbed lab (backend + optional V3 simulator +
-/// engine), used both for the shared interleaved run and for each solo
+/// Builds a campaign lab deck: the spec's custom builder, or the standard
+/// Hein testbed when none was given.
+void build_campaign_deck(const CampaignSpec& spec, sim::LabBackend& backend) {
+  if (spec.deck) {
+    spec.deck(backend);
+  } else {
+    sim::build_hein_testbed_deck(backend);
+  }
+}
+
+/// One fully assembled campaign lab (backend + optional V3 simulator +
+/// engine), used for the shared interleaved run, each shard, and each solo
 /// baseline. Construct in place and do not move: the simulator's arm-state
 /// provider captures the backend by address.
 struct Lab {
@@ -128,8 +143,9 @@ struct Lab {
   std::optional<sim::ExtendedSimulator> simulator;
   std::optional<core::RabitEngine> engine;
 
-  Lab(core::Variant variant, unsigned seed) : backend(sim::testbed_profile(), seed) {
-    sim::build_hein_testbed_deck(backend);
+  explicit Lab(const CampaignSpec& spec) : backend(sim::testbed_profile(), spec.seed) {
+    build_campaign_deck(spec, backend);
+    core::Variant variant = spec.variant;
     core::EngineConfig config = core::config_from_backend(backend, variant);
     if (variant == core::Variant::ModifiedWithSim) {
       sim::WorldModel world = sim::deck_world_model(backend);
@@ -153,12 +169,13 @@ struct Lab {
 };
 
 /// Resolves a campaign stream to concrete commands: script streams are
-/// recorded against a pristine staging testbed (same convention as
+/// recorded against a pristine staging lab (same convention as
 /// testbed_stream), command streams pass through.
-std::vector<dev::Command> campaign_commands(const CampaignStreamSpec& stream, unsigned seed) {
+std::vector<dev::Command> campaign_commands(const CampaignSpec& spec,
+                                            const CampaignStreamSpec& stream) {
   if (!stream.commands.empty() || stream.script.empty()) return stream.commands;
-  sim::LabBackend staging(sim::testbed_profile(), seed);
-  sim::build_hein_testbed_deck(staging);
+  sim::LabBackend staging(sim::testbed_profile(), spec.seed);
+  build_campaign_deck(spec, staging);
   return script::record_workflow(staging, stream.script);
 }
 
@@ -166,7 +183,7 @@ std::vector<std::vector<dev::Command>> resolve_campaign(const CampaignSpec& spec
   std::vector<std::vector<dev::Command>> commands;
   commands.reserve(spec.streams.size());
   for (const CampaignStreamSpec& s : spec.streams) {
-    commands.push_back(campaign_commands(s, spec.seed));
+    commands.push_back(campaign_commands(spec, s));
   }
   return commands;
 }
@@ -206,7 +223,7 @@ void classify_against_solo(const CampaignSpec& spec,
     bool any = false;
     for (const CampaignAlert& a : report.alerts) any = any || a.stream == s;
     if (!any) continue;
-    Lab solo(spec.variant, spec.seed);
+    Lab solo(spec);
     trace::Supervisor::Options solo_options;
     solo_options.halt_on_alert = false;
     trace::Supervisor solo_supervisor(&*solo.engine, &solo.backend, solo_options);
@@ -240,7 +257,7 @@ CampaignReport Fleet::run_campaign(const CampaignSpec& spec) {
   // The interleaved run on ONE shared lab: every stream's commands hit the
   // same backend, engine, and tracker. Alerted commands are blocked (never
   // forwarded) and, unless halt_on_alert, the campaign continues.
-  Lab lab(spec.variant, spec.seed);
+  Lab lab(spec);
   trace::Supervisor::Options options;
   options.halt_on_alert = spec.halt_on_alert;
   trace::Supervisor supervisor(&*lab.engine, &lab.backend, options);
@@ -256,6 +273,25 @@ CampaignReport Fleet::run_campaign(const CampaignSpec& spec) {
   return report;
 }
 
+CampaignReport Fleet::run(const CampaignSpec& spec, const ShardedCampaignOptions& options,
+                          analysis::ShardPlan* plan_out) {
+  // The default execution model: static shard planning first, then the
+  // plan-driven hot path. An unshardable campaign yields a 1-shard plan and
+  // degenerates to the monolithic schedule through the same machinery.
+  std::vector<std::vector<dev::Command>> commands = resolve_campaign(spec);
+  sim::LabBackend probe(sim::testbed_profile(), spec.seed);
+  build_campaign_deck(spec, probe);
+  core::EngineConfig config = core::config_from_backend(probe, spec.variant);
+  std::vector<analysis::CampaignStream> planned;
+  planned.reserve(spec.streams.size());
+  for (std::size_t i = 0; i < spec.streams.size(); ++i) {
+    planned.push_back(analysis::CampaignStream{spec.streams[i].name, commands[i]});
+  }
+  analysis::ShardPlan plan = analysis::plan_campaign_shards(config, planned);
+  if (plan_out != nullptr) *plan_out = plan;
+  return run_campaign(spec, plan, options);
+}
+
 CampaignReport Fleet::run_campaign(const CampaignSpec& spec, const analysis::ShardPlan& plan,
                                    const ShardedCampaignOptions& options) {
   if (plan.stream_names.size() != spec.streams.size() || plan.shards.empty()) {
@@ -268,28 +304,95 @@ CampaignReport Fleet::run_campaign(const CampaignSpec& spec, const analysis::Sha
   std::vector<std::vector<dev::Command>> commands = resolve_campaign(spec);
   report.schedule = make_schedule(commands, spec.seed);
 
-  // Epoch-0 pose snapshot: every arm's position in the pristine lab at
-  // campaign start. A shard's collision checks read out-of-shard arms from
-  // this frozen snapshot — sound because the certificates prove those arms
-  // never enter the shard's envelopes, so their true pose cannot matter.
-  std::map<std::string, geom::Vec3, std::less<>> pose_snapshot;
+  // Arm inventory and campaign-start poses from a pristine probe lab: these
+  // seed the epoch-versioned pose board every shard publishes to and reads
+  // from. Epoch 1 is the campaign-start pose; each publish advances the
+  // arm's slot by one epoch.
+  std::map<std::string, geom::Vec3, std::less<>> initial_poses;
   std::set<std::string, std::less<>> arm_ids;
   {
     sim::LabBackend probe(sim::testbed_profile(), spec.seed);
-    sim::build_hein_testbed_deck(probe);
+    build_campaign_deck(spec, probe);
     core::EngineConfig probe_config = core::config_from_backend(probe, spec.variant);
     for (const core::DeviceMeta& m : probe_config.devices) {
       if (!m.is_arm) continue;
       arm_ids.insert(m.id);
       const auto* arm = dynamic_cast<const dev::RobotArmDevice*>(probe.registry().find(m.id));
-      if (arm != nullptr) pose_snapshot.emplace(m.id, arm->position_lab());
+      if (arm != nullptr) initial_poses.emplace(m.id, arm->position_lab());
     }
   }
+  sim::PoseBoard board(initial_poses);
+  std::vector<std::string> board_arms;
+  for (const auto& [arm, pose] : initial_poses) board_arms.push_back(arm);
 
-  std::atomic<std::size_t> snapshot_serves{0};
+  // Stream -> shard, each device's claiming shards, and each arm's
+  // commanding streams — the inputs for deciding what stays lock-free.
+  std::vector<std::size_t> shard_of(spec.streams.size(), 0);
+  for (std::size_t k = 0; k < plan.shards.size(); ++k) {
+    for (std::size_t s : plan.shards[k].streams) {
+      if (s < shard_of.size()) shard_of[s] = k;
+    }
+  }
+  std::map<std::string, std::set<std::size_t>, std::less<>> device_shards;
+  std::map<std::string, std::set<std::size_t>, std::less<>> arm_owner_streams;
+  for (std::size_t s = 0; s < commands.size(); ++s) {
+    for (const dev::Command& c : commands[s]) {
+      device_shards[c.device].insert(shard_of[s]);
+      if (arm_ids.count(c.device) != 0) arm_owner_streams[c.device].insert(s);
+    }
+  }
+  std::set<std::pair<std::size_t, std::size_t>> certified;
+  for (const analysis::IndependenceCertificate& c : plan.certificates) {
+    certified.emplace(std::min(c.a, c.b), std::max(c.a, c.b));
+  }
+
+  // The explicit coordination path. Devices claimed by two or more shards,
+  // and arms some shard must read without a covering certificate, must not
+  // run lock-free: steps on such a device and pose reads of such an arm
+  // serialize through ONE recursive rendezvous mutex. One mutex, not
+  // per-name: a step can nest an uncovered-arm read inside an
+  // uncovered-device step (the motion observer fires mid-check), and two
+  // shards nesting different names in opposite orders would deadlock;
+  // recursive, because that nesting re-enters from the same thread. Under
+  // any planner-produced plan the coordinated set is empty (SharedDevice
+  // evidence forbids split claims and the certificate list is complete), so
+  // the mutex is only ever touched by hand-built plans.
+  std::recursive_mutex rendezvous_mutex;
+  std::set<std::string, std::less<>> rendezvous;
+  // uncovered[k]: arms shard k may read only via the coordination path.
+  std::vector<std::set<std::string, std::less<>>> uncovered(plan.shards.size());
+  for (std::size_t k = 0; k < plan.shards.size(); ++k) {
+    const std::vector<std::size_t>& members = plan.shards[k].streams;
+    for (const auto& [arm, owners] : arm_owner_streams) {
+      bool in_shard = false;
+      for (std::size_t o : owners) in_shard = in_shard || shard_of[o] == k;
+      if (in_shard) continue;  // shard's own arm: read live from its backend
+      bool covered = true;
+      for (std::size_t o : owners) {
+        for (std::size_t m : members) {
+          covered = covered &&
+                    certified.count({std::min(m, o), std::max(m, o)}) != 0;
+        }
+      }
+      if (!covered) {
+        uncovered[k].insert(arm);
+        rendezvous.insert(arm);
+      }
+    }
+  }
+  for (const auto& [device, claimants] : device_shards) {
+    if (claimants.size() >= 2) rendezvous.insert(device);
+  }
+
   struct ShardOutcome {
     std::vector<CampaignAlert> alerts;
     std::size_t commands_checked = 0;
+    std::size_t snapshot_serves = 0;
+    std::size_t coordination = 0;
+    std::vector<double> latencies_us;
+    std::vector<std::string> breaches;
+    std::shared_ptr<obs::Collector> obs_events;
+    std::shared_ptr<obs::Registry> obs_metrics;
   };
   std::vector<ShardOutcome> outcomes(plan.shards.size());
 
@@ -297,7 +400,7 @@ CampaignReport Fleet::run_campaign(const CampaignSpec& spec, const analysis::Sha
     const std::vector<std::size_t>& members = plan.shards[shard_index].streams;
     std::set<std::size_t> member_set(members.begin(), members.end());
     // Arms this shard itself commands: their poses are served live from the
-    // shard's own backend; every other arm comes from the epoch-0 snapshot.
+    // shard's own backend; every other arm comes from the pose board.
     std::set<std::string, std::less<>> shard_arms;
     for (std::size_t s : members) {
       if (s >= commands.size()) continue;
@@ -305,42 +408,139 @@ CampaignReport Fleet::run_campaign(const CampaignSpec& spec, const analysis::Sha
         if (arm_ids.count(c.device) != 0) shard_arms.insert(c.device);
       }
     }
-    Lab lab(spec.variant, spec.seed);
+    const std::set<std::string, std::less<>>& coordinated_arms = uncovered[shard_index];
+    ShardOutcome& outcome = outcomes[shard_index];
+
+    obs::Counter* serves_counter = nullptr;
+    obs::Counter* coordination_counter = nullptr;
+    obs::Counter* breach_counter = nullptr;
+    obs::Histogram* lag_hist = nullptr;
+    if (options.obs) {
+      outcome.obs_events = std::make_shared<obs::Collector>();
+      outcome.obs_metrics = std::make_shared<obs::Registry>();
+      std::string shard_label = "shard=\"" + std::to_string(shard_index) + "\"";
+      serves_counter = &outcome.obs_metrics->counter(
+          "rabit_snapshot_pose_serves_total", shard_label,
+          "Out-of-shard arm poses served from the epoch-versioned pose board");
+      coordination_counter = &outcome.obs_metrics->counter(
+          "rabit_shard_coordination_total", shard_label,
+          "Cross-shard rendezvous acquisitions (the explicit non-lock-free path)");
+      breach_counter = &outcome.obs_metrics->counter(
+          "rabit_snapshot_envelope_breaches_total", shard_label,
+          "Live out-of-shard poses observed outside their certified envelope");
+      // Wall-clock/timing-dependent by nature, so registry-only (never in
+      // event exports), per the obs determinism contract.
+      lag_hist = &outcome.obs_metrics->histogram(
+          "rabit_snapshot_epoch_lag",
+          "Publications an arm's board slot advanced between this shard's samples",
+          std::vector<double>{0, 1, 2, 4, 8, 16, 32, 64, 128, 256});
+    }
+
+    // One board read, with the covered/uncovered split and the runtime
+    // certificate audit: any live pose outside the envelope its
+    // certificates assumed is recorded as a breach — the exact evidence
+    // that a stale snapshot could have changed a verdict.
+    std::map<std::string, std::uint64_t, std::less<>> last_seen;
+    auto read_board = [&](const std::string& arm) -> std::optional<sim::PoseSlot::Snapshot> {
+      std::optional<sim::PoseSlot::Snapshot> snap;
+      if (coordinated_arms.count(arm) != 0) {
+        std::lock_guard<std::recursive_mutex> lock(rendezvous_mutex);
+        ++outcome.coordination;
+        if (coordination_counter != nullptr) coordination_counter->increment();
+        snap = board.read(arm);
+      } else {
+        snap = board.read(arm);
+      }
+      if (!snap) return snap;
+      ++outcome.snapshot_serves;
+      if (serves_counter != nullptr) serves_counter->increment();
+      std::uint64_t& seen = last_seen[arm];
+      if (lag_hist != nullptr) {
+        lag_hist->observe(snap->epoch > seen ? static_cast<double>(snap->epoch - seen) : 0.0);
+      }
+      seen = snap->epoch;
+      auto env = plan.arm_envelopes.find(arm);
+      if (env != plan.arm_envelopes.end() && !env->second.contains(snap->pose)) {
+        outcome.breaches.push_back(
+            "shard " + std::to_string(shard_index) + ": arm '" + arm + "' observed at (" +
+            std::to_string(snap->pose.x) + ", " + std::to_string(snap->pose.y) + ", " +
+            std::to_string(snap->pose.z) + ") epoch " + std::to_string(snap->epoch) +
+            " outside its certified envelope — a certificate margin was violated");
+        if (breach_counter != nullptr) breach_counter->increment();
+      }
+      return snap;
+    };
+
+    Lab lab(spec);
     if (lab.simulator) {
       lab.simulator->set_arm_state_provider(
-          [&backend = lab.backend, shard_arms = std::move(shard_arms), &pose_snapshot,
-           &snapshot_serves](std::string_view arm_id) -> std::optional<geom::Vec3> {
+          [&](std::string_view arm_id) -> std::optional<geom::Vec3> {
             if (shard_arms.count(arm_id) == 0) {
-              auto it = pose_snapshot.find(arm_id);
-              if (it == pose_snapshot.end()) return std::nullopt;
-              snapshot_serves.fetch_add(1, std::memory_order_relaxed);
-              return it->second;
+              auto snap = read_board(std::string(arm_id));
+              if (!snap) return std::nullopt;
+              return snap->pose;
             }
             const auto* arm =
-                dynamic_cast<const dev::RobotArmDevice*>(backend.registry().find(arm_id));
+                dynamic_cast<const dev::RobotArmDevice*>(lab.backend.registry().find(arm_id));
             if (arm == nullptr) return std::nullopt;
             return arm->position_lab();
           });
     }
+    // The runtime certificate monitor: every V3 trajectory check samples the
+    // live snapshot of every out-of-shard arm and audits it against
+    // ShardPlan::arm_envelopes. While no breach is recorded, every pose the
+    // certificates reasoned about stayed inside its envelope, so the
+    // lock-free (possibly stale) snapshot could not have changed this
+    // check's verdict.
+    lab.engine->set_motion_observer([&](const core::MotionAnalysis&) {
+      for (const std::string& arm : board_arms) {
+        if (shard_arms.count(arm) != 0) continue;
+        (void)read_board(arm);
+      }
+    });
+
     trace::Supervisor::Options sup_options;
     sup_options.halt_on_alert = spec.halt_on_alert;  // shard-local halt
+    if (options.obs) {
+      sup_options.obs_sink = outcome.obs_events.get();
+      sup_options.obs_metrics = outcome.obs_metrics.get();
+      sup_options.obs_stream = "shard-" + std::to_string(shard_index);
+    }
     trace::Supervisor supervisor(&*lab.engine, &lab.backend, sup_options);
     supervisor.start();
-    ShardOutcome& outcome = outcomes[shard_index];
     for (const auto& [s, k] : report.schedule) {
       if (member_set.count(s) == 0) continue;
-      trace::SupervisedStep step = supervisor.step(commands[s][k]);
+      const dev::Command& cmd = commands[s][k];
+      trace::SupervisedStep step;
+      if (rendezvous.count(cmd.device) != 0) {
+        // Coordination path: this device cannot run lock-free — serialize
+        // the whole step against its cross-shard peers.
+        std::lock_guard<std::recursive_mutex> lock(rendezvous_mutex);
+        ++outcome.coordination;
+        if (coordination_counter != nullptr) coordination_counter->increment();
+        step = supervisor.step(cmd);
+      } else {
+        step = supervisor.step(cmd);
+      }
       ++outcome.commands_checked;
+      if (step.check_wall_us > 0) outcome.latencies_us.push_back(step.check_wall_us);
       if (step.alert) outcome.alerts.push_back(CampaignAlert{s, k, *step.alert, false});
+      if (options.publish_poses && shard_arms.count(cmd.device) != 0) {
+        const auto* arm =
+            dynamic_cast<const dev::RobotArmDevice*>(lab.backend.registry().find(cmd.device));
+        if (arm != nullptr) board.publish(cmd.device, arm->position_lab());
+      }
       if (supervisor.halted()) break;
     }
   };
 
-  // Shards share no mutable lab state: run them across a worker pool with
+  // Shards share no mutable lab state (the pose board and rendezvous table
+  // are the two designed exceptions): run them across a worker pool with
   // the same atomic-index work claiming as FleetRunner. Results land in
   // per-shard slots, so the outcome is worker-count-independent.
   std::size_t workers =
       std::max<std::size_t>(1, std::min(options.workers, plan.shards.size()));
+  auto t0 = std::chrono::steady_clock::now();
   if (workers == 1) {
     for (std::size_t k = 0; k < plan.shards.size(); ++k) run_shard(k);
   } else {
@@ -357,20 +557,40 @@ CampaignReport Fleet::run_campaign(const CampaignSpec& spec, const analysis::Sha
     for (std::size_t w = 0; w < workers; ++w) pool.emplace_back(worker_loop);
     for (std::thread& t : pool) t.join();
   }
+  auto t1 = std::chrono::steady_clock::now();
+  report.wall_s = std::chrono::duration<double>(t1 - t0).count();
 
-  // Deterministic merge: alerts ordered by global schedule position, never
-  // by shard finish order.
+  // Deterministic merge: per-shard slots combined in shard-index order;
+  // alerts then sorted by global schedule position, never finish order.
   std::map<std::pair<std::size_t, std::size_t>, std::size_t> position;
   for (std::size_t i = 0; i < report.schedule.size(); ++i) position[report.schedule[i]] = i;
+  std::vector<double> latencies_us;
   for (const ShardOutcome& outcome : outcomes) {
     report.commands_checked += outcome.commands_checked;
+    report.snapshot_pose_serves += outcome.snapshot_serves;
+    report.coordination_events += outcome.coordination;
     report.alerts.insert(report.alerts.end(), outcome.alerts.begin(), outcome.alerts.end());
+    report.certificate_breaches.insert(report.certificate_breaches.end(),
+                                       outcome.breaches.begin(), outcome.breaches.end());
+    latencies_us.insert(latencies_us.end(), outcome.latencies_us.begin(),
+                        outcome.latencies_us.end());
+    if (outcome.obs_events != nullptr) {
+      if (report.obs_events == nullptr) {
+        report.obs_events = std::make_shared<obs::Collector>();
+        report.obs_metrics = std::make_shared<obs::Registry>();
+      }
+      report.obs_events->merge_from(*outcome.obs_events);
+      report.obs_metrics->merge_from(*outcome.obs_metrics);
+    }
   }
   std::sort(report.alerts.begin(), report.alerts.end(),
             [&position](const CampaignAlert& a, const CampaignAlert& b) {
               return position[{a.stream, a.command_index}] < position[{b.stream, b.command_index}];
             });
-  report.snapshot_pose_serves = snapshot_serves.load();
+  report.check_latency = summarize_latencies(std::move(latencies_us));
+  if (report.wall_s > 0) {
+    report.commands_per_s = static_cast<double>(report.commands_checked) / report.wall_s;
+  }
 
   classify_against_solo(spec, commands, report);
 

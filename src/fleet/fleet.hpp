@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstddef>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -17,6 +18,7 @@
 #include "analysis/shard_plan.hpp"
 #include "core/engine.hpp"
 #include "obs/obs.hpp"
+#include "sim/backend.hpp"
 #include "trace/trace.hpp"
 
 namespace rabit::fleet {
@@ -64,6 +66,10 @@ struct LatencySummary {
   double p50_us = 0.0;
   double p90_us = 0.0;
   double p99_us = 0.0;
+  /// Tail gate percentile: with fewer than 1000 samples nearest-rank makes
+  /// this equal to max_us, which is exactly the conservative gate we want on
+  /// smoke-sized workloads.
+  double p999_us = 0.0;
   double max_us = 0.0;
 };
 
@@ -130,6 +136,11 @@ struct CampaignSpec {
   unsigned seed = 42;
   bool halt_on_alert = false;  ///< default: check everything, block, continue
   std::vector<CampaignStreamSpec> streams;
+  /// Deck builder run against every lab this campaign creates (shared lab,
+  /// shard labs, solo-replay labs, staging lab for script recording). Null
+  /// means the standard Hein testbed (sim::build_hein_testbed_deck). Must be
+  /// deterministic: every lab of a campaign has to be built identically.
+  std::function<void(sim::LabBackend&)> deck;
 };
 
 /// One alert of the interleaved run, mapped back to its originating stream.
@@ -152,13 +163,39 @@ struct CampaignReport {
   std::vector<std::pair<std::size_t, std::size_t>> schedule;
   /// Plan-driven runs: shard count. 0 identifies a monolithic run.
   std::size_t shards = 0;
-  /// Plan-driven V3 runs: how many out-of-shard arm poses the collision
-  /// checker read from the frozen epoch-0 snapshot instead of live backend
-  /// state (the lock-free cross-shard read path).
+  /// Plan-driven V3 runs: how many out-of-shard arm poses were served from
+  /// the epoch-versioned pose board (the lock-free cross-shard read path —
+  /// both simulator provider reads and certificate-monitor audits). This
+  /// count is deterministic: motion checks x out-of-shard arms.
   std::size_t snapshot_pose_serves = 0;
+  /// Plan-driven runs: cross-shard coordination events — acquisitions of
+  /// the shared rendezvous mutex on the explicit coordination path (steps
+  /// on devices commanded from more than one shard, plus pose reads of
+  /// arms no certificate covers). Provably 0 under a verified
+  /// planner-produced plan.
+  std::size_t coordination_events = 0;
+  /// Runtime certificate-monitor findings: a live out-of-shard arm pose
+  /// observed OUTSIDE the envelope its independence certificates assumed.
+  /// Each entry names shard, arm, and the offending pose. Empty means every
+  /// lock-free snapshot read was certifiably sound.
+  std::vector<std::string> certificate_breaches;
   /// Validation-oracle findings (ShardedCampaignOptions::validate_certificates);
   /// empty when the oracle is off or clean.
   std::vector<std::string> oracle_violations;
+  /// Plan-driven runs: shard-execution phase only (pool start to last shard
+  /// done). Excludes solo replays and the validation oracle.
+  double wall_s = 0.0;
+  double commands_per_s = 0.0;  ///< commands_checked / wall_s
+  /// Per-command engine check latencies across all shards (thread-CPU time,
+  /// see trace::SupervisedStep::check_wall_us).
+  LatencySummary check_latency;
+  /// Merged per-shard observability (null unless ShardedCampaignOptions::obs).
+  /// Merged in shard-index order at join, so event exports are byte-identical
+  /// across worker counts. Epoch-lag and latency histograms are wall-clock /
+  /// timing dependent and live only in the registry (schema-stable, not
+  /// byte-stable) per the obs determinism contract.
+  std::shared_ptr<obs::Collector> obs_events;
+  std::shared_ptr<obs::Registry> obs_metrics;
 
   [[nodiscard]] std::size_t cross_stream_alerts() const;
 };
@@ -174,24 +211,56 @@ struct ShardedCampaignOptions {
   /// CampaignReport::oracle_violations. Expensive (a second full campaign);
   /// meant for tests and the differential sweep, not production.
   bool validate_certificates = false;
+  /// Publish shard-owned arm poses to the epoch-versioned pose board after
+  /// every executed step (the live-snapshot protocol). false freezes the
+  /// board at its campaign-start epoch — maximal staleness — which the
+  /// soundness regression test uses to pin that verdicts are identical
+  /// either way whenever the certificate monitor reports no breach.
+  bool publish_poses = true;
+  /// Attach a per-shard obs::Collector + obs::Registry to every shard
+  /// (stream label "shard-<k>") and merge them in shard order into
+  /// CampaignReport::obs_events / obs_metrics. Adds per-shard coordination /
+  /// snapshot-serve counters and the snapshot-epoch-lag histogram.
+  bool obs = false;
 };
 
 /// Shared-lab campaign execution (see the block comment above).
 class Fleet {
  public:
   /// Runs the seeded interleaving on one shared testbed lab, then classifies
-  /// every alert against per-stream solo baselines.
+  /// every alert against per-stream solo baselines. This is the *reference*
+  /// (monolithic) semantics; Fleet::run is the default execution model.
   [[nodiscard]] static CampaignReport run_campaign(const CampaignSpec& spec);
+
+  /// The default fleet execution model: summarizes every stream, runs the
+  /// static shard planner (analysis::plan_shards), and executes the
+  /// resulting plan on the sharded hot path below. A campaign with no
+  /// shardable structure degenerates to a 1-shard plan — same machinery,
+  /// monolithic-equivalent schedule. When `plan_out` is non-null the
+  /// computed plan is copied there (benches report shard counts and
+  /// certificates from it).
+  [[nodiscard]] static CampaignReport run(const CampaignSpec& spec,
+                                          const ShardedCampaignOptions& options = {},
+                                          analysis::ShardPlan* plan_out = nullptr);
 
   /// Plan-driven sharded mode: each shard of `plan` runs the global schedule
   /// filtered to its streams against its OWN lab — backend, engine (and so
-  /// RuleWorldCache / verdict cache), V3 simulator — across a worker pool,
-  /// lock-free. Out-of-shard arm poses are served from a frozen epoch-0
-  /// snapshot taken at campaign start (sound because a certificate proves
-  /// the out-of-shard arms can never enter this shard's envelopes). Alerts
-  /// are classified against solo baselines exactly as in the monolithic
-  /// mode and merged deterministically in global-schedule order, so the
-  /// report is independent of worker count and shard execution order.
+  /// RuleWorldCache / verdict cache), V3 simulator — across a worker pool.
+  /// In-shard checking is lock-free. Out-of-shard arm poses are served from
+  /// the shared epoch-versioned pose board (sim::PoseBoard): every executed
+  /// step publishes its shard's arm poses under a monotonic per-arm epoch,
+  /// and readers take lock-free seqlock snapshots whose staleness is
+  /// bounded by the plan's certificate envelopes — the runtime certificate
+  /// monitor audits every served pose against ShardPlan::arm_envelopes and
+  /// records any escape in CampaignReport::certificate_breaches, so a
+  /// verdict computed from a stale pose is sound unless a breach is also
+  /// reported. Commands whose device is claimed by more than one shard, and
+  /// pose reads of arms no certificate covers, leave the lock-free path and
+  /// serialize through a shared rendezvous mutex (counted in
+  /// coordination_events).
+  /// Alerts are classified against solo baselines exactly as in the
+  /// monolithic mode and merged deterministically in global-schedule order,
+  /// so the report is independent of worker count and shard execution order.
   /// `halt_on_alert` is shard-local here: an alert halts its own shard only.
   /// Throws std::runtime_error when the plan does not cover spec.streams.
   [[nodiscard]] static CampaignReport run_campaign(const CampaignSpec& spec,

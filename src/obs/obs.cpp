@@ -1,7 +1,9 @@
 #include "obs/obs.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
+#include <ctime>
 #include <filesystem>
 #include <fstream>
 #include <map>
@@ -21,6 +23,18 @@ double nearest_rank(const std::vector<double>& sorted, double q) {
   if (rank == 0) rank = 1;
   if (rank > sorted.size()) rank = sorted.size();
   return sorted[rank - 1];
+}
+
+double thread_cpu_now_us() {
+#if defined(CLOCK_THREAD_CPUTIME_ID)
+  timespec ts{};
+  if (clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) == 0) {
+    return static_cast<double>(ts.tv_sec) * 1e6 + static_cast<double>(ts.tv_nsec) * 1e-3;
+  }
+#endif
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
 }
 
 // ---------------------------------------------------------------------------

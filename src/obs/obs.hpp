@@ -49,6 +49,17 @@ namespace rabit::obs {
 /// `sorted` must be ascending; returns 0.0 when empty.
 [[nodiscard]] double nearest_rank(const std::vector<double>& sorted, double q);
 
+/// Real microseconds of CPU time consumed by the *calling thread*
+/// (CLOCK_THREAD_CPUTIME_ID where available; steady_clock otherwise).
+/// Per-check latency measurements use this instead of wall clock so a
+/// worker preempted mid-check does not absorb a whole scheduler quantum
+/// into the check's measured cost: on an oversubscribed box, wall-clock
+/// check tails spike to ~10 ms of involuntary wait while the CPU actually
+/// spent checking stays in the tens of microseconds. Differences of this
+/// clock are only meaningful within one thread — exactly how the per-check
+/// timers use it.
+[[nodiscard]] double thread_cpu_now_us();
+
 // ---------------------------------------------------------------------------
 // Metrics registry
 // ---------------------------------------------------------------------------

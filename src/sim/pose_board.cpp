@@ -1,0 +1,75 @@
+#include "sim/pose_board.hpp"
+
+#include <thread>
+
+namespace rabit::sim {
+
+void PoseSlot::publish(const geom::Vec3& pose) {
+  while (write_lock_.test_and_set(std::memory_order_acquire)) {
+    std::this_thread::yield();
+  }
+  std::uint64_t s = seq_.load(std::memory_order_relaxed);
+  seq_.store(s + 1, std::memory_order_relaxed);
+  std::atomic_thread_fence(std::memory_order_release);
+  x_.store(pose.x, std::memory_order_relaxed);
+  y_.store(pose.y, std::memory_order_relaxed);
+  z_.store(pose.z, std::memory_order_relaxed);
+  seq_.store(s + 2, std::memory_order_release);
+  write_lock_.clear(std::memory_order_release);
+}
+
+PoseSlot::Snapshot PoseSlot::read() const {
+  for (;;) {
+    std::uint64_t s1 = seq_.load(std::memory_order_acquire);
+    if ((s1 & 1U) != 0) {
+      std::this_thread::yield();
+      continue;
+    }
+    Snapshot snap;
+    snap.pose.x = x_.load(std::memory_order_relaxed);
+    snap.pose.y = y_.load(std::memory_order_relaxed);
+    snap.pose.z = z_.load(std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_acquire);
+    std::uint64_t s2 = seq_.load(std::memory_order_relaxed);
+    if (s1 == s2) {
+      snap.epoch = s2 / 2;
+      return snap;
+    }
+  }
+}
+
+PoseBoard::PoseBoard(const std::map<std::string, geom::Vec3, std::less<>>& initial) {
+  // Two passes: the slot table must be complete (and so never rehash or
+  // rebalance again) before any pose is published through it.
+  for (const auto& [arm, pose] : initial) slots_[arm];
+  for (const auto& [arm, pose] : initial) slots_.find(arm)->second.publish(pose);
+}
+
+const PoseSlot* PoseBoard::find(std::string_view arm_id) const {
+  auto it = slots_.find(arm_id);
+  return it == slots_.end() ? nullptr : &it->second;
+}
+
+PoseSlot* PoseBoard::find(std::string_view arm_id) {
+  auto it = slots_.find(arm_id);
+  return it == slots_.end() ? nullptr : &it->second;
+}
+
+void PoseBoard::publish(std::string_view arm_id, const geom::Vec3& pose) {
+  if (PoseSlot* slot = find(arm_id)) slot->publish(pose);
+}
+
+std::optional<PoseSlot::Snapshot> PoseBoard::read(std::string_view arm_id) const {
+  const PoseSlot* slot = find(arm_id);
+  if (slot == nullptr) return std::nullopt;
+  return slot->read();
+}
+
+std::vector<std::string> PoseBoard::arm_ids() const {
+  std::vector<std::string> out;
+  out.reserve(slots_.size());
+  for (const auto& [arm, slot] : slots_) out.push_back(arm);
+  return out;
+}
+
+}  // namespace rabit::sim

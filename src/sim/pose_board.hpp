@@ -1,0 +1,100 @@
+// rabit::sim pose board — live epoch-versioned arm-pose snapshots for the
+// sharded fleet runner.
+//
+// Each shard of a plan-driven campaign owns its whole lab, so the only state
+// that crosses a shard boundary at runtime is "where is that other arm right
+// now". The board gives every arm one fixed seqlock slot: the owning shard
+// publishes the arm's pose under a monotonically increasing epoch after each
+// executed step, and readers in other shards take the latest published
+// snapshot without locking or blocking the writer.
+//
+// Memory model (the canonical all-atomic seqlock):
+//   writer  seq <- s+1 (odd, relaxed); release fence; data stores (relaxed);
+//           seq <- s+2 (even, release)
+//   reader  s1 <- seq (acquire); retry while odd; data loads (relaxed);
+//           acquire fence; s2 <- seq (relaxed); retry unless s1 == s2
+// Every field is a std::atomic, so a torn read is impossible by construction
+// (TSan-clean) and the seq check only guards snapshot *consistency* across
+// the three coordinates. Publication is additionally serialized per slot by
+// a tiny spin flag so the coordination path may publish on behalf of a shard
+// without write-write races; readers never touch it.
+//
+// Soundness is the consumer's job: a reader may observe a pose up to one
+// publication stale. The fleet layer tolerates that by only using board
+// poses where an IndependenceCertificate bounds the arm inside a static
+// envelope — every pose the arm ever publishes lies in that envelope, so a
+// stale read changes no verdict (see DESIGN "Sharded fleet execution").
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "geometry/geometry.hpp"
+
+namespace rabit::sim {
+
+/// One arm's slot. Immovable (atomics); lives in the board's fixed table.
+class PoseSlot {
+ public:
+  struct Snapshot {
+    geom::Vec3 pose;
+    /// Publication count for this slot: 0 never published, 1 the initial
+    /// campaign-start pose, then +1 per publish. Monotone per slot.
+    std::uint64_t epoch = 0;
+  };
+
+  PoseSlot() = default;
+  PoseSlot(const PoseSlot&) = delete;
+  PoseSlot& operator=(const PoseSlot&) = delete;
+
+  /// Publishes a new pose under the next epoch. Writers are serialized per
+  /// slot (spin flag); readers are never blocked.
+  void publish(const geom::Vec3& pose);
+
+  /// Lock-free consistent snapshot: retries while a publish is in flight.
+  [[nodiscard]] Snapshot read() const;
+
+  /// The current epoch alone (for lag accounting; same ordering as read()).
+  [[nodiscard]] std::uint64_t epoch() const {
+    return seq_.load(std::memory_order_acquire) / 2;
+  }
+
+ private:
+  std::atomic<std::uint64_t> seq_{0};  ///< even: stable, epoch = seq/2
+  std::atomic<double> x_{0.0};
+  std::atomic<double> y_{0.0};
+  std::atomic<double> z_{0.0};
+  std::atomic_flag write_lock_ = ATOMIC_FLAG_INIT;
+};
+
+/// Fixed table of slots, one per arm, built once at campaign start. Lookup
+/// is read-only after construction, so concurrent find/read/publish across
+/// shards needs no table lock.
+class PoseBoard {
+ public:
+  PoseBoard() = default;
+  /// Seeds one slot per arm and publishes the initial pose (epoch 1).
+  explicit PoseBoard(const std::map<std::string, geom::Vec3, std::less<>>& initial);
+
+  [[nodiscard]] const PoseSlot* find(std::string_view arm_id) const;
+  [[nodiscard]] PoseSlot* find(std::string_view arm_id);
+
+  /// Publishes through the arm's slot; a miss (unknown arm) is ignored.
+  void publish(std::string_view arm_id, const geom::Vec3& pose);
+
+  /// Snapshot of the arm's slot, or nullopt for an unknown arm.
+  [[nodiscard]] std::optional<PoseSlot::Snapshot> read(std::string_view arm_id) const;
+
+  [[nodiscard]] std::vector<std::string> arm_ids() const;
+  [[nodiscard]] bool empty() const { return slots_.empty(); }
+
+ private:
+  std::map<std::string, PoseSlot, std::less<>> slots_;
+};
+
+}  // namespace rabit::sim

@@ -103,8 +103,11 @@ struct SupervisedStep {
   std::size_t repolls = 0;              ///< recovery status re-polls this command consumed
   /// Runtime assurance demoted this command to the verified-safe controller.
   bool demoted = false;
-  /// Real (wall-clock, not modeled) time spent inside engine check calls for
-  /// this command — what bench_throughput aggregates into p50/p99.
+  /// Real (thread-CPU, not modeled) microseconds spent inside engine check
+  /// calls for this command — what bench_throughput aggregates into
+  /// p50/p99/p999. Thread CPU time, not wall clock: a check preempted by
+  /// the scheduler mid-flight reports what it computed, not what it waited
+  /// (see obs::thread_cpu_now_us).
   double check_wall_us = 0.0;
 };
 
@@ -120,8 +123,8 @@ struct RunReport {
   std::vector<sim::DamageEvent> damage;
   double modeled_runtime_s = 0.0;   ///< backend execution time
   double modeled_overhead_s = 0.0;  ///< RABIT + simulator check time
-  /// Real wall-clock spent inside engine check calls across the whole run
-  /// (sum of the per-step check_wall_us samples).
+  /// Real thread-CPU seconds spent inside engine check calls across the
+  /// whole run (sum of the per-step check_wall_us samples).
   double check_wall_s = 0.0;
   /// What the recovery ladder did, when Options::recovery was set.
   std::optional<recovery::RecoveryReport> recovery;

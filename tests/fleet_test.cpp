@@ -22,6 +22,9 @@ TEST(SummarizeLatencies, NearestRankPercentiles) {
   EXPECT_DOUBLE_EQ(s.p50_us, 50.0);
   EXPECT_DOUBLE_EQ(s.p90_us, 90.0);
   EXPECT_DOUBLE_EQ(s.p99_us, 99.0);
+  // ceil(0.999 * 100) = 100: below 1000 samples the nearest-rank p999 IS the
+  // max — the conservative direction for a tail gate.
+  EXPECT_DOUBLE_EQ(s.p999_us, 100.0);
   EXPECT_DOUBLE_EQ(s.max_us, 100.0);
 }
 
@@ -30,6 +33,7 @@ TEST(SummarizeLatencies, EmptyInputYieldsZeroes) {
   EXPECT_EQ(s.samples, 0u);
   EXPECT_DOUBLE_EQ(s.p50_us, 0.0);
   EXPECT_DOUBLE_EQ(s.p99_us, 0.0);
+  EXPECT_DOUBLE_EQ(s.p999_us, 0.0);
   EXPECT_DOUBLE_EQ(s.max_us, 0.0);
 }
 
@@ -40,10 +44,12 @@ TEST(SummarizeLatencies, EmptyInputYieldsZeroes) {
 TEST(SummarizeLatencies, OneSampleIsEveryPercentile) {
   fleet::LatencySummary s = fleet::summarize_latencies({42.0});
   EXPECT_EQ(s.samples, 1u);
-  // ceil(q * 1) = 1 for every q in (0, 1]: the sample is p50, p90, p99, max.
+  // ceil(q * 1) = 1 for every q in (0, 1]: the sample is p50, p90, p99,
+  // p999, max.
   EXPECT_DOUBLE_EQ(s.p50_us, 42.0);
   EXPECT_DOUBLE_EQ(s.p90_us, 42.0);
   EXPECT_DOUBLE_EQ(s.p99_us, 42.0);
+  EXPECT_DOUBLE_EQ(s.p999_us, 42.0);
   EXPECT_DOUBLE_EQ(s.max_us, 42.0);
 }
 
@@ -55,6 +61,7 @@ TEST(SummarizeLatencies, TwoSamplesSplitAtTheMedian) {
   EXPECT_DOUBLE_EQ(s.p50_us, 1.0);
   EXPECT_DOUBLE_EQ(s.p90_us, 9.0);
   EXPECT_DOUBLE_EQ(s.p99_us, 9.0);
+  EXPECT_DOUBLE_EQ(s.p999_us, 9.0);
   EXPECT_DOUBLE_EQ(s.max_us, 9.0);
 }
 
@@ -79,6 +86,7 @@ TEST(SummarizeLatencies, MatchesObsHistogramPercentiles) {
   EXPECT_DOUBLE_EQ(s.p50_us, h.percentile(0.50));
   EXPECT_DOUBLE_EQ(s.p90_us, h.percentile(0.90));
   EXPECT_DOUBLE_EQ(s.p99_us, h.percentile(0.99));
+  EXPECT_DOUBLE_EQ(s.p999_us, h.percentile(0.999));
 }
 
 TEST(FleetDeterminism, SameSeedProducesByteIdenticalTrace) {
@@ -146,7 +154,8 @@ TEST(FleetAggregation, TotalsSumPerStreamStats) {
   EXPECT_GT(report.check_latency.samples, 0u);
   EXPECT_LE(report.check_latency.p50_us, report.check_latency.p90_us);
   EXPECT_LE(report.check_latency.p90_us, report.check_latency.p99_us);
-  EXPECT_LE(report.check_latency.p99_us, report.check_latency.max_us);
+  EXPECT_LE(report.check_latency.p99_us, report.check_latency.p999_us);
+  EXPECT_LE(report.check_latency.p999_us, report.check_latency.max_us);
 }
 
 // --- observability: golden determinism and the sharded-sink audit -----------

@@ -1,0 +1,404 @@
+// Epoch-versioned pose snapshots (sim/pose_board) and their fleet consumer:
+// seqlock epoch monotonicity, torn-read-freedom under concurrent
+// publish/read (the TSan target), the coordination-path fallback for
+// hand-built plans no certificate covers, the frozen-board soundness
+// regression, and the per-shard observability the sharded runner exports.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "analysis/shard_plan.hpp"
+#include "bugs/bugs.hpp"
+#include "fleet/fleet.hpp"
+#include "obs/obs.hpp"
+#include "sim/deck.hpp"
+#include "sim/pose_board.hpp"
+
+using namespace rabit;
+using bugs::cmd;
+
+namespace {
+
+json::Object num_args(std::initializer_list<std::pair<const char*, double>> kv) {
+  json::Object args;
+  for (const auto& [k, v] : kv) args[k] = v;
+  return args;
+}
+
+/// V3 campaign with one live motion stream (viperx) and two station streams:
+/// the planner certifies three shards, and the viperx shard's trajectory
+/// checks audit the other arms' board snapshots.
+fleet::CampaignSpec motion_campaign() {
+  fleet::CampaignSpec spec;
+  spec.variant = core::Variant::ModifiedWithSim;
+  spec.seed = 91;
+  spec.streams.push_back({"arm",
+                          {cmd("viperx", "go_home"), cmd("viperx", "go_sleep"),
+                           cmd("viperx", "go_home"), cmd("viperx", "go_sleep")},
+                          ""});
+  spec.streams.push_back(
+      {"heat",
+       {cmd("hotplate", "set_temperature", num_args({{"celsius", 60.0}})),
+        cmd("hotplate", "stop")},
+       ""});
+  spec.streams.push_back(
+      {"shake",
+       {cmd("thermoshaker", "set_temperature", num_args({{"celsius", 40.0}})),
+        cmd("thermoshaker", "stop")},
+       ""});
+  return spec;
+}
+
+analysis::ShardPlan plan_for(const fleet::CampaignSpec& spec) {
+  sim::LabBackend backend(sim::testbed_profile(), spec.seed);
+  sim::build_hein_testbed_deck(backend);
+  core::EngineConfig config = core::config_from_backend(backend, spec.variant);
+  std::vector<analysis::CampaignStream> streams;
+  for (const fleet::CampaignStreamSpec& s : spec.streams) {
+    streams.push_back({s.name, s.commands});
+  }
+  return analysis::plan_campaign_shards(config, streams);
+}
+
+/// The worker-count/shard-order-invariant content of a campaign report.
+struct Verdicts {
+  std::vector<std::tuple<std::size_t, std::size_t, std::string, bool>> alerts;
+  std::size_t commands_checked = 0;
+
+  explicit Verdicts(const fleet::CampaignReport& r) : commands_checked(r.commands_checked) {
+    for (const fleet::CampaignAlert& a : r.alerts) {
+      alerts.emplace_back(a.stream, a.command_index, a.alert.rule, a.cross_stream);
+    }
+  }
+  bool operator==(const Verdicts& o) const {
+    return alerts == o.alerts && commands_checked == o.commands_checked;
+  }
+};
+
+}  // namespace
+
+// --- the board itself -------------------------------------------------------
+
+TEST(PoseBoard, InitialPosesPublishAtEpochOne) {
+  std::map<std::string, geom::Vec3, std::less<>> initial;
+  initial["viperx"] = geom::Vec3(0.1, 0.2, 0.3);
+  initial["ned2"] = geom::Vec3(-0.4, 0.5, 0.6);
+  sim::PoseBoard board(initial);
+
+  ASSERT_FALSE(board.empty());
+  EXPECT_EQ(board.arm_ids(), (std::vector<std::string>{"ned2", "viperx"}));
+
+  auto snap = board.read("viperx");
+  ASSERT_TRUE(snap.has_value());
+  EXPECT_EQ(snap->epoch, 1u);
+  EXPECT_DOUBLE_EQ(snap->pose.x, 0.1);
+  EXPECT_DOUBLE_EQ(snap->pose.y, 0.2);
+  EXPECT_DOUBLE_EQ(snap->pose.z, 0.3);
+
+  EXPECT_FALSE(board.read("ur10").has_value());
+  EXPECT_EQ(board.find("ur10"), nullptr);
+  EXPECT_TRUE(sim::PoseBoard{}.empty());
+}
+
+TEST(PoseBoard, PublishAdvancesEpochMonotonically) {
+  std::map<std::string, geom::Vec3, std::less<>> initial;
+  initial["viperx"] = geom::Vec3(0.0, 0.0, 0.0);
+  sim::PoseBoard board(initial);
+
+  std::uint64_t last = 0;
+  for (int i = 1; i <= 17; ++i) {
+    board.publish("viperx", geom::Vec3(static_cast<double>(i), 0.0, 0.0));
+    auto snap = board.read("viperx");
+    ASSERT_TRUE(snap.has_value());
+    // One publication = exactly one epoch: initial pose is 1, so the i-th
+    // publish lands at epoch i + 1 — never repeated, never reordered.
+    EXPECT_EQ(snap->epoch, static_cast<std::uint64_t>(i) + 1);
+    EXPECT_GT(snap->epoch, last);
+    last = snap->epoch;
+    EXPECT_DOUBLE_EQ(snap->pose.x, static_cast<double>(i));
+  }
+  ASSERT_NE(board.find("viperx"), nullptr);
+  EXPECT_EQ(board.find("viperx")->epoch(), 18u);
+
+  // Publishing to an unknown arm is an ignored miss, not a new slot.
+  board.publish("ghost", geom::Vec3(1.0, 1.0, 1.0));
+  EXPECT_FALSE(board.read("ghost").has_value());
+}
+
+// The TSan target: one writer hammers a slot with correlated coordinates
+// (y = 2x, z = 3x) while readers snapshot continuously. A torn read — any
+// snapshot mixing two publications — breaks the correlation; a seqlock bug
+// breaks per-reader epoch monotonicity. Both assertions are checked on every
+// single read, and the sanitizer checks the memory model underneath.
+TEST(PoseBoard, ConcurrentReadersNeverObserveTornSnapshots) {
+  constexpr int kPublishes = 4000;
+  constexpr int kReaders = 4;
+  std::map<std::string, geom::Vec3, std::less<>> initial;
+  initial["viperx"] = geom::Vec3(0.0, 0.0, 0.0);
+  sim::PoseBoard board(initial);
+
+  std::atomic<bool> done{false};
+  std::atomic<int> torn{0};
+  std::atomic<int> non_monotone{0};
+
+  std::vector<std::thread> readers;
+  readers.reserve(kReaders);
+  for (int r = 0; r < kReaders; ++r) {
+    readers.emplace_back([&] {
+      std::uint64_t last_epoch = 0;
+      while (!done.load(std::memory_order_acquire)) {
+        auto snap = board.read("viperx");
+        if (!snap.has_value()) continue;
+        if (snap->pose.y != 2.0 * snap->pose.x || snap->pose.z != 3.0 * snap->pose.x) {
+          torn.fetch_add(1, std::memory_order_relaxed);
+        }
+        if (snap->epoch < last_epoch) non_monotone.fetch_add(1, std::memory_order_relaxed);
+        last_epoch = snap->epoch;
+      }
+    });
+  }
+
+  for (int i = 1; i <= kPublishes; ++i) {
+    double v = static_cast<double>(i);
+    board.publish("viperx", geom::Vec3(v, 2.0 * v, 3.0 * v));
+  }
+  done.store(true, std::memory_order_release);
+  for (std::thread& t : readers) t.join();
+
+  EXPECT_EQ(torn.load(), 0);
+  EXPECT_EQ(non_monotone.load(), 0);
+  auto final_snap = board.read("viperx");
+  ASSERT_TRUE(final_snap.has_value());
+  EXPECT_EQ(final_snap->epoch, static_cast<std::uint64_t>(kPublishes) + 1);
+  EXPECT_DOUBLE_EQ(final_snap->pose.x, static_cast<double>(kPublishes));
+}
+
+// Write-write safety: the per-slot spin flag must serialize concurrent
+// publishers (the coordination path may publish on a shard's behalf), so
+// every publication gets its own epoch and none is lost.
+TEST(PoseBoard, ConcurrentWritersSerializePerSlot) {
+  constexpr int kWriters = 4;
+  constexpr int kEach = 1000;
+  std::map<std::string, geom::Vec3, std::less<>> initial;
+  initial["viperx"] = geom::Vec3(0.0, 0.0, 0.0);
+  sim::PoseBoard board(initial);
+
+  std::vector<std::thread> writers;
+  writers.reserve(kWriters);
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&board, w] {
+      for (int i = 0; i < kEach; ++i) {
+        double v = static_cast<double>(w * kEach + i);
+        board.publish("viperx", geom::Vec3(v, 2.0 * v, 3.0 * v));
+      }
+    });
+  }
+  for (std::thread& t : writers) t.join();
+
+  auto snap = board.read("viperx");
+  ASSERT_TRUE(snap.has_value());
+  EXPECT_EQ(snap->epoch, static_cast<std::uint64_t>(kWriters) * kEach + 1);
+  EXPECT_DOUBLE_EQ(snap->pose.y, 2.0 * snap->pose.x);
+  EXPECT_DOUBLE_EQ(snap->pose.z, 3.0 * snap->pose.x);
+}
+
+// --- the sharded runner's use of the board -----------------------------------
+
+// A planner-produced plan certifies every cross-shard pair, so nothing ever
+// takes the coordination path, and every V3 trajectory check audits the live
+// out-of-shard snapshots without finding an envelope escape.
+TEST(ShardedSnapshots, CertifiedPlanRunsLockFreeWithCleanAudit) {
+  fleet::CampaignSpec spec = motion_campaign();
+  analysis::ShardPlan plan = plan_for(spec);
+  ASSERT_EQ(plan.shards.size(), 3u);
+  ASSERT_EQ(plan.certificates.size(), 3u);
+
+  fleet::ShardedCampaignOptions options;
+  options.workers = 3;
+  fleet::CampaignReport report = fleet::Fleet::run_campaign(spec, plan, options);
+
+  EXPECT_EQ(report.shards, 3u);
+  EXPECT_EQ(report.coordination_events, 0u);
+  EXPECT_TRUE(report.certificate_breaches.empty());
+  // Deterministic: each of the 4 viperx motion checks audits the one
+  // out-of-shard arm (ned2), plus any provider reads the simulator makes.
+  EXPECT_GE(report.snapshot_pose_serves, 4u);
+}
+
+// Hand-built two-motion-shard plan with no certificates: each shard's
+// trajectory checks read the OTHER shard's commanded arm, and with no
+// certificate covering the pair the runner must refuse the lock-free path
+// and rendezvous. (The planner itself would never produce this plan — it
+// merges racing motion streams into one shard — which is exactly why the
+// fallback needs a forged plan to be reachable at all.)
+TEST(ShardedSnapshots, UncertifiedArmReadsTakeTheCoordinationPath) {
+  fleet::CampaignSpec spec;
+  spec.variant = core::Variant::ModifiedWithSim;
+  spec.seed = 23;
+  spec.streams.push_back(
+      {"arm-a", {cmd("viperx", "go_home"), cmd("viperx", "go_sleep")}, ""});
+  spec.streams.push_back(
+      {"arm-b", {cmd("ned2", "go_home"), cmd("ned2", "go_sleep")}, ""});
+
+  analysis::ShardPlan plan;
+  plan.stream_names = {"arm-a", "arm-b"};
+  plan.shards.push_back({{0}});
+  plan.shards.push_back({{1}});
+
+  fleet::CampaignReport report = fleet::Fleet::run_campaign(spec, plan, {});
+
+  // Both testbed arms are commanded and uncovered here, so every board read
+  // (ned2 from shard 0, viperx from shard 1) rendezvouses — and so does
+  // every step ON an uncovered arm, since its publishes must serialize with
+  // the other shard's reads. Total: one event per serve plus one per step.
+  EXPECT_GT(report.coordination_events, 0u);
+  EXPECT_EQ(report.coordination_events,
+            report.snapshot_pose_serves + report.commands_checked);
+}
+
+// Hand-built plan splitting one commanded device across two shards: every
+// step on that device must serialize through the rendezvous table.
+TEST(ShardedSnapshots, SplitDeviceStepsTakeTheCoordinationPath) {
+  fleet::CampaignSpec spec;
+  spec.variant = core::Variant::Modified;
+  spec.seed = 19;
+  spec.streams.push_back(
+      {"heat-a",
+       {cmd("hotplate", "set_temperature", num_args({{"celsius", 50.0}})),
+        cmd("hotplate", "stop")},
+       ""});
+  spec.streams.push_back(
+      {"heat-b",
+       {cmd("hotplate", "set_temperature", num_args({{"celsius", 55.0}})),
+        cmd("hotplate", "stop")},
+       ""});
+
+  analysis::ShardPlan plan;
+  plan.stream_names = {"heat-a", "heat-b"};
+  plan.shards.push_back({{0}});
+  plan.shards.push_back({{1}});  // planner would never split a shared device
+
+  fleet::CampaignReport report = fleet::Fleet::run_campaign(spec, plan, {});
+  EXPECT_EQ(report.shards, 2u);
+  // All 4 steps are on the split device; each one is a rendezvous.
+  EXPECT_EQ(report.coordination_events, 4u);
+  EXPECT_EQ(report.commands_checked, 4u);
+}
+
+// The soundness regression: freezing the board at its campaign-start epoch
+// (maximal snapshot staleness) must not change a single verdict as long as
+// the certificate monitor reports no envelope breach — the exact claim the
+// certificates make about stale reads.
+TEST(ShardedSnapshots, FrozenBoardMatchesLiveBoardWhenNoBreach) {
+  fleet::CampaignSpec spec = motion_campaign();
+  analysis::ShardPlan plan = plan_for(spec);
+
+  fleet::ShardedCampaignOptions live;
+  live.workers = 2;
+  fleet::ShardedCampaignOptions frozen = live;
+  frozen.publish_poses = false;
+
+  fleet::CampaignReport live_report = fleet::Fleet::run_campaign(spec, plan, live);
+  fleet::CampaignReport frozen_report = fleet::Fleet::run_campaign(spec, plan, frozen);
+
+  ASSERT_TRUE(live_report.certificate_breaches.empty());
+  ASSERT_TRUE(frozen_report.certificate_breaches.empty());
+  EXPECT_TRUE(Verdicts(live_report) == Verdicts(frozen_report));
+  // Both runs make the same reads; only the observed epochs differ.
+  EXPECT_EQ(live_report.snapshot_pose_serves, frozen_report.snapshot_pose_serves);
+}
+
+// Fleet::run is the default entry: it must plan exactly what the standalone
+// planner plans and report identical verdicts to the plan-driven runner.
+TEST(ShardedSnapshots, DefaultEntryPlansAndMatchesExplicitPlan) {
+  fleet::CampaignSpec spec = motion_campaign();
+  analysis::ShardPlan expected = plan_for(spec);
+
+  analysis::ShardPlan planned;
+  fleet::CampaignReport via_run = fleet::Fleet::run(spec, {}, &planned);
+  fleet::CampaignReport via_plan = fleet::Fleet::run_campaign(spec, expected, {});
+
+  EXPECT_EQ(planned.shards.size(), expected.shards.size());
+  EXPECT_EQ(planned.certificates.size(), expected.certificates.size());
+  EXPECT_EQ(via_run.shards, expected.shards.size());
+  EXPECT_TRUE(Verdicts(via_run) == Verdicts(via_plan));
+  EXPECT_EQ(via_run.snapshot_pose_serves, via_plan.snapshot_pose_serves);
+}
+
+// --- per-shard observability -------------------------------------------------
+
+TEST(ShardedSnapshots, ObsCountersMatchReportAndLagHistogramCoversEveryServe) {
+  fleet::CampaignSpec spec = motion_campaign();
+  analysis::ShardPlan plan = plan_for(spec);
+
+  fleet::ShardedCampaignOptions options;
+  options.workers = 3;
+  options.obs = true;
+  fleet::CampaignReport report = fleet::Fleet::run_campaign(spec, plan, options);
+  ASSERT_NE(report.obs_events, nullptr);
+  ASSERT_NE(report.obs_metrics, nullptr);
+
+  // Per-shard counters (label shard="k") merge into exactly the report's
+  // totals; the lag histogram observed one sample per board serve.
+  std::uint64_t serves = 0;
+  std::uint64_t coordination = 0;
+  std::uint64_t breaches = 0;
+  for (std::size_t k = 0; k < plan.shards.size(); ++k) {
+    std::string label = "shard=\"" + std::to_string(k) + "\"";
+    const obs::Counter* s =
+        report.obs_metrics->find_counter("rabit_snapshot_pose_serves_total", label);
+    const obs::Counter* c =
+        report.obs_metrics->find_counter("rabit_shard_coordination_total", label);
+    const obs::Counter* b =
+        report.obs_metrics->find_counter("rabit_snapshot_envelope_breaches_total", label);
+    ASSERT_NE(s, nullptr);
+    ASSERT_NE(c, nullptr);
+    ASSERT_NE(b, nullptr);
+    serves += s->value();
+    coordination += c->value();
+    breaches += b->value();
+  }
+  EXPECT_EQ(serves, report.snapshot_pose_serves);
+  EXPECT_EQ(coordination, report.coordination_events);
+  EXPECT_EQ(breaches, report.certificate_breaches.size());
+
+  const obs::Histogram* lag = report.obs_metrics->find_histogram("rabit_snapshot_epoch_lag");
+  ASSERT_NE(lag, nullptr);
+  EXPECT_EQ(lag->count(), report.snapshot_pose_serves);
+}
+
+// The obs determinism contract, extended to campaigns: per-shard collectors
+// merge in shard-index order, and event exports carry modeled time only — so
+// the merged export is byte-identical across worker counts. (Epoch-lag and
+// latency live registry-only; they are timing-dependent by nature.)
+TEST(ShardedSnapshots, MergedCampaignExportIsByteIdenticalAcrossWorkerCounts) {
+  fleet::CampaignSpec spec = motion_campaign();
+  analysis::ShardPlan plan = plan_for(spec);
+
+  std::string golden_events;
+  std::string golden_trace;
+  for (std::size_t workers : {1u, 2u, 3u}) {
+    SCOPED_TRACE("workers=" + std::to_string(workers));
+    fleet::ShardedCampaignOptions options;
+    options.workers = workers;
+    options.obs = true;
+    fleet::CampaignReport report = fleet::Fleet::run_campaign(spec, plan, options);
+    ASSERT_NE(report.obs_events, nullptr);
+
+    std::string events = obs::export_events_jsonl(*report.obs_events);
+    std::string trace = obs::export_chrome_trace(*report.obs_events);
+    if (golden_events.empty()) {
+      golden_events = events;
+      golden_trace = trace;
+      ASSERT_FALSE(golden_events.empty());
+    } else {
+      EXPECT_EQ(events, golden_events);
+      EXPECT_EQ(trace, golden_trace);
+    }
+  }
+}

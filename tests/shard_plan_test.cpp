@@ -9,6 +9,7 @@
 
 #include "analysis/shard_plan.hpp"
 #include "bugs/bugs.hpp"
+#include "devices/robot_arm.hpp"
 #include "fleet/fleet.hpp"
 #include "script/workflows.hpp"
 #include "sim/deck.hpp"
@@ -324,6 +325,37 @@ TEST(ShardPlan, PlanToJsonCarriesSharedDiagnosticSchema) {
   std::string text = analysis::format_plan(plan);
   EXPECT_NE(text.find("shard plan: 3 stream(s) -> 2 shard(s)"), std::string::npos);
   EXPECT_NE(text.find("certified independent pairs: 2"), std::string::npos);
+}
+
+TEST(ShardPlan, ArmEnvelopesCoverCommandedAndParkedArms) {
+  sim::LabBackend backend(sim::testbed_profile());
+  sim::build_hein_testbed_deck(backend);
+  core::EngineConfig config =
+      core::config_from_backend(backend, core::Variant::ModifiedWithSim);
+
+  std::vector<analysis::CampaignStream> streams;
+  streams.push_back({"arm", {cmd("viperx", "go_home"), cmd("viperx", "go_sleep")}});
+  streams.push_back(
+      {"heat", {cmd("hotplate", "set_temperature", num_args({{"celsius", 60.0}}))}});
+  ShardPlan plan = analysis::plan_campaign_shards(config, streams);
+
+  // The commanded arm carries the union of its summarized motion envelopes;
+  // every arm no stream moves is pinned to its inflated parked sleep box —
+  // the exact boxes the runtime certificate monitor audits snapshots
+  // against, so both testbed arms must be covered.
+  ASSERT_EQ(plan.arm_envelopes.count("viperx"), 1u);
+  ASSERT_EQ(plan.arm_envelopes.count("ned2"), 1u);
+  const auto* ned2 =
+      dynamic_cast<const dev::RobotArmDevice*>(backend.registry().find("ned2"));
+  ASSERT_NE(ned2, nullptr);
+  EXPECT_TRUE(plan.arm_envelopes.at("ned2").contains(ned2->position_lab()));
+
+  // And the JSON rendering carries them for the lint consumer.
+  json::Value doc = analysis::plan_to_json(plan);
+  const json::Value* envelopes = doc.find("arm_envelopes");
+  ASSERT_NE(envelopes, nullptr);
+  EXPECT_NE(envelopes->find("viperx"), nullptr);
+  EXPECT_NE(envelopes->find("ned2"), nullptr);
 }
 
 // --- the fleet consumer -------------------------------------------------------
