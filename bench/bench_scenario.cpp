@@ -1,0 +1,121 @@
+// Scenario-factory throughput and coverage growth: how many full campaigns
+// (generate -> materialize -> lint -> analyze -> supervised run -> oracles)
+// the fuzz engine pushes per second, and how fast coverage accumulates as
+// the iteration budget grows. The coverage table is the EXPERIMENTS.md
+// "coverage growth" row source; the >= 80% acceptance gate the tool and
+// tier-1 tests enforce is re-checked here on the largest budget.
+//
+// Modes:
+//   (default)   coverage-growth table + google-benchmark timing section,
+//               writes BENCH_scenario.json
+//   --smoke     smallest budget only (for sanitizer CI jobs), still writes
+//               BENCH_scenario.json; exits 1 if a soundness repro appears
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+
+#include "json/json.hpp"
+#include "scenario/fuzz.hpp"
+
+namespace rabit {
+namespace {
+
+/// One fuzz campaign at a fixed budget; returns the report and prints a row.
+scenario::FuzzReport coverage_row(std::size_t iterations, json::Array& rows) {
+  scenario::FuzzOptions options;
+  options.seed = 1;
+  options.iterations = iterations;
+  scenario::FuzzReport report = scenario::fuzz(options);
+  double rate = report.wall_s > 0 ? static_cast<double>(report.iterations) / report.wall_s : 0.0;
+  std::printf("  %6zu | %8.0f | %4zu / %zu | %5.1f%%\n", report.iterations, rate,
+              report.coverage.size(), scenario::reachable_coverage().size(),
+              100.0 * report.coverage_fraction());
+  json::Object row;
+  row["iterations"] = static_cast<std::int64_t>(report.iterations);
+  row["campaigns_per_s"] = rate;
+  row["coverage_keys"] = static_cast<std::int64_t>(report.coverage.size());
+  row["coverage_fraction"] = report.coverage_fraction();
+  row["repros"] = static_cast<std::int64_t>(report.repros.size());
+  rows.emplace_back(std::move(row));
+  return report;
+}
+
+void BM_GenerateMaterialize(benchmark::State& state) {
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    scenario::ScenarioSpec spec = scenario::generate(scenario::derive_seed(9, seed++));
+    benchmark::DoNotOptimize(scenario::materialize(spec));
+  }
+}
+BENCHMARK(BM_GenerateMaterialize);
+
+void BM_RunScenario(benchmark::State& state) {
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    scenario::ScenarioSpec spec = scenario::generate(scenario::derive_seed(9, seed++));
+    benchmark::DoNotOptimize(scenario::run_scenario(spec));
+  }
+}
+BENCHMARK(BM_RunScenario);
+
+}  // namespace
+}  // namespace rabit
+
+int main(int argc, char** argv) {
+  using namespace rabit;
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+      for (int j = i; j + 1 < argc; ++j) argv[j] = argv[j + 1];
+      --argc;
+      break;
+    }
+  }
+
+  json::Object results;
+  results["bench"] = "scenario";
+  results["mode"] = smoke ? std::string("smoke") : std::string("full");
+
+  std::printf("scenario factory: campaigns/s and cumulative coverage growth\n");
+  std::printf("   iters | camp/sec | coverage   | of reachable\n");
+  json::Array rows;
+  std::size_t repros = 0;
+  bool gate_ok = true;
+  if (smoke) {
+    scenario::FuzzReport report = coverage_row(50, rows);
+    repros += report.repros.size();
+  } else {
+    for (std::size_t budget : {50, 100, 200, 400, 800, 1600}) {
+      scenario::FuzzReport report = coverage_row(budget, rows);
+      repros += report.repros.size();
+      if (budget == 1600) gate_ok = report.coverage_fraction() >= 0.8;
+    }
+  }
+  results["rows"] = std::move(rows);
+  results["repros"] = static_cast<std::int64_t>(repros);
+
+  {
+    std::ofstream out("BENCH_scenario.json");
+    out << json::serialize_pretty(json::Value(std::move(results))) << "\n";
+    std::printf("\nwrote BENCH_scenario.json\n");
+  }
+  if (repros > 0) {
+    std::printf("FAIL: %zu soundness repro(s) — shrink and pin them in corpus/\n", repros);
+    return 1;
+  }
+  if (!gate_ok) {
+    std::printf("FAIL: coverage gate (>= 80%% of reachable at 1600 iterations)\n");
+    return 1;
+  }
+  std::printf("all acceptance checks passed\n");
+
+  if (!smoke) {
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+  }
+  return 0;
+}

@@ -565,7 +565,13 @@ BugOutcome evaluate_bug(const BugSpec& bug, core::Variant variant) {
 // Synthetic bug generation
 // ---------------------------------------------------------------------------
 
-SyntheticBug random_mutation(const std::vector<Command>& base, std::mt19937& rng) {
+namespace {
+
+/// The mutation draw, generic over the RNG engine (see the header: the
+/// std::mt19937_64 overload lets the scenario factory thread one master seed
+/// chain through every generator).
+template <class Rng>
+SyntheticBug random_mutation_draw(const std::vector<Command>& base, Rng& rng) {
   if (base.empty()) throw std::invalid_argument("random_mutation: empty base stream");
   std::uniform_int_distribution<int> kind_dist(0, 3);
   std::uniform_int_distribution<std::size_t> index_dist(0, base.size() - 1);
@@ -635,6 +641,16 @@ SyntheticBug random_mutation(const std::vector<Command>& base, std::mt19937& rng
   bug.detail = "deleted " + bug.commands.front().describe();
   bug.commands.erase(bug.commands.begin());
   return bug;
+}
+
+}  // namespace
+
+SyntheticBug random_mutation(const std::vector<Command>& base, std::mt19937& rng) {
+  return random_mutation_draw(base, rng);
+}
+
+SyntheticBug random_mutation(const std::vector<Command>& base, std::mt19937_64& rng) {
+  return random_mutation_draw(base, rng);
 }
 
 }  // namespace rabit::bugs

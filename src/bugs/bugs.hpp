@@ -146,4 +146,11 @@ struct SyntheticBug {
 [[nodiscard]] SyntheticBug random_mutation(const std::vector<dev::Command>& base,
                                            std::mt19937& rng);
 
+/// Same draw over the caller's std::mt19937_64 chain — the scenario factory
+/// threads one master seed chain through every generator (rad synthesis,
+/// mutations, fault schedules) so a campaign is reproducible end-to-end
+/// from a single seed.
+[[nodiscard]] SyntheticBug random_mutation(const std::vector<dev::Command>& base,
+                                           std::mt19937_64& rng);
+
 }  // namespace rabit::bugs

@@ -98,13 +98,19 @@ const std::vector<std::string>& FaultSchedule::default_dead_safe_actions() {
   return kActions;
 }
 
-FaultSchedule FaultSchedule::chaos(
-    unsigned seed, const std::vector<std::pair<std::string, std::string>>& device_actions,
-    const ChaosOptions& options) {
+namespace {
+
+/// The chaos draw, generic over the RNG engine: the legacy entry point seeds
+/// its own std::mt19937 (byte-stable with the pre-scenario-factory builds),
+/// while the scenario factory threads one master std::mt19937_64 chain
+/// through so a whole campaign is reproducible from a single seed.
+template <class Rng>
+FaultSchedule chaos_draw(Rng& rng,
+                         const std::vector<std::pair<std::string, std::string>>& device_actions,
+                         const FaultSchedule::ChaosOptions& options) {
   FaultSchedule schedule;
   if (device_actions.empty() || options.transient_count == 0) return schedule;
 
-  std::mt19937 rng(seed);
   std::uniform_int_distribution<std::size_t> pair_dist(0, device_actions.size() - 1);
   std::uniform_real_distribution<double> start_dist(0.0, options.horizon_s);
   std::uniform_real_distribution<double> clear_s_dist(0.5, options.max_clear_s);
@@ -114,7 +120,7 @@ FaultSchedule FaultSchedule::chaos(
   // and status faults are rarer.
   std::uniform_int_distribution<int> kind_dist(0, options.include_status_faults ? 5 : 3);
 
-  const auto& dead_safe = default_dead_safe_actions();
+  const auto& dead_safe = FaultSchedule::default_dead_safe_actions();
   auto dead_ok = [&dead_safe](const std::string& action) {
     return std::find(dead_safe.begin(), dead_safe.end(), action) != dead_safe.end();
   };
@@ -173,6 +179,21 @@ FaultSchedule FaultSchedule::chaos(
     ++added;
   }
   return schedule;
+}
+
+}  // namespace
+
+FaultSchedule FaultSchedule::chaos(
+    unsigned seed, const std::vector<std::pair<std::string, std::string>>& device_actions,
+    const ChaosOptions& options) {
+  std::mt19937 rng(seed);
+  return chaos_draw(rng, device_actions, options);
+}
+
+FaultSchedule FaultSchedule::chaos(
+    std::mt19937_64& rng, const std::vector<std::pair<std::string, std::string>>& device_actions,
+    const ChaosOptions& options) {
+  return chaos_draw(rng, device_actions, options);
 }
 
 }  // namespace rabit::dev

@@ -105,6 +105,14 @@ class FaultSchedule {
   [[nodiscard]] static FaultSchedule chaos(
       unsigned seed, const std::vector<std::pair<std::string, std::string>>& device_actions);
 
+  /// Same draw, but consuming the caller's RNG chain instead of seeding a
+  /// local engine: the scenario factory threads one master std::mt19937_64
+  /// through every generator so a whole campaign — workflows, mutations,
+  /// fault schedule — is reproducible end-to-end from a single seed.
+  [[nodiscard]] static FaultSchedule chaos(
+      std::mt19937_64& rng, const std::vector<std::pair<std::string, std::string>>& device_actions,
+      const ChaosOptions& options);
+
   /// Actions whose postconditions the default rulebase tracks (safe targets
   /// for DeadAction chaos faults).
   [[nodiscard]] static const std::vector<std::string>& default_dead_safe_actions();

@@ -85,7 +85,11 @@ Command move_cmd(const std::string& arm, const Vec3& local) {
 
 /// One synthetic dosing experiment. Independent steps are deliberately
 /// shuffled across sessions so that only genuine orderings survive mining.
-std::vector<Command> synth_experiment(const sim::LabBackend& deck, std::mt19937& rng,
+/// Generic over the RNG engine: the legacy dataset entry point keeps its
+/// std::mt19937, while synth_session threads the scenario factory's
+/// std::mt19937_64 master chain.
+template <class Rng>
+std::vector<Command> synth_experiment(const sim::LabBackend& deck, Rng& rng,
                                       double noise_rate) {
   std::uniform_real_distribution<double> unit(0.0, 1.0);
   std::uniform_real_distribution<double> quantity(2.0, 8.0);
@@ -185,6 +189,11 @@ std::vector<TraceSession> generate_dataset(const sim::LabBackend& deck,
     }
   }
   return sessions;
+}
+
+std::vector<Command> synth_session(const sim::LabBackend& deck, std::mt19937_64& rng,
+                                   double noise_rate) {
+  return synth_experiment(deck, rng, noise_rate);
 }
 
 // ---------------------------------------------------------------------------

@@ -52,6 +52,15 @@ struct TraceSession {
 [[nodiscard]] std::vector<TraceSession> generate_dataset(const sim::LabBackend& deck,
                                                          const GeneratorOptions& options);
 
+/// One synthetic dosing experiment drawn from the caller's RNG chain (grid
+/// slot, dose quantity, optional solvent stage, reordering noise all come
+/// from `rng`). The scenario factory threads one master std::mt19937_64
+/// through every generator so a campaign is reproducible end-to-end from a
+/// single seed; generate_dataset keeps its own legacy-seeded engine.
+[[nodiscard]] std::vector<dev::Command> synth_session(const sim::LabBackend& deck,
+                                                      std::mt19937_64& rng,
+                                                      double noise_rate = 0.15);
+
 /// A mined precedence rule: within a session, every occurrence of
 /// `consequent` is preceded by `antecedent` (since the consequent's last
 /// occurrence), e.g. open:dosing_device ≺ enter:dosing_device.

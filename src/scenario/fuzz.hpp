@@ -1,0 +1,200 @@
+// rabit::scenario fuzzing — coverage-guided campaign search, soundness
+// oracles, delta-debugging shrink, and the checked-in regression corpus.
+//
+// run_scenario executes one ScenarioSpec end to end: the static pre-flight
+// (config lint, per-stream analysis, interference/shard analysis, script
+// probes) plus the runtime half (a supervised single-stream run with fault
+// injection and the recovery/assurance ladder, or a sharded fleet campaign
+// with the certificate validation oracle). Everything observable lands in a
+// deterministic ScenarioVerdict; coverage keys are read from the analyzer
+// reports and the run's obs::Registry / obs::Collector rung records.
+//
+// The FuzzEngine drives an AFL-style loop over specs — a pool of
+// coverage-increasing genomes, mutation-or-generate draws, and steering that
+// biases generation toward whole coverage families still dark (an uncovered
+// CFG rule forces the matching ConfigPerturb; dark rungs force a faulted
+// supervised run; dark interference rules force multi-stream campaigns).
+// Any spec whose verdict trips a soundness oracle (static-pass-but-
+// runtime-block, sharded-vs-monolithic divergence, certificate breach,
+// false halt, false alarm) is shrunk to a minimal reproduction and emitted
+// as a corpus entry; corpus/ files replay under ctest with their verdict
+// pinned byte-for-byte.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "json/json.hpp"
+#include "scenario/scenario.hpp"
+
+namespace rabit::scenario {
+
+// ---------------------------------------------------------------------------
+// Verdicts
+// ---------------------------------------------------------------------------
+
+/// Everything a scenario run pins for regression replay. Strictly
+/// deterministic: no wall-clock, no worker-count-dependent field.
+struct ScenarioVerdict {
+  bool halted = false;
+  bool damage = false;
+  /// "s<stream>:<command>:<rule>" in dispatch order.
+  std::vector<std::string> alerts;
+  std::size_t cross_stream_alerts = 0;
+  std::size_t shards = 0;  ///< 0 for single-stream supervised runs
+  /// Sorted unique diagnostic rule ids across every static report
+  /// (A/CFG/I/S families plus rulebase ids the analyzer resolved).
+  std::vector<std::string> diagnostics;
+  /// Sorted unique recovery-ladder rung kinds the run emitted.
+  std::vector<std::string> rungs;
+  /// Sorted unique oracle findings, "<class>" or "<class>:<detail>"; empty
+  /// means every soundness invariant held.
+  std::vector<std::string> oracle_failures;
+
+  [[nodiscard]] bool failing() const { return !oracle_failures.empty(); }
+  /// The class name (prefix before ':') of the first oracle failure; ""
+  /// when passing. Shrinking preserves this class.
+  [[nodiscard]] std::string primary_failure_class() const;
+
+  friend bool operator==(const ScenarioVerdict&, const ScenarioVerdict&) = default;
+};
+
+[[nodiscard]] json::Value verdict_to_json(const ScenarioVerdict& verdict);
+[[nodiscard]] ScenarioVerdict verdict_from_json(const json::Value& doc);
+
+struct ScenarioResult {
+  ScenarioVerdict verdict;
+  /// Sorted unique coverage keys this run exercised: "rule:<id>",
+  /// "diag:<A-id>", "cfg:<CFG-id>", "ifr:<I-id>", "shard:<S-id>",
+  /// "rung:<kind>".
+  std::vector<std::string> coverage;
+};
+
+/// Executes a spec end to end (static pre-flight + runtime). Deterministic:
+/// equal specs yield equal results, independent of worker scheduling.
+[[nodiscard]] ScenarioResult run_scenario(const ScenarioSpec& spec);
+
+// ---------------------------------------------------------------------------
+// Coverage
+// ---------------------------------------------------------------------------
+
+class CoverageMap {
+ public:
+  /// Returns true when the key was new.
+  bool add(const std::string& key) { return keys_.insert(key).second; }
+  /// Adds every key; returns how many were new.
+  std::size_t add_all(const std::vector<std::string>& keys);
+
+  [[nodiscard]] const std::set<std::string>& keys() const { return keys_; }
+  [[nodiscard]] std::size_t size() const { return keys_.size(); }
+  [[nodiscard]] bool covered(const std::string& key) const { return keys_.count(key) > 0; }
+  /// Keys sharing a family prefix ("rung:", "cfg:", ...).
+  [[nodiscard]] std::size_t count_prefix(std::string_view prefix) const;
+
+  /// {"keys": [...], "total": N} — the rabit_fuzz coverage-report shape.
+  [[nodiscard]] json::Value to_json() const;
+
+ private:
+  std::set<std::string> keys_;
+};
+
+/// The closed coverage vocabulary the generator can reach on the Hein
+/// testbed deck — measured empirically by long fuzz campaigns and pruned to
+/// keys an actual run produced (an honest denominator for the >= 80%
+/// coverage gate, not an aspirational list).
+[[nodiscard]] const std::vector<std::string>& reachable_coverage();
+
+// ---------------------------------------------------------------------------
+// Shrinking
+// ---------------------------------------------------------------------------
+
+struct ShrinkResult {
+  ScenarioSpec spec;        ///< no heavier than the input (weight-monotone)
+  ScenarioVerdict verdict;  ///< still failing with the same primary class
+  std::size_t attempts = 0;  ///< candidate executions the search consumed
+};
+
+/// Delta-debugs `failing` to a fixpoint: drops streams, clears mutation
+/// counts, truncates prefixes, disables fault/perturb/probe genes — keeping
+/// a candidate only when it still fails with `original`'s primary oracle
+/// class. Every accepted step strictly decreases weight(spec), so the
+/// search terminates; the result is 1-minimal with respect to the candidate
+/// moves. Throws std::invalid_argument when `original` is not failing.
+[[nodiscard]] ShrinkResult shrink(const ScenarioSpec& failing,
+                                  const ScenarioVerdict& original);
+
+/// The generalized form `shrink` is built on: minimizes `spec` while
+/// `keep(verdict)` stays true for the re-run candidate. `keep(original)`
+/// must hold (std::invalid_argument otherwise). Exposed so callers (and the
+/// shrinker's own property tests) can minimize toward predicates other than
+/// "same oracle class" — e.g. "still raises rule G9".
+[[nodiscard]] ShrinkResult shrink_while(
+    const ScenarioSpec& spec, const ScenarioVerdict& original,
+    const std::function<bool(const ScenarioVerdict&)>& keep);
+
+// ---------------------------------------------------------------------------
+// Corpus
+// ---------------------------------------------------------------------------
+
+/// One corpus/ file: a named spec plus its pinned verdict.
+struct CorpusEntry {
+  std::string name;
+  ScenarioSpec spec;
+  ScenarioVerdict verdict;
+};
+
+[[nodiscard]] json::Value corpus_entry_to_json(const CorpusEntry& entry);
+/// Throws std::runtime_error naming the offending field on malformed input.
+[[nodiscard]] CorpusEntry corpus_entry_from_json(const json::Value& doc);
+
+/// Loads every *.json under `dir`, sorted by filename (deterministic replay
+/// order). Throws std::runtime_error naming the offending file on parse or
+/// schema failure; a missing directory yields an empty corpus.
+[[nodiscard]] std::vector<CorpusEntry> load_corpus_dir(const std::string& dir);
+
+/// Writes `<dir>/<entry.name>.json` (pretty-printed, trailing newline).
+/// Returns false and fills *error on I/O failure.
+bool save_corpus_entry(const std::string& dir, const CorpusEntry& entry,
+                       std::string* error = nullptr);
+
+// ---------------------------------------------------------------------------
+// The fuzzing engine
+// ---------------------------------------------------------------------------
+
+struct FuzzOptions {
+  std::uint64_t seed = 1;
+  std::size_t iterations = 200;
+  /// Wall-clock cap; 0 = iteration-bounded only. Iteration draws stay a
+  /// pure function of (seed, iteration index) either way — the budget only
+  /// decides how far the deterministic sequence gets.
+  double time_budget_s = 0.0;
+  bool shrink_failures = true;
+  /// Replay these first (corpus warm-up): their coverage seeds the map and
+  /// their specs seed the mutation pool.
+  std::vector<ScenarioSpec> corpus;
+};
+
+struct FuzzReport {
+  std::size_t iterations = 0;   ///< scenario executions (incl. corpus warm-up)
+  CoverageMap coverage;
+  /// (iteration, cumulative key count) at every coverage increase — the
+  /// bench's coverage-growth curve.
+  std::vector<std::pair<std::size_t, std::size_t>> growth;
+  /// Shrunk reproductions, at most one per oracle failure class.
+  std::vector<CorpusEntry> repros;
+  double wall_s = 0.0;
+
+  /// Fraction of reachable_coverage() covered, in [0, 1].
+  [[nodiscard]] double coverage_fraction() const;
+  /// The rabit_fuzz --out JSON: iterations, coverage keys + fraction,
+  /// growth curve, repro names.
+  [[nodiscard]] json::Value to_json() const;
+};
+
+/// Runs the coverage-guided loop. Deterministic modulo the time budget.
+[[nodiscard]] FuzzReport fuzz(const FuzzOptions& options);
+
+}  // namespace rabit::scenario

@@ -1,0 +1,604 @@
+#include "scenario/scenario.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+#include "bugs/bugs.hpp"
+#include "rad/rad.hpp"
+#include "script/workflows.hpp"
+#include "sim/deck.hpp"
+
+namespace rabit::scenario {
+
+using dev::Command;
+
+// ---------------------------------------------------------------------------
+// Seed derivation
+// ---------------------------------------------------------------------------
+
+std::uint64_t derive_seed(std::uint64_t root, std::uint64_t index) {
+  // splitmix64 with the golden-gamma stride; see Steele et al., "Fast
+  // Splittable Pseudorandom Number Generators".
+  std::uint64_t z = root + (index + 1) * 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+// ---------------------------------------------------------------------------
+// Enum names
+// ---------------------------------------------------------------------------
+
+std::string_view to_string(WorkflowKind k) {
+  switch (k) {
+    case WorkflowKind::Testbed: return "testbed";
+    case WorkflowKind::RadDosing: return "rad_dosing";
+    case WorkflowKind::Hotplate: return "hotplate";
+    case WorkflowKind::Dosing: return "dosing";
+    case WorkflowKind::Park: return "park";
+  }
+  return "?";
+}
+
+std::string_view to_string(ConfigPerturb p) {
+  switch (p) {
+    case ConfigPerturb::None: return "none";
+    case ConfigPerturb::DuplicateDeviceId: return "duplicate_device_id";
+    case ConfigPerturb::UnknownSiteDevice: return "unknown_site_device";
+    case ConfigPerturb::UnknownSoftWallArm: return "unknown_soft_wall_arm";
+    case ConfigPerturb::ThresholdUnknownAction: return "threshold_unknown_action";
+    case ConfigPerturb::AliasShadowsCanonical: return "alias_shadows_canonical";
+    case ConfigPerturb::UnreachableSite: return "unreachable_site";
+    case ConfigPerturb::OverlappingCuboids: return "overlapping_cuboids";
+    case ConfigPerturb::NonPositiveThreshold: return "non_positive_threshold";
+    case ConfigPerturb::OverlappingArmWorkspaces: return "overlapping_arm_workspaces";
+    case ConfigPerturb::CapacityBelowThresholds: return "capacity_below_thresholds";
+    case ConfigPerturb::FatalRecoveryPolicy: return "fatal_recovery_policy";
+  }
+  return "?";
+}
+
+std::string_view to_string(ScriptProbe p) {
+  switch (p) {
+    case ScriptProbe::None: return "none";
+    case ScriptProbe::UndefinedVariable: return "undefined_variable";
+    case ScriptProbe::UnresolvedIndex: return "unresolved_index";
+    case ScriptProbe::LoopBudget: return "loop_budget";
+    case ScriptProbe::UnresolvedThreshold: return "unresolved_threshold";
+  }
+  return "?";
+}
+
+namespace {
+
+template <class Enum>
+Enum enum_from_string(std::string_view name, std::size_t count, const char* what) {
+  for (std::size_t i = 0; i < count; ++i) {
+    if (to_string(static_cast<Enum>(i)) == name) return static_cast<Enum>(i);
+  }
+  throw std::runtime_error(std::string("scenario: unknown ") + what + " '" +
+                           std::string(name) + "'");
+}
+
+std::string_view variant_name(core::Variant v) {
+  switch (v) {
+    case core::Variant::Initial: return "initial";
+    case core::Variant::Modified: return "modified";
+    case core::Variant::ModifiedWithSim: return "modified_with_sim";
+  }
+  return "?";
+}
+
+core::Variant variant_from_name(std::string_view name) {
+  if (name == "initial") return core::Variant::Initial;
+  if (name == "modified") return core::Variant::Modified;
+  if (name == "modified_with_sim") return core::Variant::ModifiedWithSim;
+  throw std::runtime_error("scenario: unknown variant '" + std::string(name) + "'");
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Weight and description
+// ---------------------------------------------------------------------------
+
+std::size_t weight(const ScenarioSpec& spec) {
+  std::size_t w = 0;
+  for (const StreamGene& g : spec.streams) {
+    w += 1000;
+    w += static_cast<std::size_t>(g.mutations) * 10;
+    // An untruncated stream weighs more than any explicit prefix the
+    // shrinker would introduce, so truncation is always a descent step.
+    w += g.prefix == 0 ? 500 : std::min<std::size_t>(g.prefix, 499);
+  }
+  w += static_cast<std::size_t>(spec.faults.transients) * 5;
+  if (spec.faults.permanent) w += 5;
+  if (spec.perturb != ConfigPerturb::None) w += 3;
+  if (spec.probe != ScriptProbe::None) w += 3;
+  if (spec.recovery) w += 1;
+  if (spec.assurance) w += 1;
+  return w;
+}
+
+std::string describe(const ScenarioSpec& spec) {
+  std::ostringstream os;
+  os << "seed=" << spec.seed << ' ' << variant_name(spec.variant)
+     << (spec.halt_on_alert ? " halt" : " continue") << " streams=[";
+  for (std::size_t i = 0; i < spec.streams.size(); ++i) {
+    const StreamGene& g = spec.streams[i];
+    if (i != 0) os << ',';
+    os << to_string(g.workflow);
+    if (g.mutations > 0) os << '+' << g.mutations << "mut";
+    if (g.prefix > 0) os << "/#" << g.prefix;
+  }
+  os << ']';
+  if (spec.faults.transients > 0) os << " faults=" << spec.faults.transients;
+  if (spec.faults.permanent) os << " permfault";
+  if (spec.recovery) os << " recovery";
+  if (spec.assurance) os << " assurance";
+  if (spec.perturb != ConfigPerturb::None) os << " perturb=" << to_string(spec.perturb);
+  if (spec.probe != ScriptProbe::None) os << " probe=" << to_string(spec.probe);
+  return os.str();
+}
+
+// ---------------------------------------------------------------------------
+// Generation and mutation
+// ---------------------------------------------------------------------------
+
+namespace {
+
+StreamGene draw_stream(std::mt19937_64& rng, std::uint64_t master, std::uint64_t index) {
+  StreamGene g;
+  g.workflow = static_cast<WorkflowKind>(
+      std::uniform_int_distribution<int>(0, static_cast<int>(kWorkflowKinds) - 1)(rng));
+  g.seed = derive_seed(master, 100 + index);
+  // Most streams are clean; mutated streams carry 1..3 edits like the
+  // paper's naive-programmer protocol ("adding, deleting, updating, or
+  // reordering one or two lines").
+  if (std::uniform_real_distribution<double>(0.0, 1.0)(rng) < 0.45) {
+    g.mutations = std::uniform_int_distribution<std::uint32_t>(1, 3)(rng);
+  }
+  return g;
+}
+
+}  // namespace
+
+ScenarioSpec generate(std::uint64_t seed) {
+  std::mt19937_64 rng(derive_seed(seed, 0));
+  auto coin = [&rng](double p) {
+    return std::uniform_real_distribution<double>(0.0, 1.0)(rng) < p;
+  };
+
+  ScenarioSpec spec;
+  spec.seed = seed;
+  int variant_draw = std::uniform_int_distribution<int>(0, 9)(rng);
+  spec.variant = variant_draw < 6   ? core::Variant::ModifiedWithSim
+                 : variant_draw < 9 ? core::Variant::Modified
+                                    : core::Variant::Initial;
+  spec.halt_on_alert = coin(0.7);
+
+  // 60% single-stream supervised runs (the fault/recovery/assurance regime),
+  // 40% campaigns of 2..3 streams (the interference/shard regime).
+  std::size_t stream_count = coin(0.6) ? 1 : std::uniform_int_distribution<std::size_t>(2, 3)(rng);
+  for (std::size_t i = 0; i < stream_count; ++i) {
+    spec.streams.push_back(draw_stream(rng, seed, i));
+  }
+
+  if (stream_count == 1) {
+    if (coin(0.5)) {
+      spec.faults.transients = std::uniform_int_distribution<std::uint32_t>(2, 8)(rng);
+      spec.faults.horizon_s = std::uniform_real_distribution<double>(30.0, 180.0)(rng);
+      spec.faults.include_status = coin(0.7);
+      spec.faults.permanent = coin(0.2);
+      spec.recovery = true;
+    }
+    if (spec.variant == core::Variant::ModifiedWithSim) spec.assurance = coin(0.3);
+  }
+
+  if (coin(0.25)) {
+    spec.perturb = static_cast<ConfigPerturb>(
+        std::uniform_int_distribution<int>(1, static_cast<int>(kConfigPerturbs) - 1)(rng));
+  }
+  if (coin(0.2)) {
+    spec.probe = static_cast<ScriptProbe>(
+        std::uniform_int_distribution<int>(1, static_cast<int>(kScriptProbes) - 1)(rng));
+  }
+  return spec;
+}
+
+ScenarioSpec mutate(const ScenarioSpec& parent, std::uint64_t seed) {
+  std::mt19937_64 rng(derive_seed(seed, 1));
+  ScenarioSpec spec = parent;
+  spec.seed = seed;
+
+  int op = std::uniform_int_distribution<int>(0, 7)(rng);
+  std::uniform_int_distribution<std::size_t> pick(0, spec.streams.size() - 1);
+  switch (op) {
+    case 0:  // add a stream (campaigns grow the interference surface)
+      if (spec.streams.size() < 4) {
+        spec.streams.push_back(draw_stream(rng, seed, spec.streams.size()));
+      }
+      break;
+    case 1:  // drop a stream
+      if (spec.streams.size() > 1) {
+        spec.streams.erase(spec.streams.begin() +
+                           static_cast<std::ptrdiff_t>(pick(rng) % spec.streams.size()));
+      }
+      break;
+    case 2: {  // retarget a stream's workflow
+      StreamGene& g = spec.streams[pick(rng)];
+      g.workflow = static_cast<WorkflowKind>(
+          std::uniform_int_distribution<int>(0, static_cast<int>(kWorkflowKinds) - 1)(rng));
+      break;
+    }
+    case 3: {  // bump / clear a stream's mutation count
+      StreamGene& g = spec.streams[pick(rng)];
+      g.mutations = g.mutations >= 3 ? 0 : g.mutations + 1;
+      break;
+    }
+    case 4: {  // reseed a stream chain
+      StreamGene& g = spec.streams[pick(rng)];
+      g.seed = derive_seed(seed, 200 + pick(rng));
+      break;
+    }
+    case 5:  // toggle the fault gene (single-stream regime only)
+      if (spec.streams.size() == 1) {
+        if (spec.faults.transients == 0) {
+          spec.faults.transients = std::uniform_int_distribution<std::uint32_t>(2, 8)(rng);
+          spec.recovery = true;
+        } else if (!spec.faults.permanent) {
+          spec.faults.permanent = true;
+        } else {
+          spec.faults = FaultGene{};
+        }
+      }
+      break;
+    case 6:  // rotate the config perturbation
+      spec.perturb = static_cast<ConfigPerturb>(
+          std::uniform_int_distribution<int>(0, static_cast<int>(kConfigPerturbs) - 1)(rng));
+      break;
+    default:  // rotate the script probe
+      spec.probe = static_cast<ScriptProbe>(
+          std::uniform_int_distribution<int>(0, static_cast<int>(kScriptProbes) - 1)(rng));
+      break;
+  }
+  // A campaign cannot carry the single-stream-only genes.
+  if (spec.streams.size() > 1) {
+    spec.faults.transients = 0;
+    spec.recovery = false;
+    spec.assurance = false;
+  }
+  return spec;
+}
+
+// ---------------------------------------------------------------------------
+// Materialization
+// ---------------------------------------------------------------------------
+
+namespace {
+
+Command make_cmd(std::string device, std::string action, json::Object args = {}) {
+  Command c;
+  c.device = std::move(device);
+  c.action = std::move(action);
+  c.args = json::Value(std::move(args));
+  return c;
+}
+
+std::vector<Command> workflow_commands(const sim::LabBackend& staging, WorkflowKind kind,
+                                       std::mt19937_64& rng) {
+  namespace ids = sim::deck_ids;
+  switch (kind) {
+    case WorkflowKind::Testbed:
+      return script::record_workflow(staging, script::testbed_workflow_source());
+    case WorkflowKind::RadDosing:
+      return rad::synth_session(staging, rng, /*noise_rate=*/0.15);
+    case WorkflowKind::Hotplate: {
+      // Setpoint writes stay under the configured threshold (150 C) so the
+      // stream is individually safe; two streams with different draws race
+      // the setpoint (I4). Deliberately no `stir`: stirring is an *active*
+      // action and G5 rejects it with no container on the plate.
+      double celsius = std::uniform_real_distribution<double>(40.0, 120.0)(rng);
+      double hold = std::uniform_real_distribution<double>(40.0, 120.0)(rng);
+      std::vector<Command> cmds;
+      cmds.push_back(make_cmd(ids::kHotplate, "set_temperature",
+                              [&] { json::Object o; o["celsius"] = celsius; return o; }()));
+      cmds.push_back(make_cmd(ids::kHotplate, "set_temperature",
+                              [&] { json::Object o; o["celsius"] = hold; return o; }()));
+      cmds.push_back(make_cmd(ids::kHotplate, "stop"));
+      return cmds;
+    }
+    case WorkflowKind::Dosing: {
+      // Station dosing without arm motion: each draw fits the per-command
+      // budget, while two such streams can jointly overdraw vial capacity
+      // (I3) or the G11 cumulative cap (I6).
+      double quantity = std::uniform_real_distribution<double>(2.0, 8.0)(rng);
+      double volume = std::uniform_real_distribution<double>(1.0, 6.0)(rng);
+      std::vector<Command> cmds;
+      cmds.push_back(make_cmd(ids::kDosingDevice, "run_action", [&] {
+        json::Object o;
+        o["delay"] = 1;
+        o["quantity"] = quantity;
+        return o;
+      }()));
+      cmds.push_back(make_cmd(ids::kDosingDevice, "stop_action",
+                              [] { json::Object o; o["delay"] = 0; return o; }()));
+      cmds.push_back(make_cmd(ids::kSyringePump, "draw_solvent",
+                              [&] { json::Object o; o["volume"] = volume; return o; }()));
+      cmds.push_back(make_cmd(ids::kSyringePump, "dose_solvent", [&] {
+        json::Object o;
+        o["volume"] = volume;
+        o["target"] = ids::kVial1;
+        return o;
+      }()));
+      return cmds;
+    }
+    case WorkflowKind::Park: {
+      std::vector<Command> cmds;
+      cmds.push_back(make_cmd(ids::kViperX, "go_home"));
+      cmds.push_back(make_cmd(ids::kViperX, "go_sleep"));
+      cmds.push_back(make_cmd(ids::kNed2, "go_home"));
+      cmds.push_back(make_cmd(ids::kNed2, "go_sleep"));
+      return cmds;
+    }
+  }
+  throw std::logic_error("scenario: unhandled workflow kind");
+}
+
+/// CFG-targeted edits of the derived config. Each arm of the switch nudges
+/// exactly the condition its lint rule checks; the edits must keep the
+/// config schema-valid (the mutation-validity test pins that).
+void apply_perturb(core::EngineConfig& config, ConfigPerturb perturb) {
+  namespace ids = sim::deck_ids;
+  switch (perturb) {
+    case ConfigPerturb::None:
+    case ConfigPerturb::FatalRecoveryPolicy:  // handled on the policy, not here
+      return;
+    case ConfigPerturb::DuplicateDeviceId:
+      if (!config.devices.empty()) config.devices.push_back(config.devices.front());
+      return;
+    case ConfigPerturb::UnknownSiteDevice:
+      for (core::SiteMeta& s : config.sites) {
+        if (s.is_receptacle()) {
+          s.receptacle_device = "ghost_station";
+          return;
+        }
+      }
+      return;
+    case ConfigPerturb::UnknownSoftWallArm:
+      config.soft_walls.push_back(core::SoftWallSpec{
+          "ghost_arm", geom::Aabb(geom::Vec3(0, 0, 0), geom::Vec3(0.1, 0.1, 0.1))});
+      return;
+    case ConfigPerturb::ThresholdUnknownAction:
+      for (core::DeviceMeta& d : config.devices) {
+        if (d.id == ids::kHotplate) {
+          d.thresholds.push_back(core::ThresholdSpec{"engage_warp_drive", "factor", 9.0});
+          return;
+        }
+      }
+      return;
+    case ConfigPerturb::AliasShadowsCanonical:
+      for (core::DeviceMeta& d : config.devices) {
+        if (d.id == ids::kHotplate) {
+          // "stir" is a canonical hotplate action; aliasing it shadows it.
+          d.action_aliases.emplace_back("stir", "set_temperature");
+          return;
+        }
+      }
+      return;
+    case ConfigPerturb::UnreachableSite:
+      // A corner of the workspace no arm can reach — but still inside the
+      // config schema's coordinate bounds, so only the CFG6 lint trips.
+      config.sites.push_back(core::SiteMeta{"orbit", geom::Vec3(1.9, 1.9, 1.9), "", "", ""});
+      return;
+    case ConfigPerturb::OverlappingCuboids:
+      for (core::DeviceMeta& d : config.devices) {
+        if (d.id == ids::kHotplate && d.box) {
+          // Slide the hotplate cuboid onto the centrifuge's.
+          geom::Vec3 size = d.box->size();
+          *d.box = geom::Aabb::from_center(geom::Vec3(-0.45, 0.0, 0.10), size);
+          return;
+        }
+      }
+      return;
+    case ConfigPerturb::NonPositiveThreshold:
+      for (core::DeviceMeta& d : config.devices) {
+        if (!d.thresholds.empty()) {
+          d.thresholds.front().max = -5.0;
+          return;
+        }
+      }
+      return;
+    case ConfigPerturb::OverlappingArmWorkspaces:
+      // The testbed arms genuinely overlap; dropping the time-multiplex
+      // declaration (and any covering soft wall) exposes CFG9.
+      config.time_multiplex = false;
+      config.soft_walls.clear();
+      return;
+    case ConfigPerturb::CapacityBelowThresholds:
+      for (core::DeviceMeta& d : config.devices) {
+        // Give the syringe pump a volume-dosing threshold so two devices
+        // dose liquid, then the vial capacity sits below the summed caps.
+        if (d.id == ids::kSyringePump) {
+          d.thresholds.push_back(core::ThresholdSpec{"dose_solvent", "volume", 12.0});
+        }
+        if (d.id == ids::kHotplate) {
+          d.thresholds.push_back(core::ThresholdSpec{"add_liquid", "ml", 8.0});
+        }
+      }
+      return;
+  }
+}
+
+std::string probe_source(ScriptProbe probe) {
+  switch (probe) {
+    case ScriptProbe::None:
+      return "";
+    case ScriptProbe::UndefinedVariable:
+      return "viperx.go_home()\nlet spot = ghost_location\n";
+    case ScriptProbe::UnresolvedIndex:
+      return "let s = camera.measure_solubility(target=vial_1)\n"
+             "let spot = locations[s]\n";
+    case ScriptProbe::LoopBudget:
+      return "let i = 0\nwhile (i < 1000) {\n    i = i + 1\n}\n";
+    case ScriptProbe::UnresolvedThreshold:
+      return "let m = camera.measure_solubility(target=vial_1)\n"
+             "hotplate.set_temperature(celsius=m * 100)\n";
+  }
+  return "";
+}
+
+}  // namespace
+
+MaterializedScenario materialize(const ScenarioSpec& spec) {
+  if (spec.streams.empty()) {
+    throw std::runtime_error("scenario: spec has no streams");
+  }
+
+  sim::LabBackend staging(sim::testbed_profile());
+  sim::build_hein_testbed_deck(staging);
+
+  MaterializedScenario mat;
+  mat.config = core::config_from_backend(staging, spec.variant);
+  mat.linted_config = core::config_from_backend(staging, spec.variant);
+  apply_perturb(mat.linted_config, spec.perturb);
+  if (spec.perturb == ConfigPerturb::FatalRecoveryPolicy) {
+    mat.linted_policy.backoff_base_s = -1.0;  // fatal per recovery::validate
+    mat.linted_policy.backoff_factor = 0.5;
+  }
+
+  for (std::size_t i = 0; i < spec.streams.size(); ++i) {
+    const StreamGene& gene = spec.streams[i];
+    std::uint64_t chain = gene.seed != 0 ? gene.seed : derive_seed(spec.seed, 100 + i);
+    std::mt19937_64 rng(chain);
+    std::vector<Command> commands = workflow_commands(staging, gene.workflow, rng);
+    for (std::uint32_t m = 0; m < gene.mutations && commands.size() > 1; ++m) {
+      commands = bugs::random_mutation(commands, rng).commands;
+    }
+    if (gene.prefix > 0 && gene.prefix < commands.size()) {
+      commands.resize(gene.prefix);
+    }
+    fleet::CampaignStreamSpec stream;
+    stream.name = "s" + std::to_string(i);
+    stream.commands = std::move(commands);
+    mat.streams.push_back(std::move(stream));
+  }
+
+  mat.probe_script = probe_source(spec.probe);
+  return mat;
+}
+
+// ---------------------------------------------------------------------------
+// JSON round trip
+// ---------------------------------------------------------------------------
+
+json::Value spec_to_json(const ScenarioSpec& spec) {
+  json::Object o;
+  o["seed"] = static_cast<std::int64_t>(spec.seed);
+  o["variant"] = std::string(variant_name(spec.variant));
+  o["halt_on_alert"] = spec.halt_on_alert;
+  o["recovery"] = spec.recovery;
+  o["assurance"] = spec.assurance;
+  o["perturb"] = std::string(to_string(spec.perturb));
+  o["probe"] = std::string(to_string(spec.probe));
+  json::Object faults;
+  faults["transients"] = static_cast<std::int64_t>(spec.faults.transients);
+  faults["horizon_s"] = spec.faults.horizon_s;
+  faults["include_status"] = spec.faults.include_status;
+  faults["permanent"] = spec.faults.permanent;
+  o["faults"] = json::Value(std::move(faults));
+  json::Array streams;
+  for (const StreamGene& g : spec.streams) {
+    json::Object s;
+    s["workflow"] = std::string(to_string(g.workflow));
+    s["seed"] = static_cast<std::int64_t>(g.seed);
+    s["mutations"] = static_cast<std::int64_t>(g.mutations);
+    s["prefix"] = static_cast<std::int64_t>(g.prefix);
+    streams.emplace_back(std::move(s));
+  }
+  o["streams"] = std::move(streams);
+  return json::Value(std::move(o));
+}
+
+ScenarioSpec spec_from_json(const json::Value& doc) {
+  if (!doc.is_object()) throw std::runtime_error("scenario spec: not an object");
+  ScenarioSpec spec;
+  spec.seed = static_cast<std::uint64_t>(doc.as_object().at("seed").as_int());
+  spec.variant = variant_from_name(doc.as_object().at("variant").as_string());
+  spec.halt_on_alert = doc.get_or("halt_on_alert", true);
+  spec.recovery = doc.get_or("recovery", false);
+  spec.assurance = doc.get_or("assurance", false);
+  spec.perturb = enum_from_string<ConfigPerturb>(
+      doc.get_or("perturb", std::string("none")), kConfigPerturbs, "perturb");
+  spec.probe = enum_from_string<ScriptProbe>(doc.get_or("probe", std::string("none")),
+                                             kScriptProbes, "probe");
+  if (const json::Value* f = doc.find("faults")) {
+    spec.faults.transients =
+        static_cast<std::uint32_t>(f->get_or("transients", std::int64_t{0}));
+    spec.faults.horizon_s = f->get_or("horizon_s", 120.0);
+    spec.faults.include_status = f->get_or("include_status", true);
+    spec.faults.permanent = f->get_or("permanent", false);
+  }
+  const json::Value* streams = doc.find("streams");
+  if (streams == nullptr || !streams->is_array() || streams->as_array().empty()) {
+    throw std::runtime_error("scenario spec: missing or empty 'streams'");
+  }
+  for (const json::Value& sv : streams->as_array()) {
+    StreamGene g;
+    g.workflow = enum_from_string<WorkflowKind>(sv.as_object().at("workflow").as_string(),
+                                                kWorkflowKinds, "workflow");
+    g.seed = static_cast<std::uint64_t>(sv.get_or("seed", std::int64_t{0}));
+    g.mutations = static_cast<std::uint32_t>(sv.get_or("mutations", std::int64_t{0}));
+    g.prefix = static_cast<std::uint32_t>(sv.get_or("prefix", std::int64_t{0}));
+    spec.streams.push_back(g);
+  }
+  return spec;
+}
+
+json::Schema spec_schema() {
+  return json::Schema(R"SCHEMA({
+    "type": "object",
+    "required": ["seed", "variant", "streams"],
+    "properties": {
+      "seed": {"type": "integer"},
+      "variant": {"enum": ["initial", "modified", "modified_with_sim"]},
+      "halt_on_alert": {"type": "boolean"},
+      "recovery": {"type": "boolean"},
+      "assurance": {"type": "boolean"},
+      "perturb": {"enum": ["none", "duplicate_device_id", "unknown_site_device",
+                           "unknown_soft_wall_arm", "threshold_unknown_action",
+                           "alias_shadows_canonical", "unreachable_site",
+                           "overlapping_cuboids", "non_positive_threshold",
+                           "overlapping_arm_workspaces", "capacity_below_thresholds",
+                           "fatal_recovery_policy"]},
+      "probe": {"enum": ["none", "undefined_variable", "unresolved_index",
+                         "loop_budget", "unresolved_threshold"]},
+      "faults": {
+        "type": "object",
+        "properties": {
+          "transients": {"type": "integer", "minimum": 0},
+          "horizon_s": {"type": "number", "minimum": 0},
+          "include_status": {"type": "boolean"},
+          "permanent": {"type": "boolean"}
+        }
+      },
+      "streams": {
+        "type": "array",
+        "minItems": 1,
+        "items": {
+          "type": "object",
+          "required": ["workflow"],
+          "properties": {
+            "workflow": {"enum": ["testbed", "rad_dosing", "hotplate", "dosing", "park"]},
+            "seed": {"type": "integer"},
+            "mutations": {"type": "integer", "minimum": 0},
+            "prefix": {"type": "integer", "minimum": 0}
+          }
+        }
+      }
+    }
+  })SCHEMA");
+}
+
+}  // namespace rabit::scenario

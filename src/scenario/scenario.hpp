@@ -1,0 +1,200 @@
+// rabit::scenario — the generative scenario factory behind campaign fuzzing.
+//
+// The paper's evaluation runs 16 hand-written bugs against one testbed
+// workflow; its stated future work is "generating large bug datasets — a
+// challenging task in itself". This module is that generator, grown to
+// production scope: a ScenarioSpec is a small declarative genome — workflow
+// mix, per-stream mutation counts, a transient-fault gene, a config
+// perturbation keyed to the CFG lint family, a script probe keyed to the
+// analyzer-only A rules, recovery/assurance toggles — and every derived
+// artifact (commands, fault schedules, perturbed configs) is a pure function
+// of the spec. One master std::mt19937_64 seed chain threads through every
+// generator (rad synthesis, bug mutations, chaos fault draws), so a whole
+// campaign reproduces byte-identically from a single 64-bit seed.
+//
+// The fuzzing layer on top (fuzz.hpp) executes specs, reads coverage, and
+// shrinks failures; this header owns the genome itself: generation,
+// mutation, materialization, and the JSON form the regression corpus pins.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "core/config.hpp"
+#include "fleet/fleet.hpp"
+#include "json/json.hpp"
+#include "recovery/recovery.hpp"
+
+namespace rabit::scenario {
+
+// ---------------------------------------------------------------------------
+// Seed derivation
+// ---------------------------------------------------------------------------
+
+/// splitmix64 of (root + index * golden-gamma): the canonical way to derive
+/// independent child seeds from one master seed. Deterministic, stateless,
+/// and collision-resistant enough that per-stream / per-iteration chains
+/// never correlate.
+[[nodiscard]] std::uint64_t derive_seed(std::uint64_t root, std::uint64_t index);
+
+// ---------------------------------------------------------------------------
+// The genome
+// ---------------------------------------------------------------------------
+
+/// Workflow archetypes a stream gene can materialize. Each targets a
+/// different slice of the rule / diagnostic space.
+enum class WorkflowKind {
+  Testbed,    ///< the Fig. 5 safe dosing workflow (recorded from the DSL)
+  RadDosing,  ///< a rad::synth_session dosing experiment (seed-jittered)
+  Hotplate,   ///< setpoint writes + stir (I4 setpoint races across streams)
+  Dosing,     ///< station dosing without arm motion (I1/I3/I6 budgets)
+  Park,       ///< arms home + sleep (trivially safe; multiplexing token)
+};
+inline constexpr std::size_t kWorkflowKinds = 5;
+
+[[nodiscard]] std::string_view to_string(WorkflowKind k);
+
+/// Config perturbation operators, one per CFG lint rule. Applied to the
+/// derived EngineConfig before the static pre-flight; the runtime half of a
+/// scenario always executes against the clean config (a perturbed config
+/// models a researcher mistake the pre-flight gate would have rejected).
+enum class ConfigPerturb {
+  None,
+  DuplicateDeviceId,         ///< CFG1
+  UnknownSiteDevice,         ///< CFG2
+  UnknownSoftWallArm,        ///< CFG3
+  ThresholdUnknownAction,    ///< CFG4
+  AliasShadowsCanonical,     ///< CFG5
+  UnreachableSite,           ///< CFG6
+  OverlappingCuboids,        ///< CFG7
+  NonPositiveThreshold,      ///< CFG8
+  OverlappingArmWorkspaces,  ///< CFG9
+  CapacityBelowThresholds,   ///< CFG10
+  FatalRecoveryPolicy,       ///< CFG11 (perturbs the recovery policy instead)
+};
+inline constexpr std::size_t kConfigPerturbs = 12;
+
+[[nodiscard]] std::string_view to_string(ConfigPerturb p);
+
+/// Script probes: short DSL fragments materialized alongside the streams and
+/// analyzed statically (never executed), each aimed at one analyzer-only
+/// diagnostic the linear command streams cannot reach.
+enum class ScriptProbe {
+  None,
+  UndefinedVariable,    ///< A6: use of an undefined variable
+  UnresolvedIndex,      ///< A7: index not statically resolvable
+  LoopBudget,           ///< A8: unknown-bound loop hits the unroll budget
+  UnresolvedThreshold,  ///< A5: thresholded argument statically unresolvable
+};
+inline constexpr std::size_t kScriptProbes = 5;
+
+[[nodiscard]] std::string_view to_string(ScriptProbe p);
+
+/// One stream of the campaign genome.
+struct StreamGene {
+  WorkflowKind workflow = WorkflowKind::Testbed;
+  /// Per-stream chain seed (derive_seed of the master); drives workflow
+  /// jitter and the mutation draws.
+  std::uint64_t seed = 0;
+  /// bugs::random_mutation applications, chained (mutant feeds mutant).
+  std::uint32_t mutations = 0;
+  /// Keep only the first `prefix` commands; 0 keeps the whole stream. The
+  /// shrinker's truncation lever.
+  std::uint32_t prefix = 0;
+
+  friend bool operator==(const StreamGene&, const StreamGene&) = default;
+};
+
+/// Transient-fault gene; transients == 0 disables the schedule entirely.
+/// Clearing bounds stay at dev::FaultSchedule::ChaosOptions defaults (clear
+/// within <= 3 attempts or <= 4 modeled seconds), which the default recovery
+/// ladder absorbs with margin — the false-halt oracle depends on that.
+struct FaultGene {
+  std::uint32_t transients = 0;
+  double horizon_s = 120.0;
+  bool include_status = true;
+  /// Additionally arm one *permanent* dead-action fault on the stream's
+  /// first non-arm device — a retry can never absorb it, so the ladder
+  /// escalates (quarantine → safe state → halt rung coverage).
+  bool permanent = false;
+
+  friend bool operator==(const FaultGene&, const FaultGene&) = default;
+};
+
+struct ScenarioSpec {
+  std::uint64_t seed = 0;  ///< master seed; every derived draw chains off it
+  core::Variant variant = core::Variant::ModifiedWithSim;
+  bool halt_on_alert = true;
+  bool recovery = false;   ///< supervise with the default RecoveryPolicy
+  bool assurance = false;  ///< enable the runtime-assurance decision module
+  ConfigPerturb perturb = ConfigPerturb::None;
+  ScriptProbe probe = ScriptProbe::None;
+  FaultGene faults;
+  std::vector<StreamGene> streams;  ///< >= 1; > 1 runs as a sharded campaign
+
+  friend bool operator==(const ScenarioSpec&, const ScenarioSpec&) = default;
+};
+
+/// Shrink metric: a strictly positive integer that every accepted shrink
+/// step strictly decreases (termination proof for the shrinker). Streams
+/// dominate, then mutations, then prefix length, then the scalar genes.
+[[nodiscard]] std::size_t weight(const ScenarioSpec& spec);
+
+/// One-line human summary ("seed=42 v3 streams=2[testbed+2mut,hotplate] ...").
+[[nodiscard]] std::string describe(const ScenarioSpec& spec);
+
+// ---------------------------------------------------------------------------
+// Generation and mutation
+// ---------------------------------------------------------------------------
+
+/// Generates a fresh spec from a master seed. Pure: same seed, same spec.
+/// Draws 1..3 streams, biased toward single-stream supervised runs (the
+/// regime where the recovery/assurance rungs live) but visiting campaigns
+/// often enough to exercise the interference and shard families.
+[[nodiscard]] ScenarioSpec generate(std::uint64_t seed);
+
+/// Applies one structural mutation to `parent` (add/remove/retarget a
+/// stream, bump mutations, toggle a scalar gene, reseed a stream chain).
+/// Pure in (parent, seed); the result's master seed is re-derived so the
+/// child is a self-contained reproducible genome.
+[[nodiscard]] ScenarioSpec mutate(const ScenarioSpec& parent, std::uint64_t seed);
+
+// ---------------------------------------------------------------------------
+// Materialization
+// ---------------------------------------------------------------------------
+
+/// Everything a spec denotes, concretely. Streams are materialized against a
+/// pristine Hein testbed deck; the perturbed config/policy feed the static
+/// pre-flight only (see ConfigPerturb).
+struct MaterializedScenario {
+  /// The clean derived config (config_from_backend at spec.variant).
+  core::EngineConfig config;
+  /// The perturbed copy the lint runs against (== config when perturb=None).
+  core::EngineConfig linted_config;
+  /// Recovery policy for the CFG11 lint (fatal when FatalRecoveryPolicy).
+  recovery::RecoveryPolicy linted_policy;
+  /// One entry per StreamGene, named "s0", "s1", ... in gene order.
+  std::vector<fleet::CampaignStreamSpec> streams;
+  /// DSL source of the script probe; empty when probe == None.
+  std::string probe_script;
+};
+
+/// Materializes a spec. Deterministic: byte-identical streams for equal
+/// specs. Throws std::runtime_error on an empty stream list.
+[[nodiscard]] MaterializedScenario materialize(const ScenarioSpec& spec);
+
+// ---------------------------------------------------------------------------
+// JSON round trip (the corpus format's "spec" object)
+// ---------------------------------------------------------------------------
+
+[[nodiscard]] json::Value spec_to_json(const ScenarioSpec& spec);
+/// Throws std::runtime_error naming the offending field on malformed input.
+[[nodiscard]] ScenarioSpec spec_from_json(const json::Value& doc);
+
+/// Schema for the spec JSON (what `rabit_fuzz --replay <file>` accepts);
+/// the corpus gate validates every checked-in spec against it.
+[[nodiscard]] json::Schema spec_schema();
+
+}  // namespace rabit::scenario

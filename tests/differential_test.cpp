@@ -14,6 +14,8 @@
 #include "analysis/analysis.hpp"
 #include "bugs/bugs.hpp"
 #include "core/config.hpp"
+#include "scenario/fuzz.hpp"
+#include "scenario/scenario.hpp"
 #include "script/workflows.hpp"
 #include "sim/deck.hpp"
 
@@ -91,6 +93,38 @@ TEST(DifferentialSoundness, AnalyzerNeverPassesWhatRuntimePreconditionsBlock) {
   EXPECT_TRUE(failures.empty())
       << failures.size() << " seed(s) passed static analysis but alerted at runtime —"
       << " replay with mutated_stream(base_workflow(), <seed>):" << listing;
+}
+
+TEST(DifferentialSoundness, GeneratedCampaignsSatisfyEveryOracle) {
+  // The generator-driven version of the sweep above: instead of one fixed
+  // workflow under random mutations, each seed draws a whole campaign from
+  // the scenario factory (workflow mixes, fault schedules, config
+  // perturbations, script probes) and run_scenario applies the full oracle
+  // set — static_miss, interference_miss, shard_divergence,
+  // certificate_breach, false_alarm, false_halt. Failing seeds print in
+  // replay form so the exact campaign is one CLI invocation away.
+  std::size_t alerting = 0;
+  std::vector<std::string> failures;
+  for (unsigned i = 0; i < kSeedCount; ++i) {
+    std::uint64_t seed = scenario::derive_seed(kSeedBase, i);
+    scenario::ScenarioSpec spec = scenario::generate(seed);
+    scenario::ScenarioResult result = scenario::run_scenario(spec);
+    if (!result.verdict.alerts.empty()) ++alerting;
+    if (!result.verdict.oracle_failures.empty()) {
+      failures.push_back("rabit_fuzz --replay-seed " + std::to_string(seed) + "  # " +
+                         result.verdict.oracle_failures.front());
+    }
+  }
+
+  // Vacuity guard, same spirit as above: the generator must actually reach
+  // runtime alerts for the oracles to have anything to compare.
+  EXPECT_GT(alerting, 10u) << "generator no longer reaches runtime alerts";
+
+  std::string listing;
+  for (const std::string& f : failures) listing += "\n  " + f;
+  EXPECT_TRUE(failures.empty())
+      << failures.size() << " generated campaign(s) tripped a soundness oracle —"
+      << " replay each with:" << listing;
 }
 
 TEST(DifferentialSoundness, MutationsAreDeterministicPerSeed) {

@@ -1,0 +1,57 @@
+// Corpus replay gate: every checked-in corpus/ entry re-runs under ctest
+// with its recorded verdict pinned byte-for-byte. A drift here means either
+// a behavior change the entry was checked in to guard against, or a genuine
+// nondeterminism bug — both merge-blocking. RABIT_CORPUS_DIR is injected by
+// tests/CMakeLists.txt and points at the source tree's corpus/ directory.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "scenario/fuzz.hpp"
+
+#ifndef RABIT_CORPUS_DIR
+#error "tests/CMakeLists.txt must define RABIT_CORPUS_DIR"
+#endif
+
+namespace rabit {
+namespace {
+
+std::vector<scenario::CorpusEntry> corpus() {
+  return scenario::load_corpus_dir(RABIT_CORPUS_DIR);
+}
+
+TEST(ScenarioCorpus, DirectoryIsNotEmpty) {
+  // An empty corpus silently skips every replay below; fail loudly instead.
+  EXPECT_GE(corpus().size(), 5u) << "corpus dir: " << RABIT_CORPUS_DIR;
+}
+
+TEST(ScenarioCorpus, EveryEntryReplaysToItsPinnedVerdict) {
+  for (const scenario::CorpusEntry& entry : corpus()) {
+    scenario::ScenarioResult result = scenario::run_scenario(entry.spec);
+    EXPECT_EQ(result.verdict, entry.verdict)
+        << entry.name << " drifted — replay with: rabit_fuzz --replay "
+        << RABIT_CORPUS_DIR << "/" << entry.name << ".json";
+  }
+}
+
+TEST(ScenarioCorpus, ReplayIsDeterministic) {
+  // Same spec, two runs, identical verdicts — the determinism the pinning
+  // above depends on, checked without reference to the recorded file.
+  for (const scenario::CorpusEntry& entry : corpus()) {
+    scenario::ScenarioVerdict a = scenario::run_scenario(entry.spec).verdict;
+    scenario::ScenarioVerdict b = scenario::run_scenario(entry.spec).verdict;
+    EXPECT_EQ(a, b) << entry.name;
+  }
+}
+
+TEST(ScenarioCorpus, EntriesValidateAgainstSpecSchema) {
+  json::Schema schema = scenario::spec_schema();
+  for (const scenario::CorpusEntry& entry : corpus()) {
+    std::vector<json::SchemaIssue> errors = schema.validate(scenario::spec_to_json(entry.spec));
+    EXPECT_TRUE(errors.empty()) << entry.name << ": " << errors.front().message;
+  }
+}
+
+}  // namespace
+}  // namespace rabit

@@ -1,0 +1,209 @@
+// Properties of the scenario factory (src/scenario): the generator is
+// seed-deterministic down to the byte, every mutant it emits is still a
+// schema-valid spec whose materialized config passes the same validation
+// rabit_validate applies, and the shrinker only ever moves downhill while
+// preserving the predicate it was asked to keep.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/config.hpp"
+#include "scenario/fuzz.hpp"
+#include "scenario/scenario.hpp"
+
+namespace rabit {
+namespace {
+
+constexpr std::uint64_t kSeedBase = 40000;
+constexpr unsigned kSeedCount = 40;
+
+std::string spec_bytes(const scenario::ScenarioSpec& spec) {
+  return json::serialize(scenario::spec_to_json(spec));
+}
+
+std::string stream_bytes(const scenario::MaterializedScenario& mat) {
+  std::string out;
+  for (const fleet::CampaignStreamSpec& stream : mat.streams) {
+    out += stream.name + "{";
+    for (const dev::Command& c : stream.commands) {
+      out += c.device + "." + c.action + "(" + json::serialize(c.args) + ")";
+    }
+    out += "}";
+  }
+  return out;
+}
+
+TEST(ScenarioGenerator, SameSeedSameCampaignBytes) {
+  for (unsigned i = 0; i < kSeedCount; ++i) {
+    std::uint64_t seed = scenario::derive_seed(kSeedBase, i);
+    scenario::ScenarioSpec a = scenario::generate(seed);
+    scenario::ScenarioSpec b = scenario::generate(seed);
+    ASSERT_EQ(a, b) << "seed " << seed;
+    ASSERT_EQ(spec_bytes(a), spec_bytes(b)) << "seed " << seed;
+    // Materialization is deterministic too: the whole campaign — every
+    // command of every stream — comes out byte-identical.
+    ASSERT_EQ(stream_bytes(scenario::materialize(a)), stream_bytes(scenario::materialize(b)))
+        << "seed " << seed;
+  }
+}
+
+TEST(ScenarioGenerator, DistinctSeedsExploreDistinctSpecs) {
+  std::set<std::string> distinct;
+  for (unsigned i = 0; i < kSeedCount; ++i) {
+    distinct.insert(spec_bytes(scenario::generate(scenario::derive_seed(kSeedBase, i))));
+  }
+  // Not a tautology: a broken seed chain collapses every draw to one spec.
+  EXPECT_GT(distinct.size(), kSeedCount / 2);
+}
+
+TEST(ScenarioGenerator, SpecsRoundTripThroughJsonAndSchema) {
+  json::Schema schema = scenario::spec_schema();
+  for (unsigned i = 0; i < kSeedCount; ++i) {
+    std::uint64_t seed = scenario::derive_seed(kSeedBase + 1, i);
+    scenario::ScenarioSpec spec = scenario::generate(seed);
+    json::Value doc = scenario::spec_to_json(spec);
+    std::vector<json::SchemaIssue> errors = schema.validate(doc);
+    EXPECT_TRUE(errors.empty()) << "seed " << seed << ": " << errors.front().message;
+    EXPECT_EQ(scenario::spec_from_json(json::parse(json::serialize(doc))), spec)
+        << "seed " << seed;
+  }
+}
+
+TEST(ScenarioGenerator, MutantsStayValid) {
+  json::Schema spec_schema = scenario::spec_schema();
+  json::Schema config_schema = core::config_schema();
+  scenario::ScenarioSpec parent = scenario::generate(kSeedBase + 2);
+  for (unsigned i = 0; i < kSeedCount; ++i) {
+    std::uint64_t seed = scenario::derive_seed(kSeedBase + 3, i);
+    scenario::ScenarioSpec mutant = scenario::mutate(parent, seed);
+    json::Value doc = scenario::spec_to_json(mutant);
+    std::vector<json::SchemaIssue> errors = spec_schema.validate(doc);
+    ASSERT_TRUE(errors.empty()) << "seed " << seed << ": " << errors.front().message;
+
+    // Every mutant must materialize, and even its deliberately-perturbed
+    // config must stay inside the config schema rabit_validate enforces —
+    // perturbations break lint rules (CFG1-11), never the document shape.
+    scenario::MaterializedScenario mat = scenario::materialize(mutant);
+    EXPECT_FALSE(mat.streams.empty());
+    std::vector<json::SchemaIssue> config_errors =
+        config_schema.validate(core::config_to_json(mat.linted_config));
+    EXPECT_TRUE(config_errors.empty()) << "seed " << seed << ": " << config_errors.front().message;
+    parent = mutant;  // chain, like the fuzzer's mutation pool does
+  }
+}
+
+TEST(ScenarioGenerator, EveryPerturbKeepsConfigSchemaValid) {
+  json::Schema config_schema = core::config_schema();
+  for (int p = 0; p <= static_cast<int>(scenario::ConfigPerturb::FatalRecoveryPolicy); ++p) {
+    scenario::ScenarioSpec spec = scenario::generate(kSeedBase + 4);
+    spec.perturb = static_cast<scenario::ConfigPerturb>(p);
+    scenario::MaterializedScenario mat = scenario::materialize(spec);
+    std::vector<json::SchemaIssue> errors =
+        config_schema.validate(core::config_to_json(mat.linted_config));
+    EXPECT_TRUE(errors.empty()) << "perturb " << p << ": " << errors.front().message;
+  }
+}
+
+TEST(ScenarioOracles, CleanWorkflowsRunAlertFree) {
+  // The false_alarm oracle's premise, pinned directly: unmutated testbed,
+  // hotplate, and park workflows pass the runtime checker without alerts.
+  for (scenario::WorkflowKind kind :
+       {scenario::WorkflowKind::Testbed, scenario::WorkflowKind::Hotplate,
+        scenario::WorkflowKind::Park}) {
+    scenario::ScenarioSpec spec;
+    spec.seed = kSeedBase + 5;
+    spec.variant = core::Variant::Modified;
+    spec.streams.push_back({kind, scenario::derive_seed(spec.seed, 100), 0, 0});
+    scenario::ScenarioResult result = scenario::run_scenario(spec);
+    EXPECT_TRUE(result.verdict.alerts.empty()) << scenario::describe(spec);
+    EXPECT_TRUE(result.verdict.oracle_failures.empty()) << scenario::describe(spec);
+  }
+}
+
+TEST(ScenarioOracles, GeneratedScenariosRaiseNoOracleFailures) {
+  // A miniature of the nightly fuzz job: whatever the generator emits, the
+  // soundness oracles stay quiet (genuine findings land in corpus/ instead).
+  for (unsigned i = 0; i < kSeedCount; ++i) {
+    std::uint64_t seed = scenario::derive_seed(kSeedBase + 6, i);
+    scenario::ScenarioSpec spec = scenario::generate(seed);
+    scenario::ScenarioResult result = scenario::run_scenario(spec);
+    EXPECT_TRUE(result.verdict.oracle_failures.empty())
+        << "rabit_fuzz --replay-seed " << seed << " (oracle "
+        << result.verdict.oracle_failures.front() << ")";
+  }
+}
+
+TEST(ScenarioShrink, RequiresFailingVerdict) {
+  scenario::ScenarioSpec spec = scenario::generate(kSeedBase + 7);
+  scenario::ScenarioVerdict clean;  // no oracle failures
+  EXPECT_THROW((void)scenario::shrink(spec, clean), std::invalid_argument);
+}
+
+TEST(ScenarioShrink, ResultStillSatisfiesPredicateAndNeverGrows) {
+  // The corpus cascade scenario: a mutated rad stream whose door-close is
+  // G2-blocked, leaving the door open for a later G9. Shrinking toward
+  // "still raises G9" must keep that property, never increase weight, and
+  // terminate at a 1-minimal spec.
+  scenario::ScenarioSpec spec = scenario::spec_from_json(json::parse(
+      R"({"seed":-9016627859025610201,"variant":"modified_with_sim",
+          "halt_on_alert":false,
+          "streams":[{"workflow":"rad_dosing","seed":1524877270792533242,
+                      "mutations":1},
+                     {"workflow":"testbed","seed":7,"mutations":0}]})"));
+  auto raises_g9 = [](const scenario::ScenarioVerdict& v) {
+    for (const std::string& a : v.alerts) {
+      if (a.size() >= 2 && a.compare(a.size() - 2, 2, "G9") == 0) return true;
+    }
+    return false;
+  };
+  scenario::ScenarioVerdict original = scenario::run_scenario(spec).verdict;
+  ASSERT_TRUE(raises_g9(original));
+
+  scenario::ShrinkResult shrunk = scenario::shrink_while(spec, original, raises_g9);
+  EXPECT_TRUE(raises_g9(shrunk.verdict));
+  EXPECT_LE(scenario::weight(shrunk.spec), scenario::weight(spec));
+  EXPECT_GT(shrunk.attempts, 0u);
+  // 1-minimality: no single candidate move below the fixpoint still raises
+  // G9 — re-shrinking the result is a no-op.
+  scenario::ShrinkResult again = scenario::shrink_while(shrunk.spec, shrunk.verdict, raises_g9);
+  EXPECT_EQ(again.spec, shrunk.spec);
+  // The two-stream scaffold is shed: the cascade reproduces solo.
+  EXPECT_EQ(shrunk.spec.streams.size(), 1u);
+}
+
+TEST(ScenarioCoverage, FixedBudgetClearsTheGate) {
+  // The acceptance gate from the tool, pinned as a unit test: a fixed seed
+  // and iteration budget must reach >= 80% of the measured reachable map.
+  scenario::FuzzOptions options;
+  options.seed = 1;
+  options.iterations = 400;
+  scenario::FuzzReport report = scenario::fuzz(options);
+  EXPECT_TRUE(report.repros.empty());
+  EXPECT_GE(report.coverage_fraction(), 0.8)
+      << report.coverage.size() << " keys of " << scenario::reachable_coverage().size();
+  // Coverage growth is monotone and actually grows.
+  for (std::size_t i = 1; i < report.growth.size(); ++i) {
+    EXPECT_GE(report.growth[i].second, report.growth[i - 1].second);
+  }
+  EXPECT_GE(report.growth.back().second, report.growth.front().second);
+}
+
+TEST(ScenarioCorpus, VerdictJsonRoundTrips) {
+  scenario::ScenarioSpec spec = scenario::generate(kSeedBase + 8);
+  scenario::ScenarioVerdict verdict = scenario::run_scenario(spec).verdict;
+  scenario::ScenarioVerdict back =
+      scenario::verdict_from_json(json::parse(json::serialize(scenario::verdict_to_json(verdict))));
+  EXPECT_EQ(back, verdict);
+
+  scenario::CorpusEntry entry{"round_trip", spec, verdict};
+  scenario::CorpusEntry entry_back = scenario::corpus_entry_from_json(
+      json::parse(json::serialize(scenario::corpus_entry_to_json(entry))));
+  EXPECT_EQ(entry_back.name, entry.name);
+  EXPECT_EQ(entry_back.spec, entry.spec);
+  EXPECT_EQ(entry_back.verdict, entry.verdict);
+}
+
+}  // namespace
+}  // namespace rabit
