@@ -66,6 +66,21 @@ json::Value report_to_json(const AnalysisReport& report) {
   return json::Value(std::move(root));
 }
 
+AnalysisReport sorted_for_emission(const AnalysisReport& report) {
+  AnalysisReport sorted = report;
+  std::stable_sort(sorted.diagnostics.begin(), sorted.diagnostics.end(),
+                   [](const Diagnostic& a, const Diagnostic& b) {
+                     if (a.rule != b.rule) return a.rule < b.rule;
+                     if (a.streams != b.streams) return a.streams < b.streams;
+                     if (a.line != b.line) return a.line < b.line;
+                     if (a.severity != b.severity) {
+                       return static_cast<int>(a.severity) < static_cast<int>(b.severity);
+                     }
+                     return a.message < b.message;
+                   });
+  return sorted;
+}
+
 // ---------------------------------------------------------------------------
 // AbstractValue
 // ---------------------------------------------------------------------------

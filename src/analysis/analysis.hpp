@@ -92,6 +92,13 @@ struct AnalysisReport {
 /// "diagnostics" array of diagnostic_to_json objects plus summary counts.
 [[nodiscard]] json::Value report_to_json(const AnalysisReport& report);
 
+/// A copy of `report` with diagnostics in the canonical emission order —
+/// (rule, streams, line, severity, message) — so text and --json output are
+/// byte-stable across platforms and discovery orders. Analysis passes keep
+/// their natural discovery order internally (tests pin it); emitters sort
+/// at the boundary.
+[[nodiscard]] AnalysisReport sorted_for_emission(const AnalysisReport& report);
+
 // ---------------------------------------------------------------------------
 // Abstract values
 // ---------------------------------------------------------------------------

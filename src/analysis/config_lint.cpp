@@ -24,20 +24,8 @@ using core::SoftWallSpec;
 /// core/rules.cpp and core/tracker.cpp). A threshold or alias naming
 /// anything else guards nothing.
 std::set<std::string> known_actions(const DeviceMeta& meta) {
-  std::set<std::string> actions;
-  if (meta.is_arm) {
-    actions = {"move_to",     "go_home",      "go_sleep",   "pick_object",
-               "place_object", "open_gripper", "close_gripper"};
-  } else {
-    actions = {"set_door",       "run_action",  "stop_action", "draw_solvent",
-               "dose_solvent",   "set_temperature", "stir",    "shake",
-               "stop",           "rotate_platter",  "start_spin", "stop_spin",
-               "decap",          "recap",       "add_solid",   "add_liquid",
-               "start",          "status",      "measure_solubility"};
-  }
-  for (const auto& binding : meta.value_bindings) actions.insert(binding.action);
-  for (const auto& active : meta.active_actions) actions.insert(active);
-  return actions;
+  std::vector<std::string> actions = core::dispatchable_actions(meta);
+  return {actions.begin(), actions.end()};
 }
 
 double max_arm_reach(const DeviceMeta& arm) {
@@ -105,7 +93,7 @@ AnalysisReport lint_config(const core::EngineConfig& config) {
     // CFG4 — a threshold naming an action the device never dispatches is a
     // guard on nothing: the researcher believes a limit exists.
     for (const core::ThresholdSpec& t : d.thresholds) {
-      bool known = vocabulary.count(t.action) > 0 ||
+      bool known = vocabulary.contains(t.action) ||
                    std::any_of(d.action_aliases.begin(), d.action_aliases.end(),
                                [&t](const auto& a) { return a.first == t.action; });
       if (!known) {
@@ -118,7 +106,7 @@ AnalysisReport lint_config(const core::EngineConfig& config) {
     // CFG5 — an alias that names an existing canonical action shadows it:
     // commands using the original name are silently rewritten.
     for (const auto& [alias, canonical] : d.action_aliases) {
-      if (vocabulary.count(alias) > 0) {
+      if (vocabulary.contains(alias)) {
         emit(Severity::Error, "CFG5",
              "device '" + d.id + "' aliases '" + alias + "' -> '" + canonical +
                  "', shadowing the canonical action of the same name");

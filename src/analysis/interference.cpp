@@ -428,7 +428,7 @@ class InterferenceChecker {
     for (const auto& [arm, names] : b.ignores) declared_by_b.insert(names.begin(), names.end());
     for (const auto& [arm, names] : a.ignores) {
       for (const std::string& name : names) {
-        if (declared_by_b.count(name) != 0) continue;
+        if (declared_by_b.contains(name)) continue;
         if (b.devices.find(name) == b.devices.end() &&
             b.entities.find(name) == b.entities.end()) {
           continue;

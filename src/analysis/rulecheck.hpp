@@ -1,0 +1,138 @@
+// rabit::analysis rulebase verifier — static meta-analysis *of the rules*.
+//
+// Every other pass in this module checks artifacts against the rulebase
+// (scripts via A1..A8, configs via CFG1..CFG11, campaigns via I1..I6, shard
+// plans via S1..S3). This pass turns the lens around: given an EngineConfig,
+// its loaded rulebase parameters (thresholds, bindings, aliases, soft walls,
+// multiplex flags) and the deck they govern, it proves properties of the
+// rules themselves:
+//
+//   R1  shadowed / subsumed rule — a stricter rule always fires first,
+//       making another dead (duplicate thresholds on one action; a soft
+//       wall wholly contained in an earlier wall of the same arm).
+//   R2  contradictory guards — no command can satisfy both, yet both claim
+//       the same device/action (a soft wall swallowing the arm's own sleep
+//       target while time multiplexing demands that arm be asleep).
+//   R3  unsatisfiable precondition — the admissible set is empty under the
+//       config schema's value domains (a threshold below a non-negative
+//       argument domain; an arm whose fixed home/sleep target lies inside
+//       its own forbidden wall).
+//   R4  dangling reference — a rule parameter names a device, action or
+//       site absent from the deck (alias chains to nowhere, walls on
+//       unknown arms, sites feeding missing stations).
+//   R5  guard-vs-analyzer divergence — the pre-flight analyzer admits what
+//       the runtime guard blocks or vice versa, found by a decidable probe
+//       sweep over every device x action (generalizing the PR 4
+//       differential seed sweep; the known class is alias canonicalization,
+//       which the engine applies and the raw-stream analyzer does not).
+//   R6  coverage gap — a deck device/action pair no rule constrains (a
+//       setpoint binding with no threshold on a doorless, siteless device).
+//   R7  threshold-interval overlap — thresholds on an alias and on its
+//       canonical action with different maxima, so the verdict depends on
+//       whether canonicalization runs before the threshold lookup.
+//   R8  provably-unreachable rule — the structural rulebase availability
+//       (core::rulebase_availability) cross-checked against the fuzzer's
+//       measured coverage map, classifying each dark key as
+//       dead-by-construction vs needs-steering (and flagging a stale map
+//       that claims coverage of a rule the config cannot fire).
+//
+// Witnesses are the soundness gate, not prose: every R1/R2/R5/R6/R7 finding
+// carries a minimal concrete command sequence, validated against the real
+// RabitEngine during synthesis, that reproduces the diagnosed behavior when
+// replayed (tests/rulecheck_test.cpp re-replays every one). R3/R4/R8 —
+// where no command can exist — carry machine-checkable proof tags instead.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "analysis/analysis.hpp"
+#include "core/config.hpp"
+#include "devices/device.hpp"
+#include "json/json.hpp"
+
+namespace rabit::analysis {
+
+// ---------------------------------------------------------------------------
+// Witnesses
+// ---------------------------------------------------------------------------
+
+/// One step of a counterexample: a concrete command plus the rule the
+/// runtime engine is expected to block it with ("" = expected admitted; the
+/// replay applies an admitted command's postconditions before the next
+/// step, so later steps see the evolved state).
+struct WitnessStep {
+  dev::Command cmd;
+  std::string expect_rule;
+};
+
+/// A replayable counterexample for one finding. `analyzer_rule` records the
+/// pre-flight analyzer's side of an R5 divergence (the error rule it raises
+/// on the same stream, "" when it admits); empty for the other families.
+struct RuleWitness {
+  std::vector<WitnessStep> steps;
+  std::string analyzer_rule;
+};
+
+/// Result of replaying a witness through a fresh RabitEngine over `config`
+/// (initialize({}), then per step: check_command, and apply_expected when
+/// admitted). Confirmed means every step's observed verdict matched its
+/// expectation.
+struct WitnessReplay {
+  bool confirmed = false;
+  std::vector<std::string> observed;  ///< blocking rule per step, "" = admitted
+  std::string detail;                 ///< first mismatch, human-readable
+};
+
+[[nodiscard]] WitnessReplay replay_witness(const core::EngineConfig& config,
+                                           const RuleWitness& witness);
+
+[[nodiscard]] json::Value witness_to_json(const RuleWitness& witness);
+[[nodiscard]] RuleWitness witness_from_json(const json::Value& doc);
+
+// ---------------------------------------------------------------------------
+// Findings
+// ---------------------------------------------------------------------------
+
+/// One R-diagnostic: the shared Diagnostic shape (rule "R1".."R8", subjects
+/// = the devices/actions/walls involved) plus its soundness evidence —
+/// exactly one of `witness` (R1/R2/R5/R6/R7: replayable counterexample) or
+/// `proof` (R3/R4/R8: machine-checkable tag, e.g.
+/// "R3:empty-admissible:pump:dose_solvent:volume:domain=[0,inf):max=-1").
+struct RuleFinding {
+  Diagnostic diagnostic;
+  std::optional<RuleWitness> witness;
+  std::string proof;
+};
+
+struct RuleCheckOptions {
+  /// The fuzzer's measured coverage keys ("rule:G1", "rung:demote", ...) —
+  /// feeds R8. Empty skips R8 entirely (the map is owned by src/scenario;
+  /// callers with access pass scenario::reachable_coverage()).
+  std::vector<std::string> measured_coverage;
+};
+
+struct RuleCheckReport {
+  std::vector<RuleFinding> findings;  ///< sorted by (rule, subjects, message)
+
+  [[nodiscard]] AnalysisReport as_report() const;  ///< diagnostics only
+  [[nodiscard]] bool has_errors() const;
+};
+
+/// Runs R1..R8 over `config`. Every witness attached to a finding has
+/// already been validated against the runtime engine during synthesis — an
+/// unconfirmable candidate is never emitted, so downstream replay gates can
+/// demand zero unconfirmed witnesses.
+[[nodiscard]] RuleCheckReport check_rules(const core::EngineConfig& config,
+                                          const RuleCheckOptions& options = {});
+
+/// Serializes one finding in the shared diagnostic schema plus its
+/// evidence: diagnostic_to_json(..) extended with "witness" and/or "proof".
+[[nodiscard]] json::Value finding_to_json(const RuleFinding& finding);
+
+/// The rabit_lint --rules --json document: {"findings": [...], "errors": N,
+/// "warnings": N, "infos": N}.
+[[nodiscard]] json::Value rulecheck_to_json(const RuleCheckReport& report);
+
+}  // namespace rabit::analysis

@@ -123,7 +123,7 @@ void ignore_evidence(const StreamSummary& a, const StreamSummary& b,
   for (const auto& [arm, names] : b.ignores) declared_by_b.insert(names.begin(), names.end());
   for (const auto& [arm, names] : a.ignores) {
     for (const std::string& name : names) {
-      if (declared_by_b.count(name) != 0) continue;
+      if (declared_by_b.contains(name)) continue;
       if (b.devices.find(name) == b.devices.end() && b.entities.find(name) == b.entities.end()) {
         continue;
       }
@@ -556,7 +556,7 @@ ShardPlan plan_shards(const EngineConfig& config, const std::vector<StreamSummar
   }
   for (const DeviceMeta& m : config.devices) {
     if (!m.is_arm || !m.sleep_box) continue;
-    if (plan.arm_envelopes.count(m.id) != 0) continue;
+    if (plan.arm_envelopes.contains(m.id)) continue;
     plan.arm_envelopes.emplace(m.id, m.sleep_box->inflated(options.parked_arm_margin));
   }
 
@@ -580,7 +580,7 @@ ShardPlan plan_shards(const EngineConfig& config, const std::vector<StreamSummar
     std::vector<std::size_t> other;
     std::set<std::size_t> side_set(side.begin(), side.end());
     for (std::size_t v : shard.streams) {
-      if (side_set.count(v) == 0) other.push_back(v);
+      if (!side_set.contains(v)) other.push_back(v);
     }
     std::vector<const ConflictEvidence*> cut_evidence;
     std::vector<std::string> subjects;
@@ -737,7 +737,7 @@ std::vector<std::string> verify_plan(const EngineConfig& config,
                              "' are in different shards but conflict: " +
                              it->second.front().detail);
       }
-      if (certified.count({i, j}) == 0) {
+      if (!certified.contains({i, j})) {
         violations.push_back("cross-shard pair ('" + streams[i].name + "', '" +
                              streams[j].name + "') has no independence certificate");
       }

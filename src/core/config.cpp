@@ -1,6 +1,7 @@
 #include "core/config.hpp"
 
 #include <algorithm>
+#include <set>
 
 #include "devices/containers.hpp"
 #include "devices/robot_arm.hpp"
@@ -753,6 +754,104 @@ json::Schema config_schema() {
     }
   })JSON";
   return json::Schema(std::string_view(kSchema));
+}
+
+std::vector<std::string> dispatchable_actions(const DeviceMeta& meta) {
+  // Mirrors what core/rules.cpp and core/tracker.cpp actually dispatch on —
+  // the same closed vocabulary the config lint's CFG4/CFG5 checks assume.
+  std::set<std::string> actions;
+  if (meta.is_arm) {
+    actions = {"move_to",      "go_home",      "go_sleep",   "pick_object",
+               "place_object", "open_gripper", "close_gripper"};
+  } else {
+    actions = {"set_door",     "run_action",      "stop_action", "draw_solvent",
+               "dose_solvent", "set_temperature", "stir",        "shake",
+               "stop",         "rotate_platter",  "start_spin",  "stop_spin",
+               "decap",        "recap",           "add_solid",   "add_liquid",
+               "start",        "status",          "measure_solubility"};
+  }
+  for (const ValueBinding& binding : meta.value_bindings) actions.insert(binding.action);
+  for (const std::string& active : meta.active_actions) actions.insert(active);
+  return {actions.begin(), actions.end()};
+}
+
+std::vector<RuleAvailability> rulebase_availability(const EngineConfig& config) {
+  bool has_arm = false;
+  std::size_t arm_count = 0;
+  bool doored_station = false;       // non-arm with a door and a box (G1/G2)
+  bool doored_active = false;        // active actions behind a door (G9/G10)
+  bool active_receptacle = false;    // active device fed by a receptacle site (G5/G6)
+  bool dosing_system = false;        // run_action / dose_solvent rule paths (G7/G8/C1)
+  bool container = false;            // something a stopper/capacity can live on
+  bool any_threshold = false;        // G11
+  bool centrifuge = false;           // ActionDevice with a rotor red dot (C2..C4)
+  bool sensor = false;               // S1
+  bool any_site = false;
+
+  auto has_receptacle_site = [&config](std::string_view device) {
+    for (const SiteMeta& s : config.sites) {
+      if (s.receptacle_device == device) return true;
+    }
+    return false;
+  };
+
+  for (const DeviceMeta& d : config.devices) {
+    if (d.is_arm) {
+      has_arm = true;
+      ++arm_count;
+    }
+    bool has_any_door = d.has_door || !d.multi_doors.empty();
+    if (!d.is_arm && has_any_door && d.box) doored_station = true;
+    if (has_any_door && !d.active_actions.empty()) doored_active = true;
+    if (!d.active_actions.empty() && has_receptacle_site(d.id)) active_receptacle = true;
+    if (d.category == dev::DeviceCategory::DosingSystem) dosing_system = true;
+    if (d.category == dev::DeviceCategory::Container &&
+        (d.capacity_mg > 0 || d.capacity_ml > 0)) {
+      container = true;
+    }
+    if (!d.thresholds.empty()) any_threshold = true;
+    if (d.category == dev::DeviceCategory::ActionDevice &&
+        d.initial_state.find("redDot") != d.initial_state.end()) {
+      centrifuge = true;
+    }
+    if (d.is_sensor && d.sensor_zone) sensor = true;
+  }
+  any_site = !config.sites.empty();
+
+  bool v2 = config.variant != Variant::Initial;
+  bool soft_wall_on_known_arm = false;
+  for (const SoftWallSpec& w : config.soft_walls) {
+    const DeviceMeta* arm = config.find_device(w.arm_id);
+    if (arm != nullptr && arm->is_arm) soft_wall_on_known_arm = true;
+  }
+
+  auto entry = [](std::string rule, bool reachable, std::string requirement) {
+    return RuleAvailability{std::move(rule), reachable, reachable ? "" : std::move(requirement)};
+  };
+
+  std::vector<RuleAvailability> out;
+  out.push_back(entry("G1", has_arm && doored_station, "no-doored-station"));
+  out.push_back(entry("G2", has_arm && doored_station, "no-doored-station"));
+  out.push_back(entry("G3", has_arm, "no-arm"));
+  out.push_back(entry("G4", has_arm && any_site, "no-pick-site"));
+  out.push_back(entry("G5", active_receptacle, "no-active-receptacle"));
+  out.push_back(entry("G6", active_receptacle, "no-active-receptacle"));
+  out.push_back(entry("G7", dosing_system && container, "no-dosing-path"));
+  out.push_back(entry("G8", dosing_system && container, "no-dosing-path"));
+  out.push_back(entry("G9", doored_active, "no-doored-active-device"));
+  out.push_back(entry("G10", doored_active, "no-doored-active-device"));
+  out.push_back(entry("G11", any_threshold, "no-threshold"));
+  out.push_back(entry("C1", config.hein_custom_rules && dosing_system && container,
+                      config.hein_custom_rules ? "no-dosing-path" : "custom-rules-off"));
+  for (const char* c : {"C2", "C3", "C4"}) {
+    out.push_back(entry(c, config.hein_custom_rules && centrifuge && has_arm,
+                        config.hein_custom_rules ? "no-centrifuge" : "custom-rules-off"));
+  }
+  out.push_back(entry("M1", v2 && config.time_multiplex && arm_count >= 2,
+                      config.time_multiplex ? "fewer-than-two-arms" : "time-multiplex-off"));
+  out.push_back(entry("M2", v2 && soft_wall_on_known_arm, "no-soft-wall"));
+  out.push_back(entry("S1", has_arm && sensor, "no-sensor-device"));
+  return out;
 }
 
 }  // namespace rabit::core

@@ -247,4 +247,31 @@ struct EngineConfig {
 /// coordinate bounds, missing fields, wrong types).
 [[nodiscard]] json::Schema config_schema();
 
+// ---------------------------------------------------------------------------
+// Rulebase introspection (consumed by the rulebase verifier, src/analysis)
+// ---------------------------------------------------------------------------
+
+/// The closed action vocabulary check_preconditions and the tracker dispatch
+/// for a device of `meta`'s category, plus its configured value bindings and
+/// active actions (aliases excluded — they resolve through
+/// DeviceMeta::canonical_action). Sorted, unique.
+[[nodiscard]] std::vector<std::string> dispatchable_actions(const DeviceMeta& meta);
+
+/// Whether one runtime rule can structurally fire on `config` at all —
+/// independent of any command stream. A rule whose configured prerequisites
+/// are absent (no sensor device for S1, no soft wall for M2, no centrifuge
+/// for C2–C4) is dead by construction: no input reaches it.
+struct RuleAvailability {
+  std::string rule;    ///< "G1".."G11", "C1".."C4", "M1", "M2", "S1"
+  bool reachable = false;
+  /// The missing configured prerequisite when !reachable (machine-readable,
+  /// e.g. "no-sensor-device"); empty when reachable.
+  std::string requirement;
+};
+
+/// Structural availability of every rulebase entry on `config`, in stable
+/// rulebase order. The R8 dark-key classifier and the coverage-map docs both
+/// key on this.
+[[nodiscard]] std::vector<RuleAvailability> rulebase_availability(const EngineConfig& config);
+
 }  // namespace rabit::core

@@ -234,7 +234,7 @@ void classify_against_solo(const CampaignSpec& spec,
     }
     for (CampaignAlert& a : report.alerts) {
       if (a.stream != s) continue;
-      a.cross_stream = solo_alerts.count({a.command_index, a.alert.rule}) == 0;
+      a.cross_stream = !solo_alerts.contains({a.command_index, a.alert.rule});
     }
   }
 }
@@ -338,7 +338,7 @@ CampaignReport Fleet::run_campaign(const CampaignSpec& spec, const analysis::Sha
   for (std::size_t s = 0; s < commands.size(); ++s) {
     for (const dev::Command& c : commands[s]) {
       device_shards[c.device].insert(shard_of[s]);
-      if (arm_ids.count(c.device) != 0) arm_owner_streams[c.device].insert(s);
+      if (arm_ids.contains(c.device)) arm_owner_streams[c.device].insert(s);
     }
   }
   std::set<std::pair<std::size_t, std::size_t>> certified;
@@ -405,7 +405,7 @@ CampaignReport Fleet::run_campaign(const CampaignSpec& spec, const analysis::Sha
     for (std::size_t s : members) {
       if (s >= commands.size()) continue;
       for (const dev::Command& c : commands[s]) {
-        if (arm_ids.count(c.device) != 0) shard_arms.insert(c.device);
+        if (arm_ids.contains(c.device)) shard_arms.insert(c.device);
       }
     }
     const std::set<std::string, std::less<>>& coordinated_arms = uncovered[shard_index];
@@ -443,7 +443,7 @@ CampaignReport Fleet::run_campaign(const CampaignSpec& spec, const analysis::Sha
     std::map<std::string, std::uint64_t, std::less<>> last_seen;
     auto read_board = [&](const std::string& arm) -> std::optional<sim::PoseSlot::Snapshot> {
       std::optional<sim::PoseSlot::Snapshot> snap;
-      if (coordinated_arms.count(arm) != 0) {
+      if (coordinated_arms.contains(arm)) {
         std::lock_guard<std::recursive_mutex> lock(rendezvous_mutex);
         ++outcome.coordination;
         if (coordination_counter != nullptr) coordination_counter->increment();
@@ -475,7 +475,7 @@ CampaignReport Fleet::run_campaign(const CampaignSpec& spec, const analysis::Sha
     if (lab.simulator) {
       lab.simulator->set_arm_state_provider(
           [&](std::string_view arm_id) -> std::optional<geom::Vec3> {
-            if (shard_arms.count(arm_id) == 0) {
+            if (!shard_arms.contains(arm_id)) {
               auto snap = read_board(std::string(arm_id));
               if (!snap) return std::nullopt;
               return snap->pose;
@@ -494,7 +494,7 @@ CampaignReport Fleet::run_campaign(const CampaignSpec& spec, const analysis::Sha
     // check's verdict.
     lab.engine->set_motion_observer([&](const core::MotionAnalysis&) {
       for (const std::string& arm : board_arms) {
-        if (shard_arms.count(arm) != 0) continue;
+        if (shard_arms.contains(arm)) continue;
         (void)read_board(arm);
       }
     });
@@ -509,10 +509,10 @@ CampaignReport Fleet::run_campaign(const CampaignSpec& spec, const analysis::Sha
     trace::Supervisor supervisor(&*lab.engine, &lab.backend, sup_options);
     supervisor.start();
     for (const auto& [s, k] : report.schedule) {
-      if (member_set.count(s) == 0) continue;
+      if (!member_set.contains(s)) continue;
       const dev::Command& cmd = commands[s][k];
       trace::SupervisedStep step;
-      if (rendezvous.count(cmd.device) != 0) {
+      if (rendezvous.contains(cmd.device)) {
         // Coordination path: this device cannot run lock-free — serialize
         // the whole step against its cross-shard peers.
         std::lock_guard<std::recursive_mutex> lock(rendezvous_mutex);
@@ -525,7 +525,7 @@ CampaignReport Fleet::run_campaign(const CampaignSpec& spec, const analysis::Sha
       ++outcome.commands_checked;
       if (step.check_wall_us > 0) outcome.latencies_us.push_back(step.check_wall_us);
       if (step.alert) outcome.alerts.push_back(CampaignAlert{s, k, *step.alert, false});
-      if (options.publish_poses && shard_arms.count(cmd.device) != 0) {
+      if (options.publish_poses && shard_arms.contains(cmd.device)) {
         const auto* arm =
             dynamic_cast<const dev::RobotArmDevice*>(lab.backend.registry().find(cmd.device));
         if (arm != nullptr) board.publish(cmd.device, arm->position_lab());
@@ -621,12 +621,12 @@ std::vector<std::string> certificate_violations(const analysis::ShardPlan& plan,
     if (mono == shard) continue;
     std::string diff;
     for (const auto& [k, rule] : mono) {
-      if (shard.count({k, rule}) == 0) {
+      if (!shard.contains({k, rule})) {
         diff += " monolithic-only (cmd " + std::to_string(k) + ", " + rule + ")";
       }
     }
     for (const auto& [k, rule] : shard) {
-      if (mono.count({k, rule}) == 0) {
+      if (!mono.contains({k, rule})) {
         diff += " sharded-only (cmd " + std::to_string(k) + ", " + rule + ")";
       }
     }

@@ -197,7 +197,7 @@ std::vector<dev::Command> safe_state_sequence(const sim::LabBackend& backend,
   std::vector<dev::Command> out;
   const dev::DeviceRegistry& registry = backend.registry();
 
-  auto skip = [&quarantined](const dev::Device& d) { return quarantined.count(d.id()) > 0; };
+  auto skip = [&quarantined](const dev::Device& d) { return quarantined.contains(d.id()); };
 
   // 1. Park every arm. Arms go first so that no door below closes onto an
   //    arm still reaching inside a station.

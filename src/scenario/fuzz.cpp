@@ -6,6 +6,7 @@
 #include <fstream>
 #include <map>
 #include <optional>
+#include <set>
 #include <sstream>
 #include <stdexcept>
 
@@ -105,6 +106,7 @@ bool oracle_safe_workflow(WorkflowKind kind) {
       return true;
     case WorkflowKind::RadDosing:
     case WorkflowKind::Dosing:
+    case WorkflowKind::DirtyV3:  // intentionally inside the assurance margin
       return false;
   }
   return false;
@@ -387,7 +389,7 @@ ScenarioResult run_scenario(const ScenarioSpec& spec) {
       oracles.insert("false_alarm:s" + std::to_string(a.stream) + ":" + a.alert.rule);
     }
   }
-  if (verdict.halted && runtime_alerts.empty() && rungs.count("halt") == 0) {
+  if (verdict.halted && runtime_alerts.empty() && !rungs.contains("halt")) {
     oracles.insert("false_halt");
   }
 
@@ -713,6 +715,15 @@ void steer(ScenarioSpec& spec, const std::string& target, std::uint64_t it_seed,
       case '8': spec.probe = ScriptProbe::LoopBudget; break;
       default: break;  // A1..A4 come from mutated streams; nothing to force
     }
+  } else if (target == "rung:demote" || target == "rule:RTA") {
+    // Demotion (and its RTA alert) needs a trajectory the preconditions
+    // admit but the predictive assurance ladder rejects: the DirtyV3 grid
+    // skim, under the V3 simulator with the assurance module armed.
+    spec.streams = {steered_stream(WorkflowKind::DirtyV3, it_seed, 0)};
+    spec.variant = core::Variant::ModifiedWithSim;
+    spec.recovery = true;
+    spec.assurance = true;
+    spec.faults = FaultGene{};
   } else if (target.rfind("rung:", 0) == 0) {
     const std::string kind = target.substr(5);
     spec.streams = {steered_stream(WorkflowKind::Testbed, it_seed, 0)};
@@ -721,10 +732,6 @@ void steer(ScenarioSpec& spec, const std::string& target, std::uint64_t it_seed,
     spec.faults.include_status = true;
     spec.faults.permanent =
         kind == "quarantine" || kind == "safe_state" || kind == "halt";
-    if (kind == "demote") {
-      spec.variant = core::Variant::ModifiedWithSim;
-      spec.assurance = true;
-    }
   } else if (target.rfind("ifr:I", 0) == 0 || target.rfind("shard:", 0) == 0) {
     // Pairs chosen so the two streams share exactly the surface the rule
     // inspects: setpoints (I4), consumable budgets (I3/I6) and the same
@@ -760,8 +767,9 @@ FuzzReport fuzz(const FuzzOptions& options) {
   FuzzReport report;
   std::vector<ScenarioSpec> pool;
   std::map<std::string, CorpusEntry> repro_by_class;
+  std::set<std::string> pinned_classes;
 
-  auto note = [&](const ScenarioSpec& spec, const ScenarioResult& result) {
+  auto note = [&](const ScenarioSpec& spec, const ScenarioResult& result, bool pinned = false) {
     ++report.iterations;
     if (report.coverage.add_all(result.coverage) > 0) {
       report.growth.emplace_back(report.iterations, report.coverage.size());
@@ -769,7 +777,14 @@ FuzzReport fuzz(const FuzzOptions& options) {
     }
     if (!result.verdict.failing()) return;
     const std::string cls = result.verdict.primary_failure_class();
-    if (repro_by_class.count(cls) > 0) return;
+    if (pinned) {
+      // A checked-in corpus entry that fails its oracle is a *triaged* known
+      // failure (pinned by the corpus gate with its verdict); claiming the
+      // class here keeps the nightly from re-reporting it as a fresh repro.
+      pinned_classes.insert(cls);
+      return;
+    }
+    if (pinned_classes.contains(cls) || repro_by_class.contains(cls)) return;
     CorpusEntry entry;
     entry.spec = spec;
     entry.verdict = result.verdict;
@@ -783,7 +798,7 @@ FuzzReport fuzz(const FuzzOptions& options) {
   };
 
   for (const ScenarioSpec& spec : options.corpus) {
-    note(spec, run_scenario(spec));
+    note(spec, run_scenario(spec), /*pinned=*/true);
   }
 
   const std::vector<std::string>& reachable = reachable_coverage();

@@ -27,6 +27,8 @@
 #include <string>
 #include <vector>
 
+#include "analysis/rulecheck.hpp"
+#include "core/config.hpp"
 #include "json/json.hpp"
 #include "scenario/scenario.hpp"
 
@@ -90,7 +92,7 @@ class CoverageMap {
 
   [[nodiscard]] const std::set<std::string>& keys() const { return keys_; }
   [[nodiscard]] std::size_t size() const { return keys_.size(); }
-  [[nodiscard]] bool covered(const std::string& key) const { return keys_.count(key) > 0; }
+  [[nodiscard]] bool covered(const std::string& key) const { return keys_.contains(key); }
   /// Keys sharing a family prefix ("rung:", "cfg:", ...).
   [[nodiscard]] std::size_t count_prefix(std::string_view prefix) const;
 
@@ -159,6 +161,41 @@ struct CorpusEntry {
 /// Returns false and fills *error on I/O failure.
 bool save_corpus_entry(const std::string& dir, const CorpusEntry& entry,
                        std::string* error = nullptr);
+
+// ---------------------------------------------------------------------------
+// Rulebase-verifier witnesses (src/analysis/rulecheck) in corpus-spec form
+// ---------------------------------------------------------------------------
+
+/// Wraps one rulecheck finding as a self-contained corpus document:
+/// {"name", "config" (full config_to_json), "diagnostic", "witness"?,
+/// "proof"?}. `rabit_fuzz --replay` recognizes the "witness"/"proof" keys
+/// and confirms the counterexample against a fresh engine instead of
+/// replaying a campaign spec.
+[[nodiscard]] json::Value witness_entry_to_json(const std::string& name,
+                                               const core::EngineConfig& config,
+                                               const analysis::RuleFinding& finding);
+
+/// True when `doc` is a rulecheck witness document rather than a campaign
+/// corpus entry (it carries a "config" plus a "witness" or "proof" key).
+[[nodiscard]] bool is_witness_entry(const json::Value& doc);
+
+struct WitnessEntryReplay {
+  std::string name;
+  bool confirmed = false;
+  std::string detail;  ///< mismatch or proof-tag summary, human-readable
+};
+
+/// Replays a witness document: witness steps run through a fresh engine
+/// over the embedded config (every step's verdict must match); a proof-only
+/// document re-runs check_rules over the embedded config and confirms the
+/// same proof tag is still derived.
+[[nodiscard]] WitnessEntryReplay replay_witness_entry(const json::Value& doc);
+
+/// The rulebase verifier with the fuzzer's measured coverage map wired into
+/// R8 — the dark-key classification (dead-by-construction vs needs-steering)
+/// the coverage report cites.
+[[nodiscard]] analysis::RuleCheckReport check_rules_with_coverage(
+    const core::EngineConfig& config);
 
 // ---------------------------------------------------------------------------
 // The fuzzing engine

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "bugs/bugs.hpp"
+#include "devices/robot_arm.hpp"
 #include "rad/rad.hpp"
 #include "script/workflows.hpp"
 #include "sim/deck.hpp"
@@ -37,6 +38,7 @@ std::string_view to_string(WorkflowKind k) {
     case WorkflowKind::Hotplate: return "hotplate";
     case WorkflowKind::Dosing: return "dosing";
     case WorkflowKind::Park: return "park";
+    case WorkflowKind::DirtyV3: return "dirty_v3";
   }
   return "?";
 }
@@ -342,6 +344,33 @@ std::vector<Command> workflow_commands(const sim::LabBackend& staging, WorkflowK
       cmds.push_back(make_cmd(ids::kNed2, "go_sleep"));
       return cmds;
     }
+    case WorkflowKind::DirtyV3: {
+      // A V3-only dirty trajectory: the move skims 1.5-2.5 cm above the vial
+      // grid (top z = 0.06). Every obstacle stays clear, so precondition
+      // checking and the plain simulator admit it — but the clearance sits
+      // inside the runtime-assurance margin (3 cm), so the predictive ladder
+      // demotes the move to the fallback controller (rung:demote, rule:RTA).
+      // x/y jitter stays >= 3.5 cm from every grid slot site, clear of G4.
+      double x = std::uniform_real_distribution<double>(0.33, 0.37)(rng);
+      double y = std::uniform_real_distribution<double>(0.23, 0.27)(rng);
+      double clearance = std::uniform_real_distribution<double>(0.015, 0.025)(rng);
+      const auto* arm =
+          dynamic_cast<const dev::RobotArmDevice*>(staging.registry().find(ids::kViperX));
+      if (arm == nullptr) throw std::logic_error("scenario: deck has no viperx arm");
+      geom::Vec3 local = arm->to_local(geom::Vec3(x, y, 0.06 + clearance));
+      std::vector<Command> cmds;
+      cmds.push_back(make_cmd(ids::kViperX, "move_to", [&] {
+        json::Object o;
+        json::Array p;
+        p.emplace_back(local.x);
+        p.emplace_back(local.y);
+        p.emplace_back(local.z);
+        o["position"] = std::move(p);
+        return o;
+      }()));
+      cmds.push_back(make_cmd(ids::kViperX, "go_sleep"));
+      return cmds;
+    }
   }
   throw std::logic_error("scenario: unhandled workflow kind");
 }
@@ -590,7 +619,8 @@ json::Schema spec_schema() {
           "type": "object",
           "required": ["workflow"],
           "properties": {
-            "workflow": {"enum": ["testbed", "rad_dosing", "hotplate", "dosing", "park"]},
+            "workflow": {"enum": ["testbed", "rad_dosing", "hotplate", "dosing", "park",
+                                  "dirty_v3"]},
             "seed": {"type": "integer"},
             "mutations": {"type": "integer", "minimum": 0},
             "prefix": {"type": "integer", "minimum": 0}

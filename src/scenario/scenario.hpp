@@ -51,8 +51,9 @@ enum class WorkflowKind {
   Hotplate,   ///< setpoint writes + stir (I4 setpoint races across streams)
   Dosing,     ///< station dosing without arm motion (I1/I3/I6 budgets)
   Park,       ///< arms home + sleep (trivially safe; multiplexing token)
+  DirtyV3,    ///< a grid skim inside the assurance margin (RTA demote path)
 };
-inline constexpr std::size_t kWorkflowKinds = 5;
+inline constexpr std::size_t kWorkflowKinds = 6;
 
 [[nodiscard]] std::string_view to_string(WorkflowKind k);
 

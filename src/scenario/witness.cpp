@@ -1,0 +1,65 @@
+// Rulebase-verifier witnesses in corpus-spec form: self-contained JSON
+// documents `rabit_fuzz --replay` (and the sanitizer CI jobs) confirm
+// against a fresh engine, plus the R8 dark-key classification that marries
+// the verifier to the fuzzer's measured coverage map.
+#include <algorithm>
+#include <utility>
+
+#include "analysis/rulecheck.hpp"
+#include "core/config.hpp"
+#include "scenario/fuzz.hpp"
+
+namespace rabit::scenario {
+
+json::Value witness_entry_to_json(const std::string& name, const core::EngineConfig& config,
+                                  const analysis::RuleFinding& finding) {
+  json::Object root;
+  root["name"] = name;
+  root["config"] = core::config_to_json(config);
+  root["diagnostic"] = analysis::diagnostic_to_json(finding.diagnostic);
+  if (finding.witness) root["witness"] = analysis::witness_to_json(*finding.witness);
+  if (!finding.proof.empty()) root["proof"] = finding.proof;
+  return json::Value(std::move(root));
+}
+
+bool is_witness_entry(const json::Value& doc) {
+  if (!doc.is_object()) return false;
+  const json::Object& root = doc.as_object();
+  return root.contains("config") && (root.contains("witness") || root.contains("proof"));
+}
+
+WitnessEntryReplay replay_witness_entry(const json::Value& doc) {
+  WitnessEntryReplay result;
+  const json::Object& root = doc.as_object();
+  result.name = root.contains("name") ? root.at("name").as_string() : "<unnamed>";
+  core::EngineConfig config = core::config_from_json(root.at("config"));
+
+  if (const json::Value* witness_doc = doc.find("witness")) {
+    analysis::RuleWitness witness = analysis::witness_from_json(*witness_doc);
+    analysis::WitnessReplay replay = analysis::replay_witness(config, witness);
+    result.confirmed = replay.confirmed;
+    result.detail = replay.confirmed
+                        ? std::to_string(witness.steps.size()) + " step(s) reproduced"
+                        : replay.detail;
+    return result;
+  }
+
+  // Proof-only document (R3/R4/R8): re-derive the findings and confirm the
+  // same machine-checkable tag still falls out of the config.
+  std::string proof = root.at("proof").as_string();
+  analysis::RuleCheckReport report = check_rules_with_coverage(config);
+  result.confirmed =
+      std::any_of(report.findings.begin(), report.findings.end(),
+                  [&proof](const analysis::RuleFinding& f) { return f.proof == proof; });
+  result.detail = result.confirmed ? "proof tag re-derived: " + proof
+                                   : "proof tag no longer derived: " + proof;
+  return result;
+}
+
+analysis::RuleCheckReport check_rules_with_coverage(const core::EngineConfig& config) {
+  analysis::RuleCheckOptions options;
+  options.measured_coverage = reachable_coverage();
+  return analysis::check_rules(config, options);
+}
+
+}  // namespace rabit::scenario

@@ -682,7 +682,7 @@ SupervisedStep Supervisor::step_impl(const dev::Command& cmd) {
     return result;
   }
 
-  if (options_.recovery && quarantined_.count(cmd.device) > 0) {
+  if (options_.recovery && quarantined_.contains(cmd.device)) {
     // A quarantined device is out of service until a human clears it.
     record.outcome = Outcome::Blocked;
     record.alert_rule = "QUARANTINE";

@@ -528,6 +528,35 @@ TEST(ConfigLint, UndeclaredArmOverlapIsCFG9) {
   EXPECT_EQ(find_rule(analysis::lint_config(walled), "CFG9"), nullptr);
 }
 
+TEST(ConfigLint, TouchingWorkspaceEnvelopesAreStillCFG9) {
+  // Zero-margin boundary: reach envelopes that share exactly one face.
+  // AABB intersection is closed, so a zero-volume shared region still
+  // counts — the arms can meet on that plane. One millimetre of daylight
+  // between the envelopes clears the warning.
+  auto make_arm = [](const std::string& id, double base_x) {
+    core::DeviceMeta arm;
+    arm.id = id;
+    arm.is_arm = true;
+    arm.base = geom::Transform::translation(geom::Vec3(base_x, 0.0, 0.0));
+    // Home/sleep within 0.24 of the base keep max_arm_reach at its 0.6 floor,
+    // making the envelope extents exact (no 2.5x multiplier in play).
+    arm.home_position_lab = geom::Vec3(base_x + 0.1, 0.0, 0.1);
+    arm.sleep_position_lab = geom::Vec3(base_x + 0.1, 0.0, 0.05);
+    return arm;
+  };
+  core::EngineConfig config;
+  config.time_multiplex = false;
+  config.devices = {make_arm("arm_a", 0.0), make_arm("arm_b", 1.2)};
+
+  AnalysisReport touching = analysis::lint_config(config);
+  const analysis::Diagnostic* d = find_rule(touching, "CFG9");
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->severity, Severity::Warning);
+
+  config.devices[1] = make_arm("arm_b", 1.201);
+  EXPECT_EQ(find_rule(analysis::lint_config(config), "CFG9"), nullptr);
+}
+
 TEST(ConfigLint, CapacityBelowSummedDosingThresholdsIsCFG10) {
   core::EngineConfig config = testbed_config();
   // Two devices with mass-dosing thresholds of 6 mg each: any single command

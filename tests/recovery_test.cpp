@@ -135,6 +135,34 @@ TEST(RecoveryPolicyValidation, ShortWatchdogIsAdvisoryOnly) {
   EXPECT_NE(issues[0].message.find("worst-case"), std::string::npos);
 }
 
+TEST(RecoveryPolicyValidation, ExactBoundaryValuesAreClean) {
+  // Every validate() comparison sits exactly at its threshold: factor == 1,
+  // jitter == 0, watchdog == one worst-case ladder. All are the last
+  // admissible values, so the policy must lint clean — a drift to >= / <=
+  // in any comparison flips this test.
+  recovery::RecoveryPolicy edge;
+  edge.backoff_factor = 1.0;
+  edge.backoff_jitter = 0.0;
+  edge.watchdog_timeout_s = recovery::worst_case_ladder_s(edge);
+  EXPECT_TRUE(recovery::validate(edge).empty());
+  EXPECT_TRUE(analysis::lint_recovery_policy(edge).diagnostics.empty());
+
+  // One ulp-scale step past the jitter boundary is fatal: jitter == 1 can
+  // zero the wait entirely.
+  recovery::RecoveryPolicy over = edge;
+  over.backoff_jitter = 1.0;
+  // Jitter feeds the worst-case ladder; re-pin the watchdog at the new
+  // ladder so only the jitter rule decides the outcome.
+  over.watchdog_timeout_s = recovery::worst_case_ladder_s(over);
+  std::vector<recovery::PolicyIssue> issues = recovery::validate(over);
+  ASSERT_EQ(issues.size(), 1u);
+  EXPECT_TRUE(issues[0].fatal);
+  analysis::AnalysisReport report = analysis::lint_recovery_policy(over);
+  ASSERT_EQ(report.diagnostics.size(), 1u);
+  EXPECT_EQ(report.diagnostics[0].severity, analysis::Severity::Error);
+  EXPECT_EQ(report.diagnostics[0].rule, "CFG11");
+}
+
 TEST(RecoveryPolicyValidation, Cfg11LintMirrorsValidate) {
   recovery::RecoveryPolicy bad;
   bad.backoff_factor = 0.9;      // fatal → Error

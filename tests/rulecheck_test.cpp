@@ -1,0 +1,356 @@
+// Tests for the rulebase verifier (R1..R8) — including the differential
+// gate: every witness attached to any finding in this suite is re-replayed
+// through the real RabitEngine and must confirm (zero unconfirmed
+// witnesses), and every witnessless finding must carry a proof tag.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "analysis/rulecheck.hpp"
+#include "core/config.hpp"
+#include "scenario/fuzz.hpp"
+#include "sim/deck.hpp"
+
+using namespace rabit;
+using analysis::RuleCheckOptions;
+using analysis::RuleCheckReport;
+using analysis::RuleFinding;
+using analysis::Severity;
+
+namespace {
+
+core::EngineConfig testbed_config() {
+  sim::LabBackend backend(sim::testbed_profile());
+  sim::build_hein_testbed_deck(backend);
+  return core::config_from_backend(backend, core::Variant::Modified);
+}
+
+core::DeviceMeta* find_mutable(core::EngineConfig& config, std::string_view id) {
+  for (core::DeviceMeta& d : config.devices) {
+    if (d.id == id) return &d;
+  }
+  return nullptr;
+}
+
+std::vector<const RuleFinding*> findings_for(const RuleCheckReport& report,
+                                             std::string_view rule) {
+  std::vector<const RuleFinding*> out;
+  for (const RuleFinding& f : report.findings) {
+    if (f.diagnostic.rule == rule) out.push_back(&f);
+  }
+  return out;
+}
+
+bool any_proof(const RuleCheckReport& report, const std::string& tag) {
+  return std::any_of(report.findings.begin(), report.findings.end(),
+                     [&tag](const RuleFinding& f) { return f.proof == tag; });
+}
+
+// The mutated configs the suite diagnoses; the differential gate re-replays
+// every witness each of them produces.
+core::EngineConfig duplicate_threshold_config() {
+  core::EngineConfig config = testbed_config();
+  core::DeviceMeta* hotplate = find_mutable(config, "hotplate");
+  hotplate->thresholds.push_back(core::ThresholdSpec{"set_temperature", "celsius", 100.0});
+  return config;
+}
+
+core::EngineConfig nested_wall_config() {
+  core::EngineConfig config = testbed_config();
+  config.soft_walls.push_back(core::SoftWallSpec{
+      "ned2", geom::Aabb::from_center({0.70, 0.40, 0.20}, {0.40, 0.40, 0.40})});
+  config.soft_walls.push_back(core::SoftWallSpec{
+      "ned2", geom::Aabb::from_center({0.70, 0.40, 0.20}, {0.10, 0.10, 0.10})});
+  return config;
+}
+
+core::EngineConfig wall_on_sleep_config() {
+  core::EngineConfig config = testbed_config();
+  const core::DeviceMeta* viperx = config.find_device("viperx");
+  config.soft_walls.push_back(core::SoftWallSpec{
+      "viperx", geom::Aabb::from_center(viperx->sleep_position_lab, {0.10, 0.10, 0.10})});
+  return config;
+}
+
+core::EngineConfig negative_threshold_config() {
+  core::EngineConfig config = testbed_config();
+  core::DeviceMeta* pump = find_mutable(config, "syringe_pump");
+  pump->thresholds.push_back(core::ThresholdSpec{"dose_solvent", "volume", -1.0});
+  return config;
+}
+
+core::EngineConfig dangling_reference_config() {
+  core::EngineConfig config = testbed_config();
+  find_mutable(config, "camera")->action_aliases.emplace_back("zap", "teleport");
+  config.soft_walls.push_back(core::SoftWallSpec{
+      "ghost", geom::Aabb::from_center({1.0, 1.0, 0.2}, {0.1, 0.1, 0.1})});
+  core::SiteMeta limbo;
+  limbo.name = "limbo";
+  limbo.lab_position = {1.0, 1.0, 0.05};
+  limbo.grid_device = "no_such_grid";
+  config.sites.push_back(limbo);
+  return config;
+}
+
+core::EngineConfig alias_divergence_config() {
+  core::EngineConfig config = testbed_config();
+  find_mutable(config, "hotplate")->action_aliases.emplace_back("warm", "set_temperature");
+  return config;
+}
+
+core::EngineConfig overlapping_threshold_config() {
+  core::EngineConfig config = testbed_config();
+  core::DeviceMeta* hotplate = find_mutable(config, "hotplate");
+  hotplate->action_aliases.emplace_back("heat", "set_temperature");
+  hotplate->thresholds.push_back(core::ThresholdSpec{"heat", "celsius", 80.0});
+  return config;
+}
+
+std::vector<core::EngineConfig> all_diagnosed_configs() {
+  std::vector<core::EngineConfig> configs;
+  configs.push_back(testbed_config());
+  configs.push_back(duplicate_threshold_config());
+  configs.push_back(nested_wall_config());
+  configs.push_back(wall_on_sleep_config());
+  configs.push_back(negative_threshold_config());
+  configs.push_back(dangling_reference_config());
+  configs.push_back(alias_divergence_config());
+  configs.push_back(overlapping_threshold_config());
+  return configs;
+}
+
+}  // namespace
+
+// --- the clean baseline ------------------------------------------------------
+
+TEST(RuleCheck, TestbedIsFreeOfErrorFindings) {
+  RuleCheckReport report = scenario::check_rules_with_coverage(testbed_config());
+  for (const RuleFinding& f : report.findings) {
+    EXPECT_NE(f.diagnostic.severity, Severity::Error)
+        << f.diagnostic.rule << ": " << f.diagnostic.message;
+  }
+  EXPECT_FALSE(report.has_errors());
+}
+
+TEST(RuleCheck, EmptyCoverageSkipsR8) {
+  RuleCheckReport report = analysis::check_rules(testbed_config());
+  EXPECT_TRUE(findings_for(report, "R8").empty());
+}
+
+// --- R1: shadowed / subsumed rules -------------------------------------------
+
+TEST(RuleCheck, R1DuplicateThresholdShadowsTheSecond) {
+  RuleCheckReport report = analysis::check_rules(duplicate_threshold_config());
+  auto r1 = findings_for(report, "R1");
+  ASSERT_EQ(r1.size(), 1u);
+  EXPECT_EQ(r1[0]->diagnostic.severity, Severity::Error);
+  ASSERT_TRUE(r1[0]->witness.has_value());
+  // First-match is 150, the dead spec claims 100: 150 itself distinguishes
+  // them (dead spec would block it, the engine admits it).
+  ASSERT_EQ(r1[0]->witness->steps.size(), 1u);
+  EXPECT_EQ(r1[0]->witness->steps[0].cmd.action, "set_temperature");
+  EXPECT_EQ(r1[0]->witness->steps[0].expect_rule, "");
+}
+
+TEST(RuleCheck, R1NestedSoftWallIsSubsumed) {
+  RuleCheckReport report = analysis::check_rules(nested_wall_config());
+  auto r1 = findings_for(report, "R1");
+  ASSERT_EQ(r1.size(), 1u);
+  ASSERT_TRUE(r1[0]->witness.has_value());
+  EXPECT_EQ(r1[0]->witness->steps[0].cmd.device, "ned2");
+  EXPECT_EQ(r1[0]->witness->steps[0].cmd.action, "move_to");
+  EXPECT_EQ(r1[0]->witness->steps[0].expect_rule, "M2");
+}
+
+// --- R2 / R3: contradictions and empty admissible sets -----------------------
+
+TEST(RuleCheck, R2WallSwallowingSleepTargetContradictsMultiplexing) {
+  RuleCheckReport report = analysis::check_rules(wall_on_sleep_config());
+  auto r2 = findings_for(report, "R2");
+  ASSERT_EQ(r2.size(), 1u);
+  EXPECT_EQ(r2[0]->diagnostic.severity, Severity::Error);
+  ASSERT_TRUE(r2[0]->witness.has_value());
+  // Minimal contradiction story: wake viperx, M2 refuses its go_sleep, M1
+  // then refuses the other arm's motion — the fleet is wedged.
+  const analysis::RuleWitness& w = *r2[0]->witness;
+  ASSERT_EQ(w.steps.size(), 3u);
+  EXPECT_EQ(w.steps[0].cmd.action, "go_home");
+  EXPECT_EQ(w.steps[0].expect_rule, "");
+  EXPECT_EQ(w.steps[1].cmd.action, "go_sleep");
+  EXPECT_EQ(w.steps[1].expect_rule, "M2");
+  EXPECT_EQ(w.steps[2].expect_rule, "M1");
+
+  // The same wall also makes go_sleep unsatisfiable outright: R3 proof.
+  EXPECT_TRUE(any_proof(report, "R3:fixed-target-in-wall:viperx:sleep"));
+}
+
+TEST(RuleCheck, R3NegativeThresholdOnNonNegativeDomain) {
+  RuleCheckReport report = analysis::check_rules(negative_threshold_config());
+  auto r3 = findings_for(report, "R3");
+  ASSERT_EQ(r3.size(), 1u);
+  EXPECT_EQ(r3[0]->diagnostic.severity, Severity::Error);
+  EXPECT_FALSE(r3[0]->witness.has_value());
+  EXPECT_EQ(r3[0]->proof,
+            "R3:empty-admissible:syringe_pump:dose_solvent:volume:domain=[0,inf):max=-1");
+}
+
+// --- R4: dangling references -------------------------------------------------
+
+TEST(RuleCheck, R4DanglingReferencesCarryProofTags) {
+  RuleCheckReport report = analysis::check_rules(dangling_reference_config());
+  EXPECT_TRUE(any_proof(report, "R4:alias-to-unknown:camera:zap->teleport"));
+  EXPECT_TRUE(any_proof(report, "R4:wall-on-unknown-arm:ghost"));
+  EXPECT_TRUE(any_proof(report, "R4:site-to-unknown-device:limbo:no_such_grid"));
+  // The wall and site are errors; the alias is a warning.
+  for (const RuleFinding* f : findings_for(report, "R4")) {
+    if (f->proof.rfind("R4:alias", 0) == 0) {
+      EXPECT_EQ(f->diagnostic.severity, Severity::Warning);
+    } else {
+      EXPECT_EQ(f->diagnostic.severity, Severity::Error);
+    }
+  }
+}
+
+// --- R5 / R7: alias canonicalization fault lines -----------------------------
+
+TEST(RuleCheck, R5AliasDivergenceBetweenGuardAndAnalyzer) {
+  RuleCheckReport report = analysis::check_rules(alias_divergence_config());
+  auto r5 = findings_for(report, "R5");
+  ASSERT_EQ(r5.size(), 1u);
+  EXPECT_EQ(r5[0]->diagnostic.severity, Severity::Error);
+  ASSERT_TRUE(r5[0]->witness.has_value());
+  const analysis::RuleWitness& w = *r5[0]->witness;
+  ASSERT_EQ(w.steps.size(), 1u);
+  // The engine canonicalizes 'warm' -> set_temperature and blocks on the
+  // 150-degree threshold; the raw-stream analyzer admits the alias.
+  EXPECT_EQ(w.steps[0].cmd.device, "hotplate");
+  EXPECT_EQ(w.steps[0].cmd.action, "warm");
+  EXPECT_EQ(w.steps[0].expect_rule, "G11");
+  EXPECT_EQ(w.analyzer_rule, "");
+}
+
+TEST(RuleCheck, R7AliasAndCanonicalThresholdsDisagree) {
+  RuleCheckReport report = analysis::check_rules(overlapping_threshold_config());
+  auto r7 = findings_for(report, "R7");
+  ASSERT_EQ(r7.size(), 1u);
+  EXPECT_EQ(r7[0]->diagnostic.severity, Severity::Error);
+  ASSERT_TRUE(r7[0]->witness.has_value());
+  // Witness sits in the gap (80, 150]: the alias bound would block it, the
+  // canonical bound the engine actually applies admits it.
+  ASSERT_EQ(r7[0]->witness->steps.size(), 1u);
+  EXPECT_EQ(r7[0]->witness->steps[0].cmd.action, "heat");
+  EXPECT_EQ(r7[0]->witness->steps[0].expect_rule, "");
+}
+
+// --- R8: dark-key classification against the measured map --------------------
+
+TEST(RuleCheck, R8ClassifiesDarkKeysAndFlagsStaleMaps) {
+  RuleCheckOptions options;
+  options.measured_coverage = {"rule:G1", "rule:S1"};  // S1 needs a sensor: stale
+  RuleCheckReport report = analysis::check_rules(testbed_config(), options);
+  EXPECT_TRUE(any_proof(report, "R8:stale:S1:missing=no-sensor-device"));
+  EXPECT_TRUE(any_proof(report, "R8:dead:M2:missing=no-soft-wall"));
+  EXPECT_TRUE(any_proof(report, "R8:steer:C2"));
+  EXPECT_TRUE(report.has_errors());  // the stale claim is an error
+}
+
+TEST(RuleCheck, R8WithRealCoverageMapHasNoStaleClaims) {
+  RuleCheckReport report = scenario::check_rules_with_coverage(testbed_config());
+  for (const RuleFinding* f : findings_for(report, "R8")) {
+    EXPECT_NE(f->proof.rfind("R8:stale:", 0), 0u) << f->proof;
+  }
+}
+
+// --- the differential gate ---------------------------------------------------
+
+// Every witness any diagnosed config produces must replay through the real
+// engine and confirm; every witnessless finding must carry a proof tag.
+// Zero unconfirmed witnesses, zero prose-only findings.
+TEST(RuleCheck, DifferentialGateReplaysEveryWitness) {
+  std::size_t witnesses = 0;
+  std::size_t proofs = 0;
+  for (const core::EngineConfig& config : all_diagnosed_configs()) {
+    RuleCheckReport report = scenario::check_rules_with_coverage(config);
+    for (const RuleFinding& f : report.findings) {
+      EXPECT_NE(f.witness.has_value(), !f.proof.empty())
+          << f.diagnostic.rule << " must carry exactly one of witness/proof";
+      if (f.witness) {
+        ++witnesses;
+        analysis::WitnessReplay replay = analysis::replay_witness(config, *f.witness);
+        EXPECT_TRUE(replay.confirmed)
+            << f.diagnostic.rule << " witness failed to replay: " << replay.detail;
+      } else {
+        ++proofs;
+        EXPECT_FALSE(f.proof.empty());
+      }
+    }
+  }
+  // The suite exercises both evidence kinds in volume.
+  EXPECT_GE(witnesses, 5u);
+  EXPECT_GE(proofs, 5u);
+}
+
+// --- serialization and determinism -------------------------------------------
+
+TEST(RuleCheck, WitnessJsonRoundTrips) {
+  analysis::RuleWitness witness;
+  dev::Command cmd;
+  cmd.device = "hotplate";
+  cmd.action = "warm";
+  json::Object args;
+  args["celsius"] = 151.0;
+  cmd.args = json::Value(std::move(args));
+  witness.steps.push_back(analysis::WitnessStep{cmd, "G11"});
+  witness.analyzer_rule = "";
+
+  analysis::RuleWitness back = analysis::witness_from_json(analysis::witness_to_json(witness));
+  ASSERT_EQ(back.steps.size(), 1u);
+  EXPECT_EQ(back.steps[0].cmd.device, "hotplate");
+  EXPECT_EQ(back.steps[0].cmd.action, "warm");
+  EXPECT_EQ(back.steps[0].cmd.args, cmd.args);
+  EXPECT_EQ(back.steps[0].expect_rule, "G11");
+  EXPECT_EQ(back.analyzer_rule, "");
+}
+
+TEST(RuleCheck, FindingsAreSortedForDeterministicEmission) {
+  core::EngineConfig config = dangling_reference_config();
+  config.soft_walls.push_back(core::SoftWallSpec{
+      "viperx",
+      geom::Aabb::from_center(config.find_device("viperx")->sleep_position_lab,
+                              {0.10, 0.10, 0.10})});
+  RuleCheckReport first = scenario::check_rules_with_coverage(config);
+  RuleCheckReport second = scenario::check_rules_with_coverage(config);
+  ASSERT_EQ(first.findings.size(), second.findings.size());
+  for (std::size_t i = 0; i < first.findings.size(); ++i) {
+    EXPECT_EQ(first.findings[i].diagnostic.rule, second.findings[i].diagnostic.rule);
+    EXPECT_EQ(first.findings[i].diagnostic.message, second.findings[i].diagnostic.message);
+  }
+  EXPECT_TRUE(std::is_sorted(first.findings.begin(), first.findings.end(),
+                             [](const RuleFinding& a, const RuleFinding& b) {
+                               return a.diagnostic.rule < b.diagnostic.rule;
+                             }));
+}
+
+// --- corpus-spec witness documents (rabit_fuzz --replay) ---------------------
+
+TEST(RuleCheck, WitnessEntryDocumentsReplayConfirmed) {
+  core::EngineConfig config = alias_divergence_config();
+  RuleCheckReport report = scenario::check_rules_with_coverage(config);
+  std::size_t replayed = 0;
+  for (const RuleFinding& f : report.findings) {
+    if (!f.witness && f.proof.empty()) continue;
+    json::Value doc = scenario::witness_entry_to_json("doc", config, f);
+    ASSERT_TRUE(scenario::is_witness_entry(doc));
+    scenario::WitnessEntryReplay replay = scenario::replay_witness_entry(doc);
+    EXPECT_TRUE(replay.confirmed) << f.diagnostic.rule << ": " << replay.detail;
+    ++replayed;
+  }
+  EXPECT_GE(replayed, 2u);  // at least the R5 witness and an R8 proof
+
+  // A campaign corpus entry is not a witness document.
+  json::Object not_witness;
+  not_witness["spec"] = json::Value(json::Object{});
+  EXPECT_FALSE(scenario::is_witness_entry(json::Value(std::move(not_witness))));
+}

@@ -175,13 +175,14 @@ TEST(ScenarioShrink, ResultStillSatisfiesPredicateAndNeverGrows) {
 
 TEST(ScenarioCoverage, FixedBudgetClearsTheGate) {
   // The acceptance gate from the tool, pinned as a unit test: a fixed seed
-  // and iteration budget must reach >= 80% of the measured reachable map.
+  // and iteration budget must reach >= 90% of the measured reachable map
+  // (the dirty_v3 steering gene lifted the 400-iteration floor to 42/44).
   scenario::FuzzOptions options;
   options.seed = 1;
   options.iterations = 400;
   scenario::FuzzReport report = scenario::fuzz(options);
   EXPECT_TRUE(report.repros.empty());
-  EXPECT_GE(report.coverage_fraction(), 0.8)
+  EXPECT_GE(report.coverage_fraction(), 0.9)
       << report.coverage.size() << " keys of " << scenario::reachable_coverage().size();
   // Coverage growth is monotone and actually grows.
   for (std::size_t i = 1; i < report.growth.size(); ++i) {

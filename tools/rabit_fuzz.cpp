@@ -74,6 +74,14 @@ int replay_entry(const scenario::CorpusEntry& entry) {
 
 int replay_file(const std::string& path) {
   json::Value doc = json::parse(read_file(path));
+  // Rulebase-verifier witness documents (rabit_lint --rules --witness-dir)
+  // replay through a fresh engine instead of a campaign run.
+  if (scenario::is_witness_entry(doc)) {
+    scenario::WitnessEntryReplay replay = scenario::replay_witness_entry(doc);
+    std::printf("witness %s: %s (%s)\n", replay.name.c_str(),
+                replay.confirmed ? "CONFIRMED" : "UNCONFIRMED", replay.detail.c_str());
+    return replay.confirmed ? 0 : 1;
+  }
   // Accept both a full corpus entry and a bare spec (no pinned verdict).
   if (doc.find("spec") != nullptr) {
     return replay_entry(scenario::corpus_entry_from_json(doc));

@@ -17,6 +17,17 @@
 //                            built-in testbed config, as emitted by
 //                            `rabit_validate --template`)
 //     --config-only          lint only the configuration and exit
+//     --rules                run the rulebase verifier (R1..R8): certify the
+//                            rules themselves — shadowed/contradictory/
+//                            unsatisfiable/dangling rules, guard-vs-analyzer
+//                            divergence, coverage gaps, order-dependent
+//                            thresholds, dark-key classification against the
+//                            fuzzer's measured coverage map. Every R1/R2/R5/
+//                            R6/R7 finding prints a replayable witness;
+//                            R3/R4/R8 print machine-checkable proof tags
+//     --witness-dir <dir>    with --rules: write each witness/proof finding
+//                            as a self-contained corpus document
+//                            (`rabit_fuzz --replay` confirms it)
 //     --fleet <campaign.json> summarize every stream of the campaign and run
 //                            the pairwise interference checks (I1..I6)
 //     --shard-plan           with --fleet: build the static shard plan
@@ -38,6 +49,7 @@
 // truncated report under --strict), 2 usage.
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <string>
@@ -45,10 +57,12 @@
 
 #include "analysis/analysis.hpp"
 #include "analysis/interference.hpp"
+#include "analysis/rulecheck.hpp"
 #include "bugs/bugs.hpp"
 #include "core/config.hpp"
 #include "fleet/fleet.hpp"
 #include "recovery/recovery.hpp"
+#include "scenario/fuzz.hpp"
 #include "sim/deck.hpp"
 
 using namespace rabit;
@@ -60,6 +74,8 @@ void print_usage(std::FILE* out, const char* argv0) {
                "usage: %s [options] [script.lab ...]\n"
                "  --config <file.json>   lint against this configuration\n"
                "  --config-only          lint only the configuration and exit\n"
+               "  --rules                verify the rulebase itself (R1..R8)\n"
+               "  --witness-dir <dir>    with --rules: write replayable witness files\n"
                "  --fleet <campaign.json> interference-check a fleet campaign\n"
                "  --shard-plan           with --fleet: print the static shard plan\n"
                "  --max-shard-streams <n> S1 bound for --shard-plan (default 0)\n"
@@ -77,8 +93,11 @@ core::EngineConfig builtin_testbed_config() {
   return core::config_from_backend(backend, core::Variant::Modified);
 }
 
-void print_report(const std::string& subject, const analysis::AnalysisReport& report,
+void print_report(const std::string& subject, const analysis::AnalysisReport& unsorted,
                   bool as_json) {
+  // Deterministic emission order — (code, stream, location) — so golden
+  // tests and CI diffs are byte-stable regardless of analysis order.
+  analysis::AnalysisReport report = analysis::sorted_for_emission(unsorted);
   if (as_json) {
     json::Value doc = analysis::report_to_json(report);
     json::Object wrapped;
@@ -104,6 +123,65 @@ void print_report(const std::string& subject, const analysis::AnalysisReport& re
   if (report.truncated) {
     std::printf("  (report TRUNCATED by the analysis budget — findings may be missing)\n");
   }
+}
+
+/// --rules mode: the rulebase verifier (R1..R8) with the fuzzer's measured
+/// coverage map wired into R8. Prints each finding with its witness command
+/// sequence or proof tag; optionally writes every finding as a replayable
+/// corpus document under `witness_dir`. Returns true when the report holds
+/// error-level findings.
+bool run_rulecheck(const std::string& subject, const core::EngineConfig& config, bool builtin,
+                   bool as_json, const std::string& witness_dir) {
+  // The fuzzer's measured coverage map describes the builtin testbed deck;
+  // cross-checking it against a user-supplied deck would flag every
+  // difference as "stale". Custom configs get the structural R1..R7 passes
+  // (plus R8's dead/steer classification over an empty map, i.e. skipped).
+  analysis::RuleCheckReport report = builtin ? scenario::check_rules_with_coverage(config)
+                                             : analysis::check_rules(config, {});
+
+  if (as_json) {
+    json::Value doc = analysis::rulecheck_to_json(report);
+    json::Object wrapped;
+    wrapped["subject"] = subject + " · rulebase";
+    for (const auto& [key, value] : doc.as_object()) wrapped[key] = value;
+    std::printf("%s\n", json::serialize_pretty(json::Value(std::move(wrapped))).c_str());
+  } else if (report.findings.empty()) {
+    std::printf("%s · rulebase: certified clean (R1..R8)\n", subject.c_str());
+  } else {
+    std::printf("%s · rulebase:\n", subject.c_str());
+    for (const analysis::RuleFinding& f : report.findings) {
+      std::printf("  %s\n", f.diagnostic.format().c_str());
+      if (f.witness) {
+        for (const analysis::WitnessStep& step : f.witness->steps) {
+          std::printf("    witness: %s => %s\n", step.cmd.describe().c_str(),
+                      step.expect_rule.empty() ? "admitted" : step.expect_rule.c_str());
+        }
+      }
+      if (!f.proof.empty()) std::printf("    proof: %s\n", f.proof.c_str());
+    }
+  }
+
+  if (!witness_dir.empty()) {
+    std::filesystem::create_directories(witness_dir);
+    std::size_t index = 0;
+    for (const analysis::RuleFinding& f : report.findings) {
+      if (!f.witness && f.proof.empty()) continue;
+      char name[64];
+      std::snprintf(name, sizeof(name), "witness_%03zu_%s", index++,
+                    f.diagnostic.rule.c_str());
+      json::Value doc = scenario::witness_entry_to_json(name, config, f);
+      std::ofstream out(std::filesystem::path(witness_dir) / (std::string(name) + ".json"));
+      out << json::serialize_pretty(doc) << "\n";
+      if (!out) {
+        std::fprintf(stderr, "error: cannot write witness '%s' under '%s'\n", name,
+                     witness_dir.c_str());
+        std::exit(2);
+      }
+    }
+    std::printf("%s · rulebase: wrote %zu witness file(s) to %s\n", subject.c_str(), index,
+                witness_dir.c_str());
+  }
+  return report.has_errors();
 }
 
 int demo_bugs(const core::EngineConfig& config, const analysis::AnalyzeOptions& options,
@@ -185,6 +263,8 @@ int main(int argc, char** argv) {
   std::string fleet_path;
   bool as_json = false;
   bool config_only = false;
+  bool run_rules = false;
+  std::string witness_dir;
   bool run_demo_bugs = false;
   bool strict = false;
   bool shard_plan = false;
@@ -202,6 +282,14 @@ int main(int argc, char** argv) {
       as_json = true;
     } else if (arg == "--config-only") {
       config_only = true;
+    } else if (arg == "--rules") {
+      run_rules = true;
+    } else if (arg == "--witness-dir") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "error: --witness-dir needs a directory argument\n");
+        return 2;
+      }
+      witness_dir = argv[++i];
     } else if (arg == "--demo-bugs") {
       run_demo_bugs = true;
     } else if (arg == "--strict") {
@@ -249,12 +337,16 @@ int main(int argc, char** argv) {
       scripts.push_back(arg);
     }
   }
-  if (scripts.empty() && !config_only && !run_demo_bugs && fleet_path.empty()) {
+  if (scripts.empty() && !config_only && !run_demo_bugs && !run_rules && fleet_path.empty()) {
     print_usage(stderr, argv[0]);
     return 2;
   }
   if (shard_plan && fleet_path.empty()) {
     std::fprintf(stderr, "error: --shard-plan requires --fleet <campaign.json>\n");
+    return 2;
+  }
+  if (!witness_dir.empty() && !run_rules) {
+    std::fprintf(stderr, "error: --witness-dir requires --rules\n");
     return 2;
   }
 
@@ -307,7 +399,13 @@ int main(int argc, char** argv) {
     print_report(config_path.empty() ? "<builtin testbed config>" : config_path,
                  config_report, as_json);
   }
-  if (config_only) return failed ? 1 : 0;
+  if (run_rules) {
+    failed |= run_rulecheck(config_path.empty() ? "<builtin testbed config>" : config_path,
+                            config, config_path.empty(), as_json, witness_dir);
+  }
+  if (config_only || (run_rules && scripts.empty() && !run_demo_bugs && fleet_path.empty())) {
+    return failed ? 1 : 0;
+  }
 
   if (run_demo_bugs) {
     demo_bugs(config, options, as_json);

@@ -15,8 +15,10 @@
 #include <sstream>
 
 #include "analysis/analysis.hpp"
+#include "analysis/rulecheck.hpp"
 #include "core/config.hpp"
 #include "recovery/recovery.hpp"
+#include "scenario/fuzz.hpp"
 #include "sim/deck.hpp"
 
 using namespace rabit;
@@ -110,6 +112,20 @@ int main(int argc, char** argv) {
     }
   }
 
+  // Third pass: the rulebase verifier (R1..R7) — certifies the rules
+  // themselves (shadowing, contradictions, unsatisfiable preconditions,
+  // dangling references, guard/analyzer divergence, coverage gaps,
+  // order-dependent thresholds). Findings fold into the lint report;
+  // witnesses replay through `rabit_lint --rules`. R8 (dark-key
+  // classification) stays out: the fuzzer's measured coverage map
+  // describes the builtin testbed deck, and validate's input is always a
+  // user-supplied file the map may not apply to.
+  analysis::RuleCheckReport rules = analysis::check_rules(config, {});
+  for (const analysis::RuleFinding& f : rules.findings) {
+    lint.diagnostics.push_back(f.diagnostic);
+  }
+
+  lint = analysis::sorted_for_emission(lint);
   for (const analysis::Diagnostic& d : lint.diagnostics) {
     std::fprintf(stderr, "%s: %s %s — %s\n", argv[1],
                  std::string(analysis::to_string(d.severity)).c_str(), d.rule.c_str(),
